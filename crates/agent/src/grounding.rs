@@ -1,0 +1,97 @@
+//! Visual grounding: how an LLM locates a named control on screen.
+//!
+//! Under imperative GUI use, the model must map its intent ("click Font
+//! Color") to a labeled screen element. Humans do this with robust vision;
+//! LLMs are comparatively weak (§2.1 Mismatch #2), which the simulation
+//! models as a per-action grounding-error rate plus name-similarity-based
+//! matching (tolerant of live-name variation, unlike exact string match).
+
+use dmi_core::screen::{LabeledScreen, ScreenEntry};
+use dmi_llm::TargetQuery;
+use dmi_uia::ident::string_similarity;
+
+/// Minimum name similarity for a visual match.
+pub const GROUNDING_SIMILARITY: f64 = 0.8;
+
+/// Finds the on-screen entry for a query, by name similarity.
+///
+/// Returns the index into `screen.entries`. Prefers exact matches, then
+/// the highest-similarity entry above the threshold. Disabled controls
+/// still ground (clicking them fails, realistically).
+pub fn ground<'a>(screen: &'a LabeledScreen, q: &TargetQuery) -> Option<(usize, &'a ScreenEntry)> {
+    // A user looking for something to click prefers interactive elements
+    // over same-named containers (ribbon groups often share their
+    // dialog-launcher's name).
+    let mut best: Option<(usize, f64, bool)> = None; // (idx, score, clickable)
+    for (i, e) in screen.entries.iter().enumerate() {
+        let clickable = dmi_core::interface::is_clickable(e.control_type);
+        let s = if e.name == q.name {
+            1.0
+        } else {
+            string_similarity(&e.name, &q.name)
+        };
+        if s < GROUNDING_SIMILARITY {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some((_, bs, bc)) => (clickable, s) > (bc, bs),
+        };
+        if better {
+            best = Some((i, s, clickable));
+        }
+    }
+    best.map(|(i, _, _)| (i, &screen.entries[i]))
+}
+
+/// Whether every query in a batch grounds on the current screen (the
+/// UFO2-as constraint: action sequences may only reference currently
+/// visible controls).
+pub fn all_visible(screen: &LabeledScreen, queries: &[&TargetQuery]) -> bool {
+    queries.iter().all(|q| ground(screen, q).is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmi_core::label_screen;
+    use dmi_gui::Session;
+
+    fn screen() -> LabeledScreen {
+        let mut s = Session::new(dmi_apps::AppKind::Word.launch_small());
+        let snap = s.snapshot();
+        label_screen(&snap)
+    }
+
+    #[test]
+    fn exact_name_grounds() {
+        let sc = screen();
+        let (_, e) = ground(&sc, &TargetQuery::name("Bold")).unwrap();
+        assert_eq!(e.name, "Bold");
+    }
+
+    #[test]
+    fn similar_name_grounds() {
+        let sc = screen();
+        // A trailing-space or ellipsis variant still grounds.
+        let (_, e) = ground(&sc, &TargetQuery::name("Font Color ")).unwrap();
+        assert!(e.name.starts_with("Font Color"));
+    }
+
+    #[test]
+    fn unrelated_name_does_not_ground() {
+        let sc = screen();
+        assert!(ground(&sc, &TargetQuery::name("Quantum Flux Capacitor")).is_none());
+    }
+
+    #[test]
+    fn hidden_menu_items_are_not_visible() {
+        let sc = screen();
+        // Color cells live inside a closed menu: not on screen.
+        assert!(ground(&sc, &TargetQuery::under("Blue", "Font Color")).is_none());
+        let q1 = TargetQuery::name("Bold");
+        let q2 = TargetQuery::under("Blue", "Font Color");
+        assert!(!all_visible(&sc, &[&q1, &q2]));
+        assert!(all_visible(&sc, &[&q1]));
+    }
+}

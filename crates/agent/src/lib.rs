@@ -1,0 +1,32 @@
+//! Computer-use agents: the UFO2-like GUI baseline, the forest-knowledge
+//! ablation, and the GUI+DMI agent.
+//!
+//! The agent skeleton follows the paper's §5.3 description of UFO-2: a
+//! HostAgent decomposes the user task and activates the application
+//! (1 call), an AppAgent executes the delegated subtask over one or more
+//! turns, the AppAgent verifies and hands off (1 call), and the HostAgent
+//! verifies overall completion (1 call) — a fixed 3-call framework
+//! overhead around the core turns.
+//!
+//! Three interface conditions share the skeleton ([`InterfaceMode`]):
+//!
+//! - **GUI-only**: each turn, the labeled accessibility tree is sent to
+//!   the LLM, which replies with an *action sequence* restricted to
+//!   currently visible controls;
+//! - **GUI-only + Nav.forest**: same, with the DMI navigation forest
+//!   pasted into the prompt as static knowledge (§5.5 ablation);
+//! - **GUI + DMI**: the LLM plans over the declarative interfaces
+//!   (`visit`, state, observation declarations) and may fall back to
+//!   imperative GUI primitives.
+
+pub mod dmi_agent;
+pub mod grounding;
+pub mod runner;
+pub mod task;
+pub mod trace;
+pub mod ufo;
+
+pub use dmi_llm::{CapabilityProfile, FailureCause, FailureLevel, InterfaceMode};
+pub use runner::{run_task, RunConfig};
+pub use task::AgentTask;
+pub use trace::{aggregate, normalized_core_steps, Aggregate, RunTrace};

@@ -1,0 +1,112 @@
+//! The top-level task runner: UFO-2 skeleton around the mode-specific
+//! agent loops, producing a [`RunTrace`] per `(task, mode, profile, seed)`.
+
+use crate::dmi_agent;
+use crate::task::AgentTask;
+use crate::trace::RunTrace;
+use crate::ufo;
+use dmi_core::{tokens, Dmi};
+use dmi_gui::{InstabilityModel, Session};
+use dmi_llm::{CapabilityProfile, FailureCause, InterfaceMode, SimLlm};
+
+/// Configuration for one run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// The LLM capability profile.
+    pub profile: CapabilityProfile,
+    /// The interface condition.
+    pub mode: InterfaceMode,
+    /// Run seed (the paper averages 3 runs).
+    pub seed: u64,
+    /// Step cap (paper: 30).
+    pub step_cap: usize,
+    /// Launch small app instances (fast tests) instead of full-size.
+    pub small_apps: bool,
+    /// UI instability: (late-load probability, name-variation
+    /// probability).
+    pub instability: (f64, f64),
+}
+
+impl RunConfig {
+    /// The evaluation defaults (§5.1 methodology).
+    pub fn evaluation(profile: CapabilityProfile, mode: InterfaceMode, seed: u64) -> Self {
+        RunConfig { profile, mode, seed, step_cap: 30, small_apps: false, instability: (0.06, 0.02) }
+    }
+
+    /// Fast test configuration on small apps.
+    pub fn test(profile: CapabilityProfile, mode: InterfaceMode, seed: u64) -> Self {
+        RunConfig { profile, mode, seed, step_cap: 30, small_apps: true, instability: (0.0, 0.0) }
+    }
+}
+
+/// HostAgent prompt cost.
+const HOST_PROMPT_TOKENS: usize = 600;
+/// Verification prompt cost (AppAgent + HostAgent closing calls).
+const VERIFY_PROMPT_TOKENS: usize = 800;
+
+/// Runs one task under one configuration.
+///
+/// `dmi` must be the offline model for the task's app when the mode uses
+/// forest knowledge or the declarative interfaces.
+pub fn run_task(task: &AgentTask, dmi: Option<&Dmi>, cfg: &RunConfig) -> RunTrace {
+    let mut llm = SimLlm::new(cfg.profile.clone(), cfg.mode, &task.id, cfg.seed);
+    let app = if cfg.small_apps { task.app.launch_small() } else { task.app.launch() };
+    let mut session = Session::with_instability(
+        app,
+        InstabilityModel::new(cfg.seed.wrapping_add(17), cfg.instability.0, cfg.instability.1),
+    );
+    if let Some(setup) = task.setup {
+        setup(&mut session);
+    }
+
+    // Step 1: HostAgent decomposes the task and activates the app.
+    llm.record_call(HOST_PROMPT_TOKENS + tokens::count(&task.description), 60);
+
+    let (failure, completed, fallback_used) = match cfg.mode {
+        InterfaceMode::GuiOnly | InterfaceMode::GuiPlusForest => {
+            let forest_tokens = if cfg.mode.has_forest_knowledge() {
+                dmi.map(|d| d.core_tokens()).unwrap_or(0)
+            } else {
+                0
+            };
+            let r = ufo::run(task, &mut session, &mut llm, forest_tokens, cfg.step_cap);
+            (r.failure, r.completed, false)
+        }
+        InterfaceMode::GuiPlusDmi => {
+            let d = dmi.expect("GUI+DMI requires the offline DMI model");
+            let r = dmi_agent::run(task, &mut session, &mut llm, d, cfg.step_cap);
+            (r.failure, r.completed, r.fallback_used)
+        }
+    };
+
+    // Steps n-1, n: AppAgent result verification, HostAgent completion
+    // verification (the fixed framework overhead, §5.3).
+    llm.record_call(VERIFY_PROMPT_TOKENS, 40);
+    llm.record_call(VERIFY_PROMPT_TOKENS, 40);
+
+    let verified = completed && failure.is_none() && (task.verify)(&session);
+    // Root-cause attribution follows the paper's methodology (§5.6):
+    // execution results combined with the LLM's own chain-of-thought
+    // summary — a corrupted plan is the root cause even when a mechanism
+    // error also surfaced downstream.
+    let failure = if verified {
+        None
+    } else {
+        llm.injected.or(failure).or(Some(FailureCause::SubtleTaskSemantics))
+    };
+
+    RunTrace {
+        task_id: task.id.clone(),
+        mode: cfg.mode,
+        profile: cfg.profile.label(),
+        seed: cfg.seed,
+        success: verified,
+        llm_calls: llm.calls(),
+        core_calls: llm.calls().saturating_sub(3),
+        sim_secs: llm.clock_secs,
+        prompt_tokens: llm.ledger.total_prompt(),
+        output_tokens: llm.ledger.total_output(),
+        failure,
+        fallback_used,
+    }
+}

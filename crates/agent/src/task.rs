@@ -1,0 +1,47 @@
+//! The task contract between the benchmark suite and the agents.
+
+use dmi_apps::AppKind;
+use dmi_gui::Session;
+use dmi_llm::{PlanMutation, TaskPlan};
+
+/// One benchmark task: description, setup, oracle plan, verifier, and the
+/// plausible wrong plans error injection may choose from.
+pub struct AgentTask {
+    /// Stable identifier (e.g. `"ppt-background-all"`).
+    pub id: String,
+    /// Target application.
+    pub app: AppKind,
+    /// The user instruction (what the LLM is asked to do).
+    pub description: String,
+    /// Optional pre-state mutation (e.g. select a slide).
+    pub setup: Option<fn(&mut Session)>,
+    /// End-state verifier over the application model (OSWorld-style).
+    pub verify: fn(&Session) -> bool,
+    /// Oracle plan in both lowerings.
+    pub plan: TaskPlan,
+    /// Plausible-but-wrong plan edits (§5.6 failure flavours).
+    pub mutations: Vec<PlanMutation>,
+}
+
+impl AgentTask {
+    /// Launches a fresh session for this task's app (full-size app).
+    pub fn launch(&self) -> Session {
+        Session::new(self.app.launch())
+    }
+
+    /// Launches with the small app configuration (fast tests).
+    pub fn launch_small(&self) -> Session {
+        Session::new(self.app.launch_small())
+    }
+}
+
+impl std::fmt::Debug for AgentTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AgentTask")
+            .field("id", &self.id)
+            .field("app", &self.app)
+            .field("dmi_steps", &self.plan.dmi.len())
+            .field("gui_steps", &self.plan.gui.len())
+            .finish()
+    }
+}

@@ -1,0 +1,108 @@
+//! Unit-level agent tests on a minimal inline task (the full-suite
+//! behaviour is covered by the workspace integration tests).
+
+use dmi_agent::{run_task, AgentTask, InterfaceMode, RunConfig};
+use dmi_apps::AppKind;
+use dmi_llm::{CapabilityProfile, GuiStep, PlanStep, TargetQuery, TaskPlan, VisitTarget};
+
+fn perfect() -> CapabilityProfile {
+    let mut p = CapabilityProfile::gpt5_medium();
+    p.policy_err = 0.0;
+    p.dmi_mech_err = 0.0;
+    p.grounding_err = 0.0;
+    p.composite_err = 0.0;
+    p.instruction_noise = 0.0;
+    p
+}
+
+/// A two-action task whose GUI actions are co-visible from the start
+/// (both live on the Home tab), so a wide action-sequence horizon can
+/// bundle them into one turn.
+fn bold_italic_task() -> AgentTask {
+    AgentTask {
+        id: "unit-bold-italic".into(),
+        app: AppKind::Word,
+        description: "Make the first paragraph bold and italic.".into(),
+        setup: Some(|s| {
+            let surf = s.app().tree().find_by_automation_id("Body").unwrap();
+            s.select_lines(surf, 0, 0).unwrap();
+        }),
+        verify: |s| {
+            let w = s.app().as_any().downcast_ref::<dmi_apps::WordApp>().unwrap();
+            w.doc.paragraphs[0].format.bold && w.doc.paragraphs[0].format.italic
+        },
+        plan: TaskPlan {
+            dmi: vec![PlanStep::Visit(vec![
+                VisitTarget::click(TargetQuery::under("Bold", "Font")),
+                VisitTarget::click(TargetQuery::under("Italic", "Font")),
+            ])],
+            gui: vec![
+                GuiStep::Click(TargetQuery::under("Bold", "Font")),
+                GuiStep::Click(TargetQuery::under("Italic", "Font")),
+            ],
+        },
+        mutations: vec![dmi_llm::PlanMutation::DropLast],
+    }
+}
+
+#[test]
+fn wide_horizon_bundles_covisible_actions() {
+    let task = bold_italic_task();
+    let mut narrow = perfect();
+    narrow.gui_bundle_limit = 1;
+    let mut wide = perfect();
+    wide.gui_bundle_limit = 4;
+    let t_narrow =
+        run_task(&task, None, &RunConfig::test(narrow, InterfaceMode::GuiOnly, 0));
+    let t_wide = run_task(&task, None, &RunConfig::test(wide, InterfaceMode::GuiOnly, 0));
+    assert!(t_narrow.success && t_wide.success);
+    // Narrow horizon: host + 2 action turns + 2 verify = 5.
+    assert_eq!(t_narrow.llm_calls, 5);
+    // Wide horizon: both actions ride one action sequence (UFO2-as).
+    assert_eq!(t_wide.llm_calls, 4);
+}
+
+#[test]
+fn dmi_run_is_single_core_call_either_way() {
+    let task = bold_italic_task();
+    let mut s = dmi_gui::Session::new(AppKind::Word.launch_small());
+    let (dmi, _) = dmi_core::Dmi::build(&mut s, &dmi_core::DmiBuildConfig::office("Word"));
+    let trace =
+        run_task(&task, Some(&dmi), &RunConfig::test(perfect(), InterfaceMode::GuiPlusDmi, 0));
+    assert!(trace.success);
+    assert_eq!(trace.llm_calls, 4, "one visit call for both targets");
+    assert_eq!(trace.core_calls, 1);
+}
+
+#[test]
+fn trace_records_mode_profile_and_tokens() {
+    let task = bold_italic_task();
+    let trace = run_task(&task, None, &RunConfig::test(perfect(), InterfaceMode::GuiOnly, 9));
+    assert_eq!(trace.mode, InterfaceMode::GuiOnly);
+    assert_eq!(trace.profile, "GPT-5 (Medium)");
+    assert_eq!(trace.seed, 9);
+    assert!(trace.prompt_tokens > 1000, "prompts accounted: {}", trace.prompt_tokens);
+    assert!(trace.sim_secs > 0.0);
+    assert!(!trace.fallback_used);
+}
+
+#[test]
+fn gui_plus_forest_requires_no_dmi_but_uses_its_tokens() {
+    let task = bold_italic_task();
+    let mut s = dmi_gui::Session::new(AppKind::Word.launch_small());
+    let (dmi, _) = dmi_core::Dmi::build(&mut s, &dmi_core::DmiBuildConfig::office("Word"));
+    let with = run_task(
+        &task,
+        Some(&dmi),
+        &RunConfig::test(perfect(), InterfaceMode::GuiPlusForest, 0),
+    );
+    let without =
+        run_task(&task, None, &RunConfig::test(perfect(), InterfaceMode::GuiOnly, 0));
+    assert!(with.success && without.success);
+    assert!(
+        with.prompt_tokens > without.prompt_tokens + 1000,
+        "forest knowledge inflates prompts: {} vs {}",
+        with.prompt_tokens,
+        without.prompt_tokens
+    );
+}

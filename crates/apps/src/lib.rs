@@ -1,0 +1,79 @@
+//! Simulated Office-like applications: Word, Excel, PowerPoint.
+//!
+//! These are the substrate substitution for Microsoft Office (see
+//! `DESIGN.md`): feature-rich GUI applications built on `dmi-gui` that
+//! reproduce the structural properties the paper's evaluation depends on —
+//! thousands of controls, navigation depth over ten, popup galleries,
+//! nested modal dialogs, shared dialogs forming merge nodes with
+//! path-dependent semantics, context-conditional tabs, dynamic renames,
+//! and scrollable content with off-screen elements.
+//!
+//! Each app exposes its document model (`WordDoc`, `Sheet`, `Deck`) so
+//! benchmark verifiers check end state exactly, the way OSWorld getter
+//! scripts do.
+
+pub mod excel;
+pub mod model;
+pub mod office;
+pub mod powerpoint;
+pub mod word;
+
+pub use excel::{ExcelApp, ExcelConfig};
+pub use powerpoint::{PowerPointApp, PowerPointConfig};
+pub use word::{WordApp, WordConfig};
+
+/// The three case-study applications (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AppKind {
+    Word,
+    Excel,
+    PowerPoint,
+}
+
+impl AppKind {
+    /// All apps.
+    pub const ALL: [AppKind; 3] = [AppKind::Word, AppKind::Excel, AppKind::PowerPoint];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Word => "Word",
+            AppKind::Excel => "Excel",
+            AppKind::PowerPoint => "PowerPoint",
+        }
+    }
+
+    /// Instantiates the app with default configuration.
+    pub fn launch(self) -> Box<dyn dmi_gui::GuiApp> {
+        match self {
+            AppKind::Word => Box::new(WordApp::new()),
+            AppKind::Excel => Box::new(ExcelApp::new()),
+            AppKind::PowerPoint => Box::new(PowerPointApp::new()),
+        }
+    }
+
+    /// Instantiates the app with a small configuration (fast tests).
+    pub fn launch_small(self) -> Box<dyn dmi_gui::GuiApp> {
+        match self {
+            AppKind::Word => Box::new(WordApp::with_config(WordConfig {
+                paragraphs: 12,
+                viewport_rows: 6,
+            })),
+            AppKind::Excel => Box::new(ExcelApp::with_config(ExcelConfig {
+                rows: 12,
+                cols: 8,
+                viewport_rows: 6,
+            })),
+            AppKind::PowerPoint => Box::new(PowerPointApp::with_config(PowerPointConfig {
+                slides: 5,
+                viewport_rows: 5,
+            })),
+        }
+    }
+}
+
+impl std::fmt::Display for AppKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}

@@ -1,0 +1,92 @@
+//! The shared color palette used by all three applications.
+//!
+//! Office-style palettes: 10 theme colors × 6 tint/shade variants, plus 10
+//! standard colors. Palette cells carry their color as a string; document
+//! models store the same strings, so task verifiers compare exactly.
+
+/// The 10 theme base colors.
+pub const THEME_BASES: [&str; 10] = [
+    "White", "Black", "Gray", "Dark Blue", "Blue", "Red", "Orange", "Gold", "Green", "Purple",
+];
+
+/// The 6 tint/shade variant labels applied to each theme base.
+pub const VARIANTS: [&str; 6] =
+    ["", "Lighter 80%", "Lighter 60%", "Lighter 40%", "Darker 25%", "Darker 50%"];
+
+/// The 10 standard colors shown below the theme grid.
+pub const STANDARD: [&str; 10] = [
+    "Dark Red",
+    "Red",
+    "Orange",
+    "Yellow",
+    "Light Green",
+    "Green",
+    "Light Blue",
+    "Blue",
+    "Dark Blue",
+    "Purple",
+];
+
+/// Full display name of the theme cell at (base, variant).
+pub fn theme_color(base: usize, variant: usize) -> String {
+    let b = THEME_BASES[base % THEME_BASES.len()];
+    let v = VARIANTS[variant % VARIANTS.len()];
+    if v.is_empty() {
+        b.to_string()
+    } else {
+        format!("{b}, {v}")
+    }
+}
+
+/// Every color in palette order: 60 theme cells then 10 standard cells.
+pub fn all_palette_colors() -> Vec<String> {
+    let mut out = Vec::with_capacity(70);
+    for v in 0..VARIANTS.len() {
+        for b in 0..THEME_BASES.len() {
+            out.push(theme_color(b, v));
+        }
+    }
+    for s in STANDARD {
+        // Theme row 0 already contains some of these names (e.g. "Blue");
+        // Office palettes show them twice too, so keep duplicates — they
+        // are distinct controls with identical names, which is exactly the
+        // ambiguity the paper's hierarchical descriptions resolve.
+        out.push(s.to_string());
+    }
+    out
+}
+
+/// Whether a color string is a member of the palette.
+pub fn is_palette_color(c: &str) -> bool {
+    all_palette_colors().iter().any(|p| p == c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn palette_has_70_cells() {
+        assert_eq!(all_palette_colors().len(), 70);
+    }
+
+    #[test]
+    fn theme_color_formatting() {
+        assert_eq!(theme_color(4, 0), "Blue");
+        assert_eq!(theme_color(4, 1), "Blue, Lighter 80%");
+    }
+
+    #[test]
+    fn standard_blue_is_in_palette() {
+        assert!(is_palette_color("Blue"));
+        assert!(is_palette_color("Dark Red"));
+        assert!(!is_palette_color("Chartreuse"));
+    }
+
+    #[test]
+    fn duplicate_names_exist_by_design() {
+        let all = all_palette_colors();
+        let blues = all.iter().filter(|c| c.as_str() == "Blue").count();
+        assert!(blues >= 2, "palette should contain ambiguous duplicate names");
+    }
+}

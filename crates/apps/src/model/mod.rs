@@ -1,0 +1,6 @@
+//! Document models for the three simulated applications.
+
+pub mod color;
+pub mod deck;
+pub mod sheet;
+pub mod word_doc;

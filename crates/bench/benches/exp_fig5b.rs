@@ -1,0 +1,41 @@
+//! Figure 5b: normalized core steps on the intersection of tasks solved
+//! by all methods (GUI-only, ablation, GUI+DMI), per model profile.
+
+use dmi_agent::normalized_core_steps;
+use dmi_bench::{models, report, run_cell, EvalConfig};
+use dmi_llm::{CapabilityProfile, InterfaceMode};
+use std::collections::BTreeMap;
+
+fn main() {
+    let models = models();
+    let cfg = EvalConfig::default();
+    println!("{}", report::banner("Figure 5b: normalized core steps (intersection)"));
+    let paper: BTreeMap<&str, (f64, f64, f64)> = BTreeMap::from([
+        ("GPT-5 (Medium)", (4.94, 5.58, 1.60)),
+        ("GPT-5 (Minimal)", (7.10, f64::NAN, 3.42)),
+        ("GPT-5-mini (Medium)", (4.02, 3.26, 1.52)),
+    ]);
+    let mut rows = Vec::new();
+    for profile in CapabilityProfile::evaluation_set() {
+        let mut by_mode = BTreeMap::new();
+        for mode in
+            [InterfaceMode::GuiOnly, InterfaceMode::GuiPlusForest, InterfaceMode::GuiPlusDmi]
+        {
+            by_mode.insert(mode, run_cell(&profile, mode, models, &cfg));
+        }
+        let norm = normalized_core_steps(&by_mode);
+        let label = profile.label();
+        let p = paper.get(label.as_str()).copied().unwrap_or((f64::NAN, f64::NAN, f64::NAN));
+        rows.push(vec![
+            label,
+            format!("{:.2} (paper {:.2})", norm[&InterfaceMode::GuiOnly], p.0),
+            format!("{:.2} (paper {:.2})", norm[&InterfaceMode::GuiPlusForest], p.1),
+            format!("{:.2} (paper {:.2})", norm[&InterfaceMode::GuiPlusDmi], p.2),
+        ]);
+    }
+    println!(
+        "{}",
+        report::table(&["Model", "GUI-only", "GUI+Nav.forest", "GUI+DMI"], &rows)
+    );
+    println!("(Normalization: intersection of (task, seed) runs all three methods solved.)");
+}

@@ -1,0 +1,43 @@
+//! Figure 6: failure-cause distribution (policy vs mechanism) for the
+//! GUI+DMI condition and the GUI-only baseline in the core setting.
+
+use dmi_agent::aggregate;
+use dmi_bench::{models, report, run_cell, EvalConfig};
+use dmi_llm::{CapabilityProfile, FailureLevel, InterfaceMode};
+
+fn main() {
+    let models = models();
+    let cfg = EvalConfig::default();
+    let med = CapabilityProfile::gpt5_medium();
+
+    for (mode, paper_policy, paper_mech) in [
+        (InterfaceMode::GuiPlusDmi, 81.0, 19.0),
+        (InterfaceMode::GuiOnly, 46.7, 53.3),
+    ] {
+        let agg = aggregate(&run_cell(&med, mode, models, &cfg));
+        println!("{}", report::banner(&format!("Figure 6: {} failures", mode.label())));
+        let total = agg.failure_count().max(1);
+        let mut rows: Vec<Vec<String>> = agg
+            .failures
+            .iter()
+            .map(|(cause, n)| {
+                vec![
+                    cause.to_string(),
+                    format!("{:?}", cause.level()),
+                    n.to_string(),
+                    report::pct(*n as f64 / total as f64),
+                ]
+            })
+            .collect();
+        rows.sort_by(|a, b| b[2].parse::<usize>().unwrap().cmp(&a[2].parse::<usize>().unwrap()));
+        println!("{}", report::table(&["Cause", "Level", "Count", "Share"], &rows));
+        let policy = agg.policy_failure_frac();
+        let mech: f64 = 1.0 - policy;
+        println!(
+            "Policy-level: {} (paper {paper_policy:.1}%)   Mechanism-level: {} (paper {paper_mech:.1}%)",
+            report::pct(policy),
+            report::pct(mech),
+        );
+        let _ = FailureLevel::Policy;
+    }
+}

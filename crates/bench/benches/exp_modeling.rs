@@ -1,0 +1,57 @@
+//! §5.2 offline phase: UI navigation modeling cost and model sizes.
+//!
+//! Paper reference: raw modeled graphs exceed 4K controls per app; core
+//! topologies are Excel ~2K, Word ~1K, PowerPoint ~1K controls; automated
+//! modeling takes < 3 hours per app on real Office (ours is simulated and
+//! far faster — the shape to check is relative sizes).
+
+use dmi_bench::{models, report};
+
+fn main() {
+    println!("{}", report::banner("§5.2: offline modeling cost and sizes"));
+    let mut rows = Vec::new();
+    for (name, m) in models() {
+        rows.push(vec![
+            name.to_string(),
+            m.stats.rip_nodes.to_string(),
+            m.stats.rip_edges.to_string(),
+            m.stats.decycle.back_edges_removed.to_string(),
+            m.stats.forest.forest_nodes.to_string(),
+            m.stats.forest.externalized.to_string(),
+            m.stats.core_controls.to_string(),
+            m.stats.core_tokens.to_string(),
+            format!("{:.1}", m.build_secs),
+        ]);
+    }
+    println!(
+        "{}",
+        report::table(
+            &["App", "UNG nodes", "UNG edges", "Back edges", "Forest nodes", "Shared subtrees",
+              "Core controls", "Core tokens", "Model time (s)"],
+            &rows,
+        )
+    );
+    println!("Paper: raw graphs > 4K controls; core: Excel ~2K, Word ~1K, PPT ~1K controls.");
+
+    println!("{}", report::banner("Ripper effort"));
+    let mut rows = Vec::new();
+    for (name, m) in models() {
+        rows.push(vec![
+            name.to_string(),
+            m.stats.rip.clicks.to_string(),
+            m.stats.rip.snapshots.to_string(),
+            m.stats.rip.restarts.to_string(),
+            m.stats.rip.blocklisted.to_string(),
+            m.stats.rip.replay_failures.to_string(),
+            m.stats.rip.windows_seen.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        report::table(
+            &["App", "Clicks", "Snapshots", "Restarts", "Blocklisted", "Replay fails",
+              "Windows"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,56 @@
+//! Table 1 / Figure 2: imperative GUI vs declarative DMI on the two
+//! running examples — slide background (navigation chain vs `visit`) and
+//! scroll-to-position (drag loop vs `set_scrollbar_pos`).
+
+use dmi_agent::{run_task, InterfaceMode, RunConfig};
+use dmi_bench::{models, report};
+use dmi_llm::CapabilityProfile;
+
+fn perfect() -> CapabilityProfile {
+    let mut p = CapabilityProfile::gpt5_medium();
+    p.policy_err = 0.0;
+    p.dmi_mech_err = 0.0;
+    p.grounding_err = 0.0;
+    p.composite_err = 0.0;
+    p.instruction_noise = 0.0;
+    p
+}
+
+fn main() {
+    let models = models();
+    println!("{}", report::banner("Table 1: imperative GUI vs declarative DMI"));
+    let mut rows = Vec::new();
+    for (label, id, paper_gui, paper_dmi) in [
+        (
+            "Task 1: blue background on all slides",
+            "ppt-background-all",
+            "click(Design)->click(Format Background)->click(Solid fill)->click(Fill Color)->click(Blue)->click(Apply to All)",
+            "visit([\"Blue\", \"Apply to All\"])",
+        ),
+        (
+            "Task 2: show the area close to the end",
+            "word-scroll-end",
+            "iterative drag-and-drop",
+            "set_scrollbar_pos(90%)",
+        ),
+    ] {
+        let task = dmi_tasks::task_by_id(id).expect("task exists");
+        let gui_actions = task.plan.gui.len();
+        let dmi_turns = task.plan.dmi.len();
+        let mut cfg = RunConfig::evaluation(perfect(), InterfaceMode::GuiOnly, 1);
+        cfg.instability = (0.0, 0.0);
+        let gui_trace = run_task(&task, models.get(task.app.name()).map(|m| &m.dmi), &cfg);
+        let mut cfg = RunConfig::evaluation(perfect(), InterfaceMode::GuiPlusDmi, 1);
+        cfg.instability = (0.0, 0.0);
+        let dmi_trace = run_task(&task, models.get(task.app.name()).map(|m| &m.dmi), &cfg);
+        assert!(gui_trace.success && dmi_trace.success, "oracle runs must succeed");
+        rows.push(vec![
+            label.to_string(),
+            format!("{gui_actions} imperative actions / {} LLM calls", gui_trace.llm_calls),
+            format!("{dmi_turns} declarative turn(s) / {} LLM calls", dmi_trace.llm_calls),
+        ]);
+        println!("paper GUI: {paper_gui}");
+        println!("paper DMI: {paper_dmi}\n");
+    }
+    println!("{}", report::table(&["Task", "GUI (measured)", "DMI (measured)"], &rows));
+}

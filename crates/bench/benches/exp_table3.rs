@@ -1,0 +1,64 @@
+//! Table 3 / Figure 5a: SR, Steps, and Time across interfaces and models.
+//!
+//! Prints the same rows the paper reports, side by side with the paper's
+//! values. Absolute numbers come from the simulated substrate; the
+//! reproduction target is the *shape* (ordering, ratios, crossovers).
+
+use dmi_agent::aggregate;
+use dmi_bench::{models, paper_table3, report, run_cell, table3_rows, EvalConfig};
+
+fn main() {
+    let models = models();
+    let cfg = EvalConfig::default();
+    let paper = paper_table3();
+
+    println!("{}", report::banner("Table 3: results across interfaces and models"));
+    let mut rows = Vec::new();
+    for (profile, mode) in table3_rows() {
+        let traces = run_cell(&profile, mode, models, &cfg);
+        let agg = aggregate(&traces);
+        let key = (profile.label(), mode.label().to_string());
+        let paper_vals = paper
+            .iter()
+            .find(|((p, m), _)| *p == key.0 && *m == key.1)
+            .map(|(_, v)| *v)
+            .unwrap_or((0.0, 0.0, 0.0));
+        rows.push(vec![
+            mode.label().to_string(),
+            profile.label(),
+            report::pct(agg.sr),
+            format!("{:.1}%", paper_vals.0),
+            report::f2(agg.avg_steps),
+            report::f2(paper_vals.1),
+            format!("{:.0}", agg.avg_secs),
+            format!("{:.0}", paper_vals.2),
+        ]);
+    }
+    println!(
+        "{}",
+        report::table(
+            &["Interface", "Model", "SR", "SR(paper)", "Steps", "Steps(paper)", "Time(s)",
+              "Time(paper)"],
+            &rows,
+        )
+    );
+
+    // Figure 5a headline ratios.
+    println!("{}", report::banner("Figure 5a: headline comparisons (GPT-5 Medium)"));
+    let med = dmi_llm::CapabilityProfile::gpt5_medium();
+    let gui = aggregate(&run_cell(&med, dmi_llm::InterfaceMode::GuiOnly, models, &cfg));
+    let dmi = aggregate(&run_cell(&med, dmi_llm::InterfaceMode::GuiPlusDmi, models, &cfg));
+    println!("SR improvement     : {:.2}x (paper: 1.67x)", dmi.sr / gui.sr.max(1e-9));
+    println!(
+        "Step reduction     : {:.1}% (paper: 43.5%)",
+        (1.0 - dmi.avg_steps / gui.avg_steps.max(1e-9)) * 100.0
+    );
+    println!(
+        "Time reduction     : {:.1}% (paper: 39%)",
+        (1.0 - dmi.avg_secs / gui.avg_secs.max(1e-9)) * 100.0
+    );
+    println!(
+        "Total tokens/task  : GUI {:.0} vs DMI {:.0} (paper: DMI lower in core scenario)",
+        gui.avg_tokens, dmi.avg_tokens
+    );
+}

@@ -1,0 +1,47 @@
+//! §5.4 token cost: per-control description cost, core topology sizes,
+//! and total tokens per task under each interface.
+
+use dmi_agent::aggregate;
+use dmi_bench::{models, report, run_cell, EvalConfig};
+use dmi_core::describe;
+use dmi_llm::{CapabilityProfile, InterfaceMode};
+
+fn main() {
+    let models = models();
+    println!("{}", report::banner("§5.4: context token overhead"));
+    let mut rows = Vec::new();
+    for (name, m) in models {
+        let full = describe::full_description(&m.dmi.forest, &m.dmi.describe);
+        let per_control = full.tokens() as f64 / m.dmi.forest.len() as f64;
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", per_control),
+            m.stats.core_tokens.to_string(),
+            m.stats.core_controls.to_string(),
+            full.tokens().to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        report::table(
+            &["App", "Tokens/control", "Core tokens", "Core controls", "Full tokens"],
+            &rows,
+        )
+    );
+    println!("Paper: ~15 tokens/control; core topologies ~30K (Excel), ~15K (Word), ~15K (PPT).");
+
+    println!("{}", report::banner("Total token usage per task (GPT-5 Medium)"));
+    let cfg = EvalConfig::default();
+    let med = CapabilityProfile::gpt5_medium();
+    let mut rows = Vec::new();
+    for mode in [InterfaceMode::GuiOnly, InterfaceMode::GuiPlusForest, InterfaceMode::GuiPlusDmi] {
+        let agg = aggregate(&run_cell(&med, mode, models, &cfg));
+        rows.push(vec![
+            mode.label().to_string(),
+            format!("{:.0}", agg.avg_tokens),
+            report::f2(agg.avg_steps),
+        ]);
+    }
+    println!("{}", report::table(&["Interface", "Avg tokens/task", "Avg steps"], &rows));
+    println!("(Paper: DMI's fewer rounds keep total tokens below the baseline in the core scenario.)");
+}

@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks for the offline pipeline: ripping,
+//! decycling, forest transformation, and description rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dmi_core::describe::{self, DescribeConfig};
+use dmi_core::ripper::{rip, RipConfig};
+use dmi_core::topology::{build_forest, decycle, ForestConfig};
+use dmi_gui::Session;
+use std::sync::OnceLock;
+
+fn word_graph() -> &'static dmi_core::Ung {
+    static G: OnceLock<dmi_core::Ung> = OnceLock::new();
+    G.get_or_init(|| {
+        let mut s = Session::new(dmi_apps::AppKind::Word.launch_small());
+        let (mut g, _) = rip(&mut s, &RipConfig::office("Word"));
+        decycle(&mut g);
+        g
+    })
+}
+
+fn bench_rip_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline");
+    group.sample_size(10);
+    group.bench_function("rip_word_small", |b| {
+        b.iter(|| {
+            let mut s = Session::new(dmi_apps::AppKind::Word.launch_small());
+            let (g, _) = rip(&mut s, &RipConfig::office("Word"));
+            std::hint::black_box(g.node_count())
+        })
+    });
+    group.finish();
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let g = word_graph();
+    c.bench_function("build_forest_word", |b| {
+        b.iter(|| {
+            let (f, _) = build_forest(g, &ForestConfig::default());
+            std::hint::black_box(f.len())
+        })
+    });
+}
+
+fn bench_describe(c: &mut Criterion) {
+    let g = word_graph();
+    let (forest, _) = build_forest(g, &ForestConfig::default());
+    let cfg = DescribeConfig::default();
+    c.bench_function("core_description_word", |b| {
+        b.iter(|| std::hint::black_box(describe::core_description(&forest, &cfg).text.len()))
+    });
+    c.bench_function("full_description_word", |b| {
+        b.iter(|| std::hint::black_box(describe::full_description(&forest, &cfg).text.len()))
+    });
+}
+
+criterion_group!(benches, bench_rip_small, bench_forest, bench_describe);
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! The shared evaluation harness behind every experiment bench.
+//!
+//! Reproduces the §5.1 methodology: the 27-task OSWorld-W-like suite, a
+//! 30-step cap, three runs averaged, and the three interface conditions ×
+//! three model profiles of Table 3.
+
+use dmi_agent::{run_task, InterfaceMode, RunConfig, RunTrace};
+use dmi_core::{Dmi, DmiBuildConfig, DmiBuildStats};
+use dmi_gui::Session;
+use dmi_llm::CapabilityProfile;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Evaluation options.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Seeds to average over (the paper uses 3 runs).
+    pub seeds: Vec<u64>,
+    /// Run against small app instances (debug/test speed).
+    pub small_apps: bool,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig { seeds: vec![1, 2, 3], small_apps: false }
+    }
+}
+
+/// One app's offline model plus its build statistics and wall time.
+pub struct AppModel {
+    /// The DMI instance.
+    pub dmi: Dmi,
+    /// Offline-phase statistics (§5.2).
+    pub stats: DmiBuildStats,
+    /// Wall-clock modeling time in seconds.
+    pub build_secs: f64,
+}
+
+/// Builds (once per process) the offline models for all three full apps.
+pub fn models() -> &'static BTreeMap<&'static str, AppModel> {
+    static MODELS: OnceLock<BTreeMap<&'static str, AppModel>> = OnceLock::new();
+    MODELS.get_or_init(|| build_models(false))
+}
+
+/// Builds the offline models with explicit sizing.
+pub fn build_models(small: bool) -> BTreeMap<&'static str, AppModel> {
+    let mut out = BTreeMap::new();
+    for kind in dmi_apps::AppKind::ALL {
+        let app = if small { kind.launch_small() } else { kind.launch() };
+        let mut session = Session::new(app);
+        let t0 = Instant::now();
+        let (dmi, stats) = Dmi::build(&mut session, &DmiBuildConfig::office(kind.name()));
+        let build_secs = t0.elapsed().as_secs_f64();
+        out.insert(kind.name(), AppModel { dmi, stats, build_secs });
+    }
+    out
+}
+
+/// Runs the whole suite for one (profile, mode) cell.
+pub fn run_cell(
+    profile: &CapabilityProfile,
+    mode: InterfaceMode,
+    models: &BTreeMap<&'static str, AppModel>,
+    cfg: &EvalConfig,
+) -> Vec<RunTrace> {
+    let tasks = dmi_tasks::all_tasks();
+    let mut traces = Vec::with_capacity(tasks.len() * cfg.seeds.len());
+    for task in &tasks {
+        for &seed in &cfg.seeds {
+            let run_cfg = RunConfig {
+                profile: profile.clone(),
+                mode,
+                seed,
+                step_cap: 30,
+                small_apps: cfg.small_apps,
+                instability: (0.06, 0.02),
+            };
+            let dmi = models.get(task.app.name()).map(|m| &m.dmi);
+            traces.push(run_task(task, dmi, &run_cfg));
+        }
+    }
+    traces
+}
+
+/// The Table 3 grid: every row of the paper's table, in order.
+pub fn table3_rows() -> Vec<(CapabilityProfile, InterfaceMode)> {
+    let med = CapabilityProfile::gpt5_medium();
+    let min = CapabilityProfile::gpt5_minimal();
+    let mini = CapabilityProfile::gpt5_mini_medium();
+    vec![
+        (med.clone(), InterfaceMode::GuiOnly),
+        (med.clone(), InterfaceMode::GuiPlusForest),
+        (med, InterfaceMode::GuiPlusDmi),
+        (min.clone(), InterfaceMode::GuiOnly),
+        (min, InterfaceMode::GuiPlusDmi),
+        (mini.clone(), InterfaceMode::GuiOnly),
+        (mini.clone(), InterfaceMode::GuiPlusForest),
+        (mini, InterfaceMode::GuiPlusDmi),
+    ]
+}
+
+/// Paper reference values for Table 3: (SR %, steps, time s), keyed by
+/// (profile label, mode label).
+pub fn paper_table3() -> BTreeMap<(&'static str, &'static str), (f64, f64, f64)> {
+    let mut m = BTreeMap::new();
+    m.insert(("GPT-5 (Medium)", "GUI-only"), (44.4, 8.16, 392.0));
+    m.insert(("GPT-5 (Medium)", "GUI-only+Nav.forest"), (42.0, 8.41, 353.0));
+    m.insert(("GPT-5 (Medium)", "GUI+DMI"), (74.1, 4.61, 239.0));
+    m.insert(("GPT-5 (Minimal)", "GUI-only"), (23.5, 8.42, 251.0));
+    m.insert(("GPT-5 (Minimal)", "GUI+DMI"), (40.7, 5.52, 140.0));
+    m.insert(("GPT-5-mini (Medium)", "GUI-only"), (17.3, 7.14, 171.0));
+    m.insert(("GPT-5-mini (Medium)", "GUI-only+Nav.forest"), (23.5, 6.32, 150.0));
+    m.insert(("GPT-5-mini (Medium)", "GUI+DMI"), (43.2, 4.43, 167.0));
+    m
+}
+
+/// Collects traces per mode for the core setting (GPT-5 medium).
+pub fn core_setting_by_mode(
+    models: &BTreeMap<&'static str, AppModel>,
+    cfg: &EvalConfig,
+) -> BTreeMap<InterfaceMode, Vec<RunTrace>> {
+    let med = CapabilityProfile::gpt5_medium();
+    let mut by_mode = BTreeMap::new();
+    for mode in [InterfaceMode::GuiOnly, InterfaceMode::GuiPlusForest, InterfaceMode::GuiPlusDmi] {
+        by_mode.insert(mode, run_cell(&med, mode, models, cfg));
+    }
+    by_mode
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmi_agent::aggregate;
+
+    #[test]
+    fn small_eval_cell_runs() {
+        let models = build_models(true);
+        let cfg = EvalConfig { seeds: vec![1], small_apps: true };
+        let traces =
+            run_cell(&CapabilityProfile::gpt5_medium(), InterfaceMode::GuiPlusDmi, &models, &cfg);
+        assert_eq!(traces.len(), 27);
+        let agg = aggregate(&traces);
+        assert!(agg.sr > 0.3, "DMI sr too low: {}", agg.sr);
+    }
+
+    #[test]
+    fn table3_grid_matches_paper_rows() {
+        assert_eq!(table3_rows().len(), 8);
+        assert_eq!(paper_table3().len(), 8);
+        for (p, m) in table3_rows() {
+            let key = (
+                Box::leak(p.label().into_boxed_str()) as &'static str,
+                m.label(),
+            );
+            assert!(paper_table3().contains_key(&(key.0, key.1)), "{key:?}");
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Experiment harnesses reproducing every table and figure of the paper's
+//! evaluation, plus criterion micro-benchmarks for the DMI pipeline.
+//!
+//! `cargo bench` regenerates the full evaluation; each `exp_*` bench
+//! target prints the rows/series of one paper artifact (see `DESIGN.md`'s
+//! per-experiment index and `EXPERIMENTS.md` for recorded results).
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{
+    build_models, core_setting_by_mode, models, paper_table3, run_cell, table3_rows, AppModel,
+    EvalConfig,
+};

@@ -1,0 +1,460 @@
+//! GUI ripping: automated UNG construction by differential capture (§4.1).
+//!
+//! Exploration proceeds depth-first: capture the accessibility tree,
+//! activate a candidate control (click), capture again; newly revealed
+//! controls define navigation edges. New top-level or modal windows are
+//! detected from the window list. A manual *blocklist* skips controls that
+//! jump to external applications or trap the UI, and a *context manager*
+//! re-explores under manually established contexts (e.g. "an image is
+//! selected") to reach context-conditional controls.
+//!
+//! State restoration between branches replays the candidate's click path
+//! from a fresh application start — the simulator makes restarts cheap, so
+//! the paper's Esc-based fast recovery is unnecessary here; the resulting
+//! UNG is identical.
+
+use crate::graph::{Ung, UngNode, UngNodeId};
+use dmi_gui::Session;
+use dmi_uia::{ControlId, ControlType, Snapshot};
+use std::collections::HashSet;
+
+/// A context the explorer establishes before a dedicated exploration pass
+/// (§4.1 "Context-aware exploration"). The clicks encode app-specific
+/// prior knowledge (e.g. select slide 2, then its image).
+#[derive(Debug, Clone)]
+pub struct ContextSetup {
+    /// Context label (diagnostic only).
+    pub name: String,
+    /// Control names clicked, in order, to establish the context.
+    pub clicks: Vec<String>,
+}
+
+/// Ripper configuration.
+#[derive(Debug, Clone)]
+pub struct RipConfig {
+    /// Control types worth clicking during exploration.
+    pub candidate_types: Vec<ControlType>,
+    /// Control names / automation ids never clicked (external jumps,
+    /// traps). Maintaining this list is most of the manual effort (§4.1).
+    pub blocklist: Vec<String>,
+    /// Maximum click-path depth.
+    pub max_depth: usize,
+    /// Optional cap on total candidate clicks (debug aid).
+    pub max_clicks: Option<usize>,
+    /// Context passes to run after the base pass.
+    pub contexts: Vec<ContextSetup>,
+}
+
+impl Default for RipConfig {
+    fn default() -> Self {
+        RipConfig {
+            candidate_types: vec![
+                ControlType::Button,
+                ControlType::SplitButton,
+                ControlType::MenuItem,
+                ControlType::TabItem,
+                ControlType::ComboBox,
+                ControlType::ListItem,
+                ControlType::Hyperlink,
+            ],
+            blocklist: vec![
+                "Account".into(),
+                "Feedback".into(),
+                "Text to Columns".into(),
+                "From Beginning".into(),
+                "From Current Slide".into(),
+            ],
+            max_depth: 12,
+            max_clicks: None,
+            contexts: Vec::new(),
+        }
+    }
+}
+
+impl RipConfig {
+    /// The configuration used for the Office case studies, including the
+    /// PowerPoint image context.
+    pub fn office(app: &str) -> RipConfig {
+        let mut c = RipConfig::default();
+        if app == "PowerPoint" {
+            c.contexts.push(ContextSetup {
+                name: "image-selected".into(),
+                clicks: vec!["Slide 2".into(), "image 2".into()],
+            });
+        }
+        c
+    }
+}
+
+/// Statistics from one rip.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RipStats {
+    /// Candidate controls clicked.
+    pub clicks: u64,
+    /// Snapshots captured.
+    pub snapshots: u64,
+    /// Application restarts (state restoration).
+    pub restarts: u64,
+    /// Candidates skipped by the blocklist.
+    pub blocklisted: u64,
+    /// Candidates skipped because replay failed.
+    pub replay_failures: u64,
+    /// New windows observed opening.
+    pub windows_seen: u64,
+}
+
+struct Explorer<'a> {
+    session: &'a mut Session,
+    config: &'a RipConfig,
+    g: Ung,
+    stats: RipStats,
+    visited: HashSet<String>,
+    /// DFS stack of (control, click path to reveal it).
+    stack: Vec<(ControlId, Vec<ControlId>)>,
+}
+
+/// Rips an application into a UNG.
+pub fn rip(session: &mut Session, config: &RipConfig) -> (Ung, RipStats) {
+    let mut ex = Explorer {
+        session,
+        config,
+        g: Ung::new(),
+        stats: RipStats::default(),
+        visited: HashSet::new(),
+        stack: Vec::new(),
+    };
+    ex.base_pass();
+    for ctx in &config.contexts {
+        ex.context_pass(ctx);
+    }
+    (ex.g, ex.stats)
+}
+
+impl Explorer<'_> {
+    fn snapshot(&mut self) -> Snapshot {
+        self.stats.snapshots += 1;
+        self.session.snapshot()
+    }
+
+    fn restart(&mut self) {
+        self.stats.restarts += 1;
+        self.session.restart();
+    }
+
+    fn is_blocklisted(&self, name: &str, auto: &str) -> bool {
+        self.config.blocklist.iter().any(|b| b == name || (!auto.is_empty() && b == auto))
+    }
+
+    fn is_candidate_type(&self, ct: ControlType) -> bool {
+        self.config.candidate_types.contains(&ct)
+    }
+
+    /// Seeds the UNG from an initial snapshot: hierarchy edges for every
+    /// visible control, window roots under the virtual root. Returns newly
+    /// seen candidates.
+    fn seed(&mut self, snap: &Snapshot, path: &[ControlId]) {
+        let root = self.g.root();
+        let mut ids: Vec<Option<UngNodeId>> = vec![None; snap.len()];
+        for (idx, node) in snap.iter() {
+            let cid = ControlId::of(snap, idx);
+            let gid = self.g.add_node(UngNode {
+                control: cid.clone(),
+                name: node.props.name.clone(),
+                control_type: node.props.control_type,
+                help_text: node.props.help_text.clone(),
+            });
+            ids[idx] = Some(gid);
+            match node.parent {
+                Some(p) => {
+                    if let Some(pg) = ids[p] {
+                        self.g.add_edge(pg, gid);
+                    }
+                }
+                None => {
+                    self.g.add_edge(root, gid);
+                }
+            }
+            self.maybe_enqueue(&cid, node.props.control_type, &node.props.name,
+                &node.props.automation_id, path);
+        }
+    }
+
+    fn maybe_enqueue(
+        &mut self,
+        cid: &ControlId,
+        ct: ControlType,
+        name: &str,
+        auto: &str,
+        path: &[ControlId],
+    ) {
+        if !self.is_candidate_type(ct) {
+            return;
+        }
+        let key = cid.encode();
+        if self.visited.contains(&key) {
+            return;
+        }
+        if self.is_blocklisted(name, auto) {
+            self.visited.insert(key);
+            self.stats.blocklisted += 1;
+            return;
+        }
+        if path.len() >= self.config.max_depth {
+            return;
+        }
+        self.stack.push((cid.clone(), path.to_vec()));
+    }
+
+    /// Resolves a modeled control id in a snapshot by exact match.
+    fn resolve(snap: &Snapshot, cid: &ControlId) -> Option<usize> {
+        (0..snap.len()).find(|&i| cid.matches_exact(snap, i))
+    }
+
+    /// Replays a click path from a fresh start; returns false on failure.
+    fn replay(&mut self, setup: &[String], path: &[ControlId]) -> bool {
+        self.restart();
+        for name in setup {
+            let snap = self.snapshot();
+            let Some(idx) = snap.find_by_name(name) else {
+                return false;
+            };
+            let wid = self.session.widget_of(snap.node(idx).runtime_id);
+            if self.session.click(wid).is_err() {
+                return false;
+            }
+        }
+        for cid in path {
+            let snap = self.snapshot();
+            let Some(idx) = Self::resolve(&snap, cid) else {
+                self.stats.replay_failures += 1;
+                return false;
+            };
+            let wid = self.session.widget_of(snap.node(idx).runtime_id);
+            self.stats.clicks += 1;
+            if self.session.click(wid).is_err() {
+                self.stats.replay_failures += 1;
+                return false;
+            }
+        }
+        true
+    }
+
+    fn base_pass(&mut self) {
+        self.restart();
+        let snap = self.snapshot();
+        self.seed(&snap, &[]);
+        self.drain(&[]);
+    }
+
+    fn context_pass(&mut self, ctx: &ContextSetup) {
+        if !self.replay(&ctx.clicks, &[]) {
+            return;
+        }
+        let snap = self.snapshot();
+        // Attach context-revealed controls under the virtual root (they
+        // appeared because of the context, not a modeled click), then
+        // explore within the context.
+        self.seed(&snap, &[]);
+        self.drain(&ctx.clicks);
+    }
+
+    fn drain(&mut self, setup: &[String]) {
+        let setup = setup.to_vec();
+        while let Some((cid, path)) = self.stack.pop() {
+            let key = cid.encode();
+            if !self.visited.insert(key) {
+                continue;
+            }
+            if let Some(cap) = self.config.max_clicks {
+                if self.stats.clicks >= cap as u64 {
+                    return;
+                }
+            }
+            if !self.replay(&setup, &path) {
+                continue;
+            }
+            // A replayed path can leave a stray modal window above the
+            // candidate (e.g. a picture-insert dialog whose side effect
+            // revealed the candidate). Recover with Esc, like the paper's
+            // standard-command state restoration.
+            let mut pre = self.snapshot();
+            let mut clicked_ok = false;
+            for _attempt in 0..3 {
+                let Some(idx) = Self::resolve(&pre, &cid) else {
+                    break;
+                };
+                let node = pre.node(idx);
+                if !node.props.enabled {
+                    break;
+                }
+                if !pre.is_available(idx) {
+                    if self.session.press("Esc").is_err() {
+                        break;
+                    }
+                    pre = self.snapshot();
+                    continue;
+                }
+                let wid = self.session.widget_of(node.runtime_id);
+                self.stats.clicks += 1;
+                clicked_ok = self.session.click(wid).is_ok();
+                break;
+            }
+            if !clicked_ok {
+                self.stats.replay_failures += 1;
+                continue;
+            }
+            let windows_before = pre.windows().len();
+            let post = self.snapshot();
+            if post.windows().len() > windows_before {
+                self.stats.windows_seen += 1;
+            }
+            self.record_diff(&cid, &pre, &post, &path);
+        }
+    }
+
+    /// Differential capture: controls *available* after the click but not
+    /// before define navigation edges. Availability (not mere tree
+    /// presence) is the right diff domain: a modal dialog removes the main
+    /// window's controls from the available set, so its OK/Cancel buttons
+    /// gain back-edges to the re-revealed window — the cycles §3.2
+    /// decycles away.
+    fn record_diff(
+        &mut self,
+        clicked: &ControlId,
+        pre: &Snapshot,
+        post: &Snapshot,
+        path: &[ControlId],
+    ) {
+        let before: HashSet<String> = (0..pre.len())
+            .filter(|&i| pre.is_available(i))
+            .map(|i| ControlId::of(pre, i).encode())
+            .collect();
+        let clicked_gid = self
+            .g
+            .find(clicked)
+            .expect("clicked control must already be a UNG node");
+        let mut new_gid: Vec<Option<UngNodeId>> = vec![None; post.len()];
+        let child_path: Vec<ControlId> = {
+            let mut p = path.to_vec();
+            p.push(clicked.clone());
+            p
+        };
+        for (idx, node) in post.iter() {
+            if !post.is_available(idx) {
+                continue;
+            }
+            let cid = ControlId::of(post, idx);
+            let key = cid.encode();
+            if before.contains(&key) {
+                continue;
+            }
+            let existed = self.g.find(&cid).is_some();
+            let gid = self.g.add_node(UngNode {
+                control: cid.clone(),
+                name: node.props.name.clone(),
+                control_type: node.props.control_type,
+                help_text: node.props.help_text.clone(),
+            });
+            new_gid[idx] = Some(gid);
+            // Edge source: the snapshot parent when it is also new (deep
+            // hierarchy), else the clicked control.
+            let src = node
+                .parent
+                .and_then(|p| new_gid[p])
+                .unwrap_or(clicked_gid);
+            self.g.add_edge(src, gid);
+            if !existed {
+                self.maybe_enqueue(
+                    &cid,
+                    node.props.control_type,
+                    &node.props.name,
+                    &node.props.automation_id,
+                    &child_path,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::small_rip;
+    use dmi_apps::AppKind;
+
+    fn rip_small(kind: AppKind) -> (Ung, RipStats) {
+        let (g, stats) = small_rip(kind);
+        let mut g = g.clone();
+        g.rebuild_index();
+        (g, *stats)
+    }
+
+    #[test]
+    fn word_rip_covers_ribbon_and_galleries() {
+        let (g, stats) = rip_small(AppKind::Word);
+        assert!(g.node_count() > 1500, "got {} nodes", g.node_count());
+        assert!(stats.clicks > 500);
+        // The Find & Replace dialog was discovered.
+        assert!(g.ids().any(|i| g.node(i).name == "Find and Replace"));
+        // Color cells discovered under menus.
+        assert!(g.ids().any(|i| g.node(i).name == "Blue"));
+    }
+
+    #[test]
+    fn word_rip_produces_merge_nodes_and_cycles() {
+        let (mut g, _) = rip_small(AppKind::Word);
+        assert!(
+            !g.merge_nodes().is_empty(),
+            "shared dialogs must appear as merge nodes"
+        );
+        assert!(!crate::topology::is_acyclic(&g), "close buttons create cycles");
+        let stats = crate::topology::decycle(&mut g);
+        assert!(stats.back_edges_removed > 0);
+    }
+
+    #[test]
+    fn blocklist_is_respected() {
+        let (g, stats) = rip_small(AppKind::Word);
+        assert!(stats.blocklisted >= 1, "Account/Feedback should be blocked");
+        // The Account button may be seeded as a node (it is visible), but
+        // it must never be clicked; the session would count the jump.
+        let _ = g;
+    }
+
+    #[test]
+    fn no_external_jumps_or_traps_during_rip() {
+        let mut s = Session::new(AppKind::Excel.launch_small());
+        let cfg = RipConfig::office("Excel");
+        let _ = rip(&mut s, &cfg);
+        assert_eq!(s.external_jumps(), 0, "blocklist must prevent external jumps");
+        assert!(!s.is_trapped());
+    }
+
+    #[test]
+    fn powerpoint_context_pass_finds_picture_format() {
+        let (g, _) = rip_small(AppKind::PowerPoint);
+        assert!(
+            g.ids().any(|i| g.node(i).name == "Picture Format"),
+            "context exploration must reveal the Picture Format tab"
+        );
+        assert!(g.ids().any(|i| g.node(i).name == "Picture Quick Styles"));
+    }
+
+    #[test]
+    fn excel_rip_reaches_nested_dialogs() {
+        let (g, _) = rip_small(AppKind::Excel);
+        // Conditional Formatting -> Highlight Cells Rules -> Greater Than.
+        assert!(g.ids().any(|i| g.node(i).name == "Greater Than"));
+        assert!(g.ids().any(|i| g.node(i).name == "Freeze Top Row"));
+    }
+
+    #[test]
+    fn rip_is_deterministic() {
+        let (g1, s1) = rip_small(AppKind::PowerPoint);
+        let mut s = Session::new(AppKind::PowerPoint.launch_small());
+        let (g2, s2) = rip(&mut s, &RipConfig::office("PowerPoint"));
+        assert_eq!(g1.node_count(), g2.node_count());
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        assert_eq!(s1, s2);
+    }
+}

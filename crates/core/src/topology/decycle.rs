@@ -1,0 +1,198 @@
+//! Graph → single-source DAG: back-edge removal (§3.2).
+//!
+//! Cycles in the UNG arise naturally — dialogs' Cancel/OK buttons re-reveal
+//! the controls the dialog hid, tab items re-reveal each other's panels.
+//! Decycling runs a DFS from the single source (the virtual root) and
+//! removes every back edge (an edge into a node currently on the DFS
+//! stack), yielding a DAG with the same reachable node set.
+
+use crate::graph::{Ung, UngNodeId};
+
+/// Statistics from a decycle pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecycleStats {
+    /// Edges removed because they closed a cycle.
+    pub back_edges_removed: usize,
+    /// Edges surviving into the DAG.
+    pub edges_kept: usize,
+}
+
+/// Removes back edges in place; returns statistics.
+pub fn decycle(g: &mut Ung) -> DecycleStats {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let n = g.node_count();
+    let mut color = vec![Color::White; n];
+    let mut back: Vec<(UngNodeId, UngNodeId)> = Vec::new();
+
+    // Iterative DFS with explicit edge cursor so Gray tracking is exact.
+    let root = g.root();
+    let mut stack: Vec<(UngNodeId, usize)> = vec![(root, 0)];
+    color[root] = Color::Gray;
+    while let Some(&mut (u, ref mut cursor)) = stack.last_mut() {
+        let succs = g.successors(u);
+        if *cursor < succs.len() {
+            let v = succs[*cursor];
+            *cursor += 1;
+            match color[v] {
+                Color::White => {
+                    color[v] = Color::Gray;
+                    stack.push((v, 0));
+                }
+                Color::Gray => back.push((u, v)),
+                Color::Black => {}
+            }
+        } else {
+            color[u] = Color::Black;
+            stack.pop();
+        }
+    }
+
+    g.remove_edges(&back);
+    DecycleStats { back_edges_removed: back.len(), edges_kept: g.edge_count() }
+}
+
+/// Whether the reachable part of the graph is acyclic (test/verification
+/// helper; runs Kahn's algorithm restricted to reachable nodes).
+pub fn is_acyclic(g: &Ung) -> bool {
+    let reach = g.reachable();
+    let in_reach: std::collections::HashSet<_> = reach.iter().copied().collect();
+    let mut indeg: std::collections::HashMap<UngNodeId, usize> =
+        reach.iter().map(|&v| (v, 0)).collect();
+    for &u in &reach {
+        for &v in g.successors(u) {
+            if in_reach.contains(&v) {
+                *indeg.get_mut(&v).unwrap() += 1;
+            }
+        }
+    }
+    let mut queue: Vec<UngNodeId> =
+        indeg.iter().filter(|(_, &d)| d == 0).map(|(&v, _)| v).collect();
+    let mut seen = 0usize;
+    while let Some(u) = queue.pop() {
+        seen += 1;
+        for &v in g.successors(u) {
+            if let Some(d) = indeg.get_mut(&v) {
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+    }
+    seen == reach.len()
+}
+
+/// Reverse topological order of the reachable DAG (children before
+/// parents). Panics if the graph still has cycles.
+pub fn reverse_topo(g: &Ung) -> Vec<UngNodeId> {
+    assert!(is_acyclic(g), "reverse_topo requires an acyclic graph");
+    let reach = g.reachable();
+    let in_reach: std::collections::HashSet<_> = reach.iter().copied().collect();
+    let mut visited = std::collections::HashSet::new();
+    let mut order = Vec::with_capacity(reach.len());
+    // Post-order DFS with explicit edge cursors.
+    let mut stack: Vec<(UngNodeId, usize)> = vec![(g.root(), 0)];
+    visited.insert(g.root());
+    while let Some(&mut (u, ref mut cursor)) = stack.last_mut() {
+        let succs = g.successors(u);
+        if *cursor < succs.len() {
+            let v = succs[*cursor];
+            *cursor += 1;
+            if in_reach.contains(&v) && visited.insert(v) {
+                stack.push((v, 0));
+            }
+        } else {
+            order.push(u);
+            stack.pop();
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ung_from_parts;
+    use dmi_uia::ControlType as CT;
+
+    #[test]
+    fn removes_simple_cycle() {
+        // A -> B -> A.
+        let mut g = ung_from_parts(&[("A", CT::Button), ("B", CT::Button)], &[(0, 1), (1, 0)]);
+        assert!(!is_acyclic(&g));
+        let stats = decycle(&mut g);
+        assert_eq!(stats.back_edges_removed, 1);
+        assert!(is_acyclic(&g));
+    }
+
+    #[test]
+    fn keeps_cross_edges_merge_nodes() {
+        // Diamond: A->B, A->C, B->D, C->D — acyclic, nothing removed.
+        let mut g = ung_from_parts(
+            &[("A", CT::Button), ("B", CT::Button), ("C", CT::Button), ("D", CT::Button)],
+            &[(0, 1), (0, 2), (1, 3), (2, 3)],
+        );
+        let stats = decycle(&mut g);
+        assert_eq!(stats.back_edges_removed, 0);
+        assert_eq!(g.merge_nodes().len(), 1);
+    }
+
+    #[test]
+    fn dialog_cancel_back_edge_removed() {
+        // root -> Opener -> Dialog -> Cancel -> Opener (cycle through close).
+        let mut g = ung_from_parts(
+            &[("Opener", CT::Button), ("Dialog", CT::Window), ("Cancel", CT::Button)],
+            &[(0, 1), (1, 2), (2, 0)],
+        );
+        let stats = decycle(&mut g);
+        assert_eq!(stats.back_edges_removed, 1);
+        assert!(is_acyclic(&g));
+        // Forward structure intact.
+        assert_eq!(g.successors(1).len(), 1);
+    }
+
+    #[test]
+    fn reverse_topo_children_first() {
+        let mut g = ung_from_parts(
+            &[("A", CT::Button), ("B", CT::Button), ("C", CT::Button)],
+            &[(0, 1), (1, 2)],
+        );
+        decycle(&mut g);
+        let order = reverse_topo(&g);
+        let pos = |name: &str| {
+            order
+                .iter()
+                .position(|&i| g.node(i).name == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        assert!(pos("C") < pos("B"));
+        assert!(pos("B") < pos("A"));
+        assert!(pos("A") < pos("<root>"));
+        assert_eq!(order.len(), g.reachable().len());
+    }
+
+    #[test]
+    fn tab_mutual_reveal_cycle() {
+        // Home -> Bold; Insert -> Table; Home <-> Insert mutual edges.
+        let mut g = ung_from_parts(
+            &[
+                ("Home", CT::TabItem),
+                ("Insert", CT::TabItem),
+                ("Bold", CT::Button),
+                ("Table", CT::Button),
+            ],
+            &[(0, 2), (1, 3), (0, 1), (1, 0)],
+        );
+        let r = g.root();
+        g.add_edge(r, 2); // root -> Insert (arena id 2).
+        decycle(&mut g);
+        assert!(is_acyclic(&g));
+        // Every control still reachable.
+        assert_eq!(g.reachable().len(), 5);
+    }
+}

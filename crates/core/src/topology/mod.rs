@@ -1,0 +1,8 @@
+//! Path-unambiguous navigation topology (§3.2): decycling and the
+//! cost-based forest transformation.
+
+pub mod decycle;
+pub mod forest;
+
+pub use decycle::{decycle, is_acyclic, reverse_topo, DecycleStats};
+pub use forest::{build_forest, Forest, ForestConfig, ForestStats, TopoKind, TopoNode};

@@ -1,0 +1,1030 @@
+//! The interactive session: input events in, snapshots and events out.
+//!
+//! [`Session`] owns a boxed [`GuiApp`] and executes input the way an OS
+//! input stack would: coordinate clicks resolve by hit testing, widget
+//! clicks run the widget's [`Behavior`], modal windows swallow outside
+//! input, popups dismiss when clicking elsewhere, keyboard input goes to
+//! focus. It also exposes the UIA *pattern* operations (`set_value`,
+//! `set_toggle`, `scroll_to`, ...) that real accessibility clients can call
+//! directly — the foundation DMI's state/observation declarations build on.
+
+use crate::behavior::{Behavior, CommandBinding, CommitKind, ShortcutAction};
+use crate::instability::InstabilityModel;
+use crate::layout;
+use crate::snapshot;
+use crate::tree::UiTree;
+use crate::widget::WidgetId;
+use dmi_uia::event::EventLog;
+use dmi_uia::{ControlType, PatternKind, Snapshot, ToggleState, UiaEvent};
+
+/// Errors surfaced by application command dispatch or input handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppError {
+    /// The widget cannot be interacted with right now.
+    NotInteractable {
+        /// Why (hidden, disabled, blocked by a modal window, trapped...).
+        reason: String,
+    },
+    /// The application rejected a command.
+    Command {
+        /// The command that failed.
+        command: String,
+        /// Why.
+        reason: String,
+    },
+    /// The requested pattern operation is unsupported by the widget.
+    PatternUnsupported {
+        /// The widget's name.
+        name: String,
+        /// The pattern.
+        pattern: PatternKind,
+    },
+    /// An argument was out of range.
+    InvalidArgument {
+        /// Description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for AppError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AppError::NotInteractable { reason } => write!(f, "not interactable: {reason}"),
+            AppError::Command { command, reason } => {
+                write!(f, "command '{command}' failed: {reason}")
+            }
+            AppError::PatternUnsupported { name, pattern } => {
+                write!(f, "'{name}' does not support {pattern}")
+            }
+            AppError::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for AppError {}
+
+/// The trait simulated applications implement (see `dmi-apps`).
+pub trait GuiApp {
+    /// Application display name (window title).
+    fn name(&self) -> &str;
+
+    /// Owning process id (used for new-window attribution).
+    fn process_id(&self) -> u32 {
+        1000
+    }
+
+    /// The provider-side control tree.
+    fn tree(&self) -> &UiTree;
+
+    /// Mutable access to the control tree.
+    fn tree_mut(&mut self) -> &mut UiTree;
+
+    /// Executes a semantic command bound to `source`.
+    fn dispatch(&mut self, source: WidgetId, binding: &CommandBinding) -> Result<(), AppError>;
+
+    /// Notification that a window is closing with the given commit kind.
+    fn on_window_close(&mut self, _root: WidgetId, _commit: CommitKind) -> Result<(), AppError> {
+        Ok(())
+    }
+
+    /// Restores the application to its launch state (document and UI).
+    fn reset(&mut self);
+
+    /// Downcast support (task verifiers inspect concrete app models).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+/// An interactive session over one application.
+pub struct Session {
+    app: Box<dyn GuiApp>,
+    inst: InstabilityModel,
+    events: EventLog,
+    /// Snapshot counter (late-load clocks compare against this).
+    query_seq: u64,
+    /// Input action counter.
+    action_seq: u64,
+    /// Number of jumps to external applications (blocklist hazards).
+    external_jumps: u64,
+    /// Whether the UI entered an un-exitable state.
+    trapped: bool,
+}
+
+impl Session {
+    /// Starts a session with no instability.
+    pub fn new(app: Box<dyn GuiApp>) -> Self {
+        Session::with_instability(app, InstabilityModel::off())
+    }
+
+    /// Starts a session with the given instability model.
+    pub fn with_instability(app: Box<dyn GuiApp>, inst: InstabilityModel) -> Self {
+        Session { app, inst, events: EventLog::new(), query_seq: 0, action_seq: 0, external_jumps: 0, trapped: false }
+    }
+
+    /// The application.
+    pub fn app(&self) -> &dyn GuiApp {
+        self.app.as_ref()
+    }
+
+    /// Mutable application access.
+    pub fn app_mut(&mut self) -> &mut dyn GuiApp {
+        self.app.as_mut()
+    }
+
+    /// The UIA event log.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Number of input actions executed so far.
+    pub fn action_count(&self) -> u64 {
+        self.action_seq
+    }
+
+    /// Number of snapshot queries taken so far.
+    pub fn query_count(&self) -> u64 {
+        self.query_seq
+    }
+
+    /// Number of jumps into external applications.
+    pub fn external_jumps(&self) -> u64 {
+        self.external_jumps
+    }
+
+    /// Whether the UI is in an un-exitable state.
+    pub fn is_trapped(&self) -> bool {
+        self.trapped
+    }
+
+    /// Takes an accessibility snapshot (increments the query clock).
+    pub fn snapshot(&mut self) -> Snapshot {
+        self.query_seq += 1;
+        snapshot::build(self.app.tree(), &self.inst, self.query_seq)
+    }
+
+    /// Maps a snapshot runtime id to the provider widget.
+    pub fn widget_of(&self, rt: dmi_uia::RuntimeId) -> WidgetId {
+        snapshot::widget_of(rt)
+    }
+
+    /// Resets the application and session UI state (like a restart), as
+    /// the ripper does between exploration branches when recovery fails.
+    pub fn restart(&mut self) {
+        self.app.reset();
+        self.app.tree_mut().reset_ui_state();
+        self.trapped = false;
+        self.action_seq += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Pointer input
+    // ------------------------------------------------------------------
+
+    /// Clicks a widget (the primary interaction).
+    pub fn click(&mut self, id: WidgetId) -> Result<(), AppError> {
+        self.action_seq += 1;
+        self.check_interactable(id)?;
+        self.app.tree_mut().close_popups_not_containing(id);
+        let behavior = self.app.tree().widget(id).on_click.clone();
+        self.run_behavior(id, behavior)
+    }
+
+    /// Clicks at screen coordinates (hit-tests the current layout).
+    pub fn click_at(&mut self, x: i32, y: i32) -> Result<(), AppError> {
+        let lay = layout::compute(self.app.tree());
+        let target = self.hit_test(&lay, x, y);
+        match target {
+            Some(id) => self.click(id),
+            None => {
+                self.action_seq += 1;
+                Err(AppError::NotInteractable { reason: format!("nothing at ({x}, {y})") })
+            }
+        }
+    }
+
+    /// Drags from one point to another (scrollbar manipulation, text
+    /// selection on document surfaces).
+    pub fn drag(&mut self, from: (i32, i32), to: (i32, i32)) -> Result<(), AppError> {
+        self.action_seq += 1;
+        if self.trapped {
+            return Err(AppError::NotInteractable { reason: "UI trapped".into() });
+        }
+        let lay = layout::compute(self.app.tree());
+        let Some(hit) = self.hit_test(&lay, from.0, from.1) else {
+            return Err(AppError::NotInteractable { reason: "drag source empty".into() });
+        };
+        // Walk up to the nearest draggable ancestor (a drag that starts on
+        // a paragraph still drags the enclosing document surface).
+        let mut src = hit;
+        loop {
+            let w = self.app.tree().widget(src);
+            if w.text_surface
+                || w.control_type == ControlType::ScrollBar
+                || w.control_type == ControlType::Thumb
+            {
+                break;
+            }
+            match w.parent {
+                Some(p) => src = p,
+                None => {
+                    src = hit;
+                    break;
+                }
+            }
+        }
+        let w = self.app.tree().widget(src);
+        if w.control_type == ControlType::ScrollBar || w.control_type == ControlType::Thumb {
+            let track = lay.rect(src).unwrap_or_default();
+            let pct = layout::scrollbar_percent(track, to.1);
+            let target = w.scroll_target;
+            if let Some(t) = target {
+                self.app.tree_mut().widget_mut(t).scroll_pos = pct;
+                self.app.tree_mut().widget_mut(src).value = format!("{pct:.0}");
+                return Ok(());
+            }
+            return Err(AppError::NotInteractable { reason: "scrollbar has no target".into() });
+        }
+        if w.text_surface {
+            // Line-range selection by drag: row indices relative to the
+            // surface's own rectangle (self-consistent with how callers
+            // compute drag coordinates from the surface rect).
+            let rect = lay.rect(src).unwrap_or_default();
+            let row_a = ((from.1 - rect.y) / layout::ROW_H).max(0) as usize;
+            let row_b = ((to.1 - rect.y) / layout::ROW_H).max(0) as usize;
+            let (a, b) = if row_a <= row_b { (row_a, row_b) } else { (row_b, row_a) };
+            // Viewport-relative rows: the application resolves them against
+            // its scroll position (absolute selection goes through
+            // `select_lines`).
+            let binding =
+                CommandBinding::with_arg("ui.select_lines_viewport", format!("{a}..{b}"));
+            return self.app.dispatch(src, &binding);
+        }
+        Err(AppError::NotInteractable { reason: format!("'{}' is not draggable", w.name) })
+    }
+
+    /// Scrolls the wheel over a point.
+    pub fn wheel(&mut self, x: i32, y: i32, delta_percent: f64) -> Result<(), AppError> {
+        self.action_seq += 1;
+        let lay = layout::compute(self.app.tree());
+        let Some(mut cur) = self.hit_test(&lay, x, y) else {
+            return Err(AppError::NotInteractable { reason: "nothing under wheel".into() });
+        };
+        // Walk up to the nearest scrollable container.
+        loop {
+            if self.app.tree().widget(cur).scrollable {
+                let w = self.app.tree_mut().widget_mut(cur);
+                w.scroll_pos = (w.scroll_pos + delta_percent).clamp(0.0, 100.0);
+                return Ok(());
+            }
+            match self.app.tree().widget(cur).parent {
+                Some(p) => cur = p,
+                None => {
+                    return Err(AppError::NotInteractable { reason: "no scrollable ancestor".into() })
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Keyboard input
+    // ------------------------------------------------------------------
+
+    /// Types text into the focused edit control.
+    pub fn type_text(&mut self, text: &str) -> Result<(), AppError> {
+        self.action_seq += 1;
+        if self.trapped {
+            return Err(AppError::NotInteractable { reason: "UI trapped".into() });
+        }
+        let Some(f) = self.app.tree().focus() else {
+            return Err(AppError::NotInteractable { reason: "no focused edit".into() });
+        };
+        let w = self.app.tree_mut().widget_mut(f);
+        if !w.patterns.supports(PatternKind::Value) && !w.patterns.supports(PatternKind::Text) {
+            let name = w.name.clone();
+            return Err(AppError::PatternUnsupported { name, pattern: PatternKind::Value });
+        }
+        w.value = text.to_string();
+        self.events.push(UiaEvent::PropertyChanged {
+            control: snapshot::runtime_of(f),
+            property: "Value.Value".into(),
+        });
+        Ok(())
+    }
+
+    /// Presses a key or key combination (e.g. `"Enter"`, `"Esc"`,
+    /// `"Ctrl+B"`).
+    pub fn press(&mut self, keys: &str) -> Result<(), AppError> {
+        self.action_seq += 1;
+        if self.trapped && keys != "Esc" {
+            return Err(AppError::NotInteractable { reason: "UI trapped".into() });
+        }
+        match keys {
+            "Esc" => {
+                if self.trapped {
+                    // Esc does not rescue a trapped UI (that is the point
+                    // of the blocklist).
+                    return Err(AppError::NotInteractable { reason: "UI trapped".into() });
+                }
+                let t = self.app.tree_mut();
+                if let Some(&outer) = t.open_popups().first() {
+                    t.collapse_popup(outer);
+                    return Ok(());
+                }
+                if let Some(root) = t.close_top_window() {
+                    let title = self.app.tree().widget(root).name.clone();
+                    let _ = self.app.on_window_close(root, CommitKind::Cancel);
+                    self.events.push(UiaEvent::WindowClosed {
+                        window: snapshot::runtime_of(root),
+                        title,
+                    });
+                }
+                Ok(())
+            }
+            "Enter" => self.commit_focused_edit(),
+            other => {
+                let action = self.app.tree().shortcut(other).cloned();
+                match action {
+                    Some(ShortcutAction::CommitFocusedEdit) => self.commit_focused_edit(),
+                    Some(ShortcutAction::Escape) => self.press("Esc"),
+                    Some(ShortcutAction::Command(b)) => {
+                        let src = self.app.tree().main_root();
+                        self.app.dispatch(src, &b)
+                    }
+                    None => Err(AppError::NotInteractable {
+                        reason: format!("no binding for shortcut '{other}'"),
+                    }),
+                }
+            }
+        }
+    }
+
+    fn commit_focused_edit(&mut self) -> Result<(), AppError> {
+        let Some(f) = self.app.tree().focus() else {
+            return Err(AppError::NotInteractable { reason: "no focused edit".into() });
+        };
+        let binding = self.app.tree().widget(f).binding.clone();
+        match binding {
+            Some(b) => self.app.dispatch(f, &b),
+            None => Ok(()), // Edits without a commit binding just keep their value.
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // UIA pattern operations (client-invocable, like real UIA)
+    // ------------------------------------------------------------------
+
+    /// `ScrollPattern.SetScrollPercent` on a scrollable container (or the
+    /// container driven by a scrollbar).
+    pub fn scroll_to(&mut self, id: WidgetId, percent: f64) -> Result<(), AppError> {
+        self.action_seq += 1;
+        if !(0.0..=100.0).contains(&percent) {
+            return Err(AppError::InvalidArgument {
+                message: format!("scroll percent {percent} outside 0..=100"),
+            });
+        }
+        let w = self.app.tree().widget(id);
+        let target = if w.scrollable {
+            id
+        } else if let Some(t) = w.scroll_target {
+            t
+        } else {
+            return Err(AppError::PatternUnsupported { name: w.name.clone(), pattern: PatternKind::Scroll });
+        };
+        self.app.tree_mut().widget_mut(target).scroll_pos = percent;
+        Ok(())
+    }
+
+    /// `TogglePattern.Toggle` to a specific state.
+    pub fn set_toggle(&mut self, id: WidgetId, on: bool) -> Result<(), AppError> {
+        self.action_seq += 1;
+        self.check_interactable(id)?;
+        let w = self.app.tree().widget(id);
+        if !w.patterns.supports(PatternKind::Toggle) {
+            return Err(AppError::PatternUnsupported { name: w.name.clone(), pattern: PatternKind::Toggle });
+        }
+        let desired = if on { ToggleState::On } else { ToggleState::Off };
+        if self.app.tree().widget(id).toggle == Some(desired) {
+            return Ok(()); // Already in the requested state.
+        }
+        self.app.tree_mut().widget_mut(id).toggle = Some(desired);
+        let binding = self.app.tree().widget(id).binding.clone();
+        if let Some(b) = binding {
+            self.app.dispatch(id, &b)?;
+        }
+        Ok(())
+    }
+
+    /// `SelectionItemPattern.Select` / `AddToSelection`.
+    pub fn select(&mut self, id: WidgetId, additive: bool) -> Result<(), AppError> {
+        self.action_seq += 1;
+        self.check_interactable(id)?;
+        let w = self.app.tree().widget(id);
+        if !w.patterns.supports(PatternKind::SelectionItem) {
+            return Err(AppError::PatternUnsupported { name: w.name.clone(), pattern: PatternKind::SelectionItem });
+        }
+        self.app.tree_mut().select_item(id, additive);
+        let binding = self.app.tree().widget(id).binding.clone();
+        if let Some(b) = binding {
+            self.app.dispatch(id, &b)?;
+        }
+        Ok(())
+    }
+
+    /// `ValuePattern.SetValue`.
+    pub fn set_value(&mut self, id: WidgetId, value: &str) -> Result<(), AppError> {
+        self.action_seq += 1;
+        self.check_interactable(id)?;
+        let w = self.app.tree().widget(id);
+        if !w.patterns.supports(PatternKind::Value) {
+            return Err(AppError::PatternUnsupported { name: w.name.clone(), pattern: PatternKind::Value });
+        }
+        self.app.tree_mut().widget_mut(id).value = value.to_string();
+        Ok(())
+    }
+
+    /// `ExpandCollapsePattern.Expand` / `Collapse`.
+    pub fn set_expanded(&mut self, id: WidgetId, expanded: bool) -> Result<(), AppError> {
+        self.action_seq += 1;
+        self.check_interactable(id)?;
+        let w = self.app.tree().widget(id);
+        if !w.popup && !w.patterns.supports(PatternKind::ExpandCollapse) {
+            return Err(AppError::PatternUnsupported { name: w.name.clone(), pattern: PatternKind::ExpandCollapse });
+        }
+        if expanded {
+            self.app.tree_mut().open_popup(id);
+            self.maybe_delay_children(id);
+        } else {
+            self.app.tree_mut().collapse_popup(id);
+        }
+        Ok(())
+    }
+
+    /// `TextPattern` line-range selection on a text surface (the DMI
+    /// `select_lines` state declaration bottoms out here).
+    pub fn select_lines(&mut self, id: WidgetId, start: usize, end: usize) -> Result<(), AppError> {
+        self.action_seq += 1;
+        self.check_interactable(id)?;
+        let w = self.app.tree().widget(id);
+        if !w.text_surface {
+            return Err(AppError::PatternUnsupported { name: w.name.clone(), pattern: PatternKind::Text });
+        }
+        if start > end {
+            return Err(AppError::InvalidArgument {
+                message: format!("line range {start}..{end} is inverted"),
+            });
+        }
+        let binding = CommandBinding::with_arg("ui.select_lines", format!("{start}..{end}"));
+        self.app.dispatch(id, &binding)
+    }
+
+    /// `TextPattern` paragraph-range selection on a text surface.
+    pub fn select_paragraphs(
+        &mut self,
+        id: WidgetId,
+        start: usize,
+        end: usize,
+    ) -> Result<(), AppError> {
+        self.action_seq += 1;
+        self.check_interactable(id)?;
+        let w = self.app.tree().widget(id);
+        if !w.text_surface {
+            return Err(AppError::PatternUnsupported { name: w.name.clone(), pattern: PatternKind::Text });
+        }
+        if start > end {
+            return Err(AppError::InvalidArgument {
+                message: format!("paragraph range {start}..{end} is inverted"),
+            });
+        }
+        let binding = CommandBinding::with_arg("ui.select_paragraphs", format!("{start}..{end}"));
+        self.app.dispatch(id, &binding)
+    }
+
+    /// `TextPattern`/`ValuePattern` structured read: the control's text.
+    pub fn get_text(&self, id: WidgetId) -> String {
+        let w = self.app.tree().widget(id);
+        if !w.value.is_empty() {
+            w.value.clone()
+        } else {
+            w.name.clone()
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Behavior execution
+    // ------------------------------------------------------------------
+
+    fn check_interactable(&self, id: WidgetId) -> Result<(), AppError> {
+        if self.trapped {
+            return Err(AppError::NotInteractable { reason: "UI trapped".into() });
+        }
+        let t = self.app.tree();
+        if !t.is_shown(id) {
+            return Err(AppError::NotInteractable {
+                reason: format!("'{}' is not on screen", t.widget(id).name),
+            });
+        }
+        if !t.widget(id).enabled {
+            return Err(AppError::NotInteractable {
+                reason: format!("'{}' is disabled", t.widget(id).name),
+            });
+        }
+        // Modal windows swallow outside clicks.
+        let top = t.top_window();
+        if top.modal && t.window_root_of(id) != Some(top.root) {
+            return Err(AppError::NotInteractable {
+                reason: format!(
+                    "'{}' is blocked by modal window '{}'",
+                    t.widget(id).name,
+                    t.widget(top.root).name
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn maybe_delay_children(&mut self, container: WidgetId) {
+        let delay = self.inst.late_delay_for(container, self.action_seq);
+        if delay > 0 {
+            // The next `delay` snapshots still miss the children; they
+            // appear on snapshot `query_seq + delay + 1`.
+            let ready = self.query_seq + delay + 1;
+            self.app.tree_mut().set_pending_children(container, ready);
+        }
+    }
+
+    fn run_behavior(&mut self, id: WidgetId, behavior: Behavior) -> Result<(), AppError> {
+        match behavior {
+            Behavior::None => Ok(()),
+            Behavior::OpenMenu => {
+                self.app.tree_mut().open_popup(id);
+                self.maybe_delay_children(id);
+                self.events.push(UiaEvent::StructureChanged { subtree: snapshot::runtime_of(id) });
+                Ok(())
+            }
+            Behavior::SwitchTab => {
+                self.app.tree_mut().select_tab(id);
+                self.events.push(UiaEvent::StructureChanged { subtree: snapshot::runtime_of(id) });
+                Ok(())
+            }
+            Behavior::OpenDialog(root) => {
+                self.app.tree_mut().close_all_popups();
+                self.app.tree_mut().open_window(root, true);
+                self.maybe_delay_children(root);
+                let title = self.app.tree().widget(root).name.clone();
+                self.events.push(UiaEvent::WindowOpened {
+                    window: snapshot::runtime_of(root),
+                    title,
+                    process_id: self.app.process_id(),
+                    modal: true,
+                });
+                Ok(())
+            }
+            Behavior::OpenWindow(root) => {
+                self.app.tree_mut().open_window(root, false);
+                self.maybe_delay_children(root);
+                let title = self.app.tree().widget(root).name.clone();
+                self.events.push(UiaEvent::WindowOpened {
+                    window: snapshot::runtime_of(root),
+                    title,
+                    process_id: self.app.process_id(),
+                    modal: false,
+                });
+                Ok(())
+            }
+            Behavior::CloseWindow(commit) => {
+                let t = self.app.tree_mut();
+                if let Some(root) = t.close_top_window() {
+                    let title = self.app.tree().widget(root).name.clone();
+                    self.app.on_window_close(root, commit)?;
+                    self.events.push(UiaEvent::WindowClosed {
+                        window: snapshot::runtime_of(root),
+                        title,
+                    });
+                }
+                Ok(())
+            }
+            Behavior::Command(b) => self.app.dispatch(id, &b),
+            Behavior::CommandAndDismiss(b) => {
+                let r = self.app.dispatch(id, &b);
+                self.app.tree_mut().close_all_popups();
+                r
+            }
+            Behavior::Select => {
+                self.app.tree_mut().select_item(id, false);
+                let binding = self.app.tree().widget(id).binding.clone();
+                if let Some(b) = binding {
+                    self.app.dispatch(id, &b)?;
+                }
+                Ok(())
+            }
+            Behavior::Toggle => {
+                let cur = self.app.tree().widget(id).toggle.unwrap_or(ToggleState::Off);
+                let next = match cur {
+                    ToggleState::On => ToggleState::Off,
+                    _ => ToggleState::On,
+                };
+                self.app.tree_mut().widget_mut(id).toggle = Some(next);
+                let binding = self.app.tree().widget(id).binding.clone();
+                if let Some(b) = binding {
+                    self.app.dispatch(id, &b)?;
+                }
+                Ok(())
+            }
+            Behavior::FocusEdit => {
+                self.app.tree_mut().set_focus(Some(id));
+                self.events.push(UiaEvent::FocusChanged { control: snapshot::runtime_of(id) });
+                Ok(())
+            }
+            Behavior::OpenExternal => {
+                self.external_jumps += 1;
+                Ok(())
+            }
+            Behavior::Trap => {
+                self.trapped = true;
+                Ok(())
+            }
+        }
+    }
+
+    fn hit_test(&self, lay: &layout::Layout, x: i32, y: i32) -> Option<WidgetId> {
+        // Deepest shown widget whose rect contains the point, preferring
+        // widgets in the topmost window.
+        let t = self.app.tree();
+        for win in t.open_windows().iter().rev() {
+            let mut best: Option<(WidgetId, usize)> = None;
+            for id in t.descendants(win.root) {
+                if !t.is_shown(id) || lay.offscreen(id) {
+                    continue;
+                }
+                if let Some(r) = lay.rect(id) {
+                    if r.contains(x, y) {
+                        let depth = {
+                            let mut d = 0;
+                            let mut cur = id;
+                            while let Some(p) = t.widget(cur).parent {
+                                d += 1;
+                                cur = p;
+                            }
+                            d
+                        };
+                        if best.is_none_or(|(_, bd)| depth >= bd) {
+                            best = Some((id, depth));
+                        }
+                    }
+                }
+            }
+            if let Some((id, _)) = best {
+                return Some(id);
+            }
+            if t.top_window().modal {
+                // Modal window swallows the click even on a miss.
+                return None;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::widget::{Widget, WidgetBuilder};
+    use dmi_uia::ControlType as CT;
+
+    /// A minimal test application: a counter bumped by a ribbon button,
+    /// a dialog with an edit, and a color picker merge-node structure.
+    struct TestApp {
+        tree: UiTree,
+        counter: u32,
+        committed: Option<String>,
+        last_color: Option<(String, String)>, // (target, color)
+        color_target: String,
+    }
+
+    struct TestIds {
+        bump: WidgetId,
+        dlg_open: WidgetId,
+        dlg_edit: WidgetId,
+        dlg_ok: WidgetId,
+        font_menu: WidgetId,
+        outline_menu: WidgetId,
+        blue_font: WidgetId,
+        blue_outline: WidgetId,
+        doc: WidgetId,
+        sbar: WidgetId,
+    }
+
+    fn build() -> (TestApp, TestIds) {
+        let mut t = UiTree::new();
+        let main = t.add_root(Widget::new("TestApp", CT::Window));
+        let bump = t.add(
+            main,
+            WidgetBuilder::new("Bump", CT::Button)
+                .on_click(Behavior::Command(CommandBinding::new("bump")))
+                .build(),
+        );
+        let dlg = t.add_root(Widget::new("Settings", CT::Window));
+        let dlg_edit = t.add(
+            dlg,
+            WidgetBuilder::new("Name", CT::Edit)
+                .on_click(Behavior::FocusEdit)
+                .binding(CommandBinding::new("commit_name"))
+                .build(),
+        );
+        let dlg_ok = t.add(
+            dlg,
+            WidgetBuilder::new("OK", CT::Button)
+                .on_click(Behavior::CloseWindow(CommitKind::Ok))
+                .build(),
+        );
+        let dlg_open = t.add(
+            main,
+            WidgetBuilder::new("Open Settings", CT::Button)
+                .on_click(Behavior::OpenDialog(dlg))
+                .build(),
+        );
+        // Merge-node color picker: two menus leading to "the same" color.
+        let font_menu = t.add(
+            main,
+            WidgetBuilder::new("Font Color", CT::SplitButton)
+                .popup()
+                .on_click(Behavior::OpenMenu)
+                .build(),
+        );
+        let blue_font = t.add(
+            font_menu,
+            WidgetBuilder::new("Blue", CT::ListItem)
+                .on_click(Behavior::CommandAndDismiss(CommandBinding::with_arg(
+                    "set_color", "Blue",
+                )))
+                .build(),
+        );
+        let outline_menu = t.add(
+            main,
+            WidgetBuilder::new("Outline Color", CT::SplitButton)
+                .popup()
+                .on_click(Behavior::OpenMenu)
+                .build(),
+        );
+        let blue_outline = t.add(
+            outline_menu,
+            WidgetBuilder::new("Blue", CT::ListItem)
+                .on_click(Behavior::CommandAndDismiss(CommandBinding::with_arg(
+                    "set_color", "Blue",
+                )))
+                .build(),
+        );
+        let doc = t.add(main, WidgetBuilder::new("Doc", CT::Document).scrollable(3).build());
+        for i in 0..12 {
+            t.add(doc, Widget::new(format!("Para {i}"), CT::Text));
+        }
+        let sbar = t.add(
+            main,
+            WidgetBuilder::new("Vertical", CT::ScrollBar).scroll_target(doc).build(),
+        );
+        (
+            TestApp {
+                tree: t,
+                counter: 0,
+                committed: None,
+                last_color: None,
+                color_target: "font".into(),
+            },
+            TestIds {
+                bump,
+                dlg_open,
+                dlg_edit,
+                dlg_ok,
+                font_menu,
+                outline_menu,
+                blue_font,
+                blue_outline,
+                doc,
+                sbar,
+            },
+        )
+    }
+
+    impl GuiApp for TestApp {
+        fn name(&self) -> &str {
+            "TestApp"
+        }
+        fn tree(&self) -> &UiTree {
+            &self.tree
+        }
+        fn tree_mut(&mut self) -> &mut UiTree {
+            &mut self.tree
+        }
+        fn dispatch(&mut self, src: WidgetId, b: &CommandBinding) -> Result<(), AppError> {
+            match b.command.as_str() {
+                "bump" => {
+                    self.counter += 1;
+                    Ok(())
+                }
+                "commit_name" => {
+                    self.committed = Some(self.tree.widget(src).value.clone());
+                    Ok(())
+                }
+                "set_color" => {
+                    // Path-dependent semantics: the target property depends
+                    // on which menu is (or was) open.
+                    let target = if self.tree.widget(src).parent.is_some_and(|p| {
+                        self.tree.widget(p).name.starts_with("Outline")
+                    }) {
+                        "outline"
+                    } else {
+                        &self.color_target
+                    };
+                    self.last_color =
+                        Some((target.to_string(), b.arg.clone().unwrap_or_default()));
+                    Ok(())
+                }
+                other => Err(AppError::Command { command: other.into(), reason: "unknown".into() }),
+            }
+        }
+        fn reset(&mut self) {
+            self.counter = 0;
+            self.committed = None;
+            self.last_color = None;
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn session() -> (Session, TestIds) {
+        let (app, ids) = build();
+        (Session::new(Box::new(app)), ids)
+    }
+
+    fn counter(s: &Session) -> u32 {
+        s.app().as_any().downcast_ref::<TestApp>().unwrap().counter
+    }
+
+    #[test]
+    fn click_dispatches_command() {
+        let (mut s, ids) = session();
+        s.click(ids.bump).unwrap();
+        s.click(ids.bump).unwrap();
+        assert_eq!(counter(&s), 2);
+    }
+
+    #[test]
+    fn hidden_control_click_fails() {
+        let (mut s, ids) = session();
+        let e = s.click(ids.blue_font).unwrap_err();
+        assert!(matches!(e, AppError::NotInteractable { .. }));
+    }
+
+    #[test]
+    fn menu_click_then_item() {
+        let (mut s, ids) = session();
+        s.click(ids.font_menu).unwrap();
+        s.click(ids.blue_font).unwrap();
+        let app = s.app().as_any().downcast_ref::<TestApp>().unwrap();
+        assert_eq!(app.last_color, Some(("font".into(), "Blue".into())));
+        // CommandAndDismiss closed the popup chain.
+        assert!(s.app().tree().open_popups().is_empty());
+    }
+
+    #[test]
+    fn merge_node_paths_have_distinct_semantics() {
+        let (mut s, ids) = session();
+        s.click(ids.outline_menu).unwrap();
+        s.click(ids.blue_outline).unwrap();
+        let app = s.app().as_any().downcast_ref::<TestApp>().unwrap();
+        assert_eq!(app.last_color, Some(("outline".into(), "Blue".into())));
+    }
+
+    #[test]
+    fn modal_dialog_blocks_outside_clicks() {
+        let (mut s, ids) = session();
+        s.click(ids.dlg_open).unwrap();
+        let e = s.click(ids.bump).unwrap_err();
+        assert!(matches!(e, AppError::NotInteractable { .. }));
+        // OK closes; then the ribbon is interactable again.
+        s.click(ids.dlg_ok).unwrap();
+        s.click(ids.bump).unwrap();
+        assert_eq!(counter(&s), 1);
+    }
+
+    #[test]
+    fn edit_focus_type_enter_commits() {
+        let (mut s, ids) = session();
+        s.click(ids.dlg_open).unwrap();
+        s.click(ids.dlg_edit).unwrap();
+        s.type_text("Quarterly Report").unwrap();
+        s.press("Enter").unwrap();
+        let app = s.app().as_any().downcast_ref::<TestApp>().unwrap();
+        assert_eq!(app.committed.as_deref(), Some("Quarterly Report"));
+    }
+
+    #[test]
+    fn esc_closes_popup_then_dialog() {
+        let (mut s, ids) = session();
+        s.click(ids.dlg_open).unwrap();
+        assert_eq!(s.app().tree().open_windows().len(), 2);
+        s.press("Esc").unwrap();
+        assert_eq!(s.app().tree().open_windows().len(), 1);
+        s.click(ids.font_menu).unwrap();
+        assert_eq!(s.app().tree().open_popups().len(), 1);
+        s.press("Esc").unwrap();
+        assert!(s.app().tree().open_popups().is_empty());
+    }
+
+    #[test]
+    fn scrollbar_drag_sets_scroll() {
+        let (mut s, ids) = session();
+        let snap = s.snapshot();
+        let sb_idx = snap.find_by_name("Vertical").unwrap();
+        let r = snap.node(sb_idx).props.rect;
+        s.drag(r.center(), (r.center().0, r.y + (r.h as f64 * 0.8) as i32)).unwrap();
+        let pos = s.app().tree().widget(ids.doc).scroll_pos;
+        assert!((pos - 80.0).abs() < 2.0, "scroll pos {pos}");
+    }
+
+    #[test]
+    fn scroll_pattern_direct() {
+        let (mut s, ids) = session();
+        s.scroll_to(ids.sbar, 55.0).unwrap();
+        assert!((s.app().tree().widget(ids.doc).scroll_pos - 55.0).abs() < 1e-9);
+        assert!(s.scroll_to(ids.doc, 120.0).is_err());
+    }
+
+    #[test]
+    fn wheel_scrolls_document() {
+        let (mut s, ids) = session();
+        let snap = s.snapshot();
+        let doc_idx = snap.index_of_runtime(snapshot::runtime_of(ids.doc)).unwrap();
+        let (cx, cy) = snap.node(doc_idx).props.rect.center();
+        s.wheel(cx, cy, 30.0).unwrap();
+        assert!((s.app().tree().widget(ids.doc).scroll_pos - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn click_at_coordinates_resolves() {
+        let (mut s, ids) = session();
+        let snap = s.snapshot();
+        let idx = snap.index_of_runtime(snapshot::runtime_of(ids.bump)).unwrap();
+        let (x, y) = snap.node(idx).props.rect.center();
+        s.click_at(x, y).unwrap();
+        assert_eq!(counter(&s), 1);
+    }
+
+    #[test]
+    fn set_toggle_is_idempotent_and_pattern_checked() {
+        let (mut s, ids) = session();
+        assert!(s.set_toggle(ids.bump, true).is_err()); // No Toggle pattern.
+        let _ = ids;
+    }
+
+    #[test]
+    fn restart_resets_everything() {
+        let (mut s, ids) = session();
+        s.click(ids.bump).unwrap();
+        s.click(ids.dlg_open).unwrap();
+        s.restart();
+        assert_eq!(counter(&s), 0);
+        assert_eq!(s.app().tree().open_windows().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_reflects_viewport() {
+        let (mut s, ids) = session();
+        let snap = s.snapshot();
+        let p0 = snap.find_by_name("Para 0").unwrap();
+        let p9 = snap.find_by_name("Para 9").unwrap();
+        assert!(!snap.node(p0).props.offscreen);
+        assert!(snap.node(p9).props.offscreen);
+        s.scroll_to(ids.doc, 100.0).unwrap();
+        let snap = s.snapshot();
+        let p0 = snap.find_by_name("Para 0").unwrap();
+        let p11 = snap.find_by_name("Para 11").unwrap();
+        assert!(snap.node(p0).props.offscreen);
+        assert!(!snap.node(p11).props.offscreen);
+    }
+
+    #[test]
+    fn events_record_window_lifecycle() {
+        let (mut s, ids) = session();
+        let c = s.events().cursor();
+        s.click(ids.dlg_open).unwrap();
+        assert!(s.events().window_opened_since(c).is_some());
+    }
+
+    #[test]
+    fn late_loading_children_need_retry() {
+        let (app, ids) = build();
+        let mut s = Session::with_instability(Box::new(app), InstabilityModel::new(5, 1.0, 0.0));
+        s.click(ids.font_menu).unwrap();
+        let first = s.snapshot();
+        assert!(first.find_by_name("Blue").is_none(), "children should lag one query");
+        let second = s.snapshot();
+        assert!(second.find_by_name("Blue").is_some());
+    }
+}

@@ -1,0 +1,173 @@
+//! Builds [`dmi_uia::Snapshot`]s from a live [`UiTree`].
+//!
+//! The snapshot is the *client view*: only revealed widgets appear (closed
+//! menus contribute nothing, mirroring lazy UIA providers), instability
+//! perturbations (late loads, name variation) are applied here, and layout
+//! rectangles and off-screen flags come from [`crate::layout`].
+
+use crate::instability::InstabilityModel;
+use crate::layout;
+use crate::tree::UiTree;
+use crate::widget::WidgetId;
+use dmi_uia::{ControlProps, RuntimeId, Snapshot};
+
+/// Builds a snapshot of every open window.
+///
+/// `query_seq` is the monotonically increasing snapshot counter maintained
+/// by the session; late-loading subtrees compare against it.
+pub fn build(tree: &UiTree, inst: &InstabilityModel, query_seq: u64) -> Snapshot {
+    let lay = layout::compute(tree);
+    let mut snap = Snapshot::new();
+    for (wi, win) in tree.open_windows().iter().enumerate() {
+        let root_idx = add_subtree(tree, inst, query_seq, win.root, None, wi, &lay, &mut snap);
+        if let Some(r) = root_idx {
+            if win.modal {
+                snap.push_modal_window_root(r);
+            } else {
+                snap.push_window_root(r);
+            }
+        }
+    }
+    snap
+}
+
+/// Maps a snapshot runtime id back to the widget it was built from.
+///
+/// Runtime ids encode the widget arena index (`index + 1`), which keeps the
+/// provider/client correspondence trivial while remaining opaque to DMI
+/// (which never relies on it across restarts).
+pub fn widget_of(rt: RuntimeId) -> WidgetId {
+    WidgetId((rt.0 - 1) as usize)
+}
+
+/// The runtime id a widget will carry in snapshots.
+pub fn runtime_of(id: WidgetId) -> RuntimeId {
+    RuntimeId(id.0 as u64 + 1)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn add_subtree(
+    tree: &UiTree,
+    inst: &InstabilityModel,
+    query_seq: u64,
+    id: WidgetId,
+    parent: Option<usize>,
+    window: usize,
+    lay: &layout::Layout,
+    snap: &mut Snapshot,
+) -> Option<usize> {
+    if !tree.is_shown(id) {
+        return None;
+    }
+    let w = tree.widget(id);
+    let mut props = ControlProps::new(inst.live_name(id, &w.name), w.control_type);
+    props.automation_id = w.automation_id.clone();
+    props.class_name = w.class_name.clone();
+    props.help_text = w.help_text.clone();
+    props.patterns = w.patterns;
+    props.enabled = w.enabled;
+    props.value = w.value.clone();
+    props.toggle = w.toggle;
+    props.selected = w.selected;
+    props.expanded = if w.popup { Some(w.expanded) } else { None };
+    props.rect = lay.rect(id).unwrap_or_default();
+    props.offscreen = lay.offscreen(id);
+
+    let idx = snap.push(props, parent, window);
+    // Snapshot runtime ids must track the widget arena, not insertion order.
+    debug_assert!(idx < snap.len());
+    override_runtime_id(snap, idx, id);
+
+    if !tree.children_pending(id, query_seq) {
+        for &c in &tree.widget(id).children {
+            add_subtree(tree, inst, query_seq, c, Some(idx), window, lay, snap);
+        }
+    }
+    Some(idx)
+}
+
+/// Replaces the sequential runtime id assigned by `Snapshot::push` with the
+/// widget-derived one.
+fn override_runtime_id(snap: &mut Snapshot, idx: usize, id: WidgetId) {
+    // Snapshot nodes are immutable through the public API; we rebuild the
+    // runtime id through a dedicated setter to keep the arena consistent.
+    snap.set_runtime_id(idx, runtime_of(id));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::widget::{Widget, WidgetBuilder};
+    use dmi_uia::ControlType as CT;
+
+    fn tree() -> (UiTree, WidgetId, WidgetId, WidgetId) {
+        let mut t = UiTree::new();
+        let main = t.add_root(Widget::new("Main", CT::Window));
+        let menu = t.add(main, WidgetBuilder::new("Colors", CT::SplitButton).popup().build());
+        let item = t.add(menu, Widget::new("Blue", CT::ListItem));
+        (t, main, menu, item)
+    }
+
+    #[test]
+    fn closed_menus_contribute_nothing() {
+        let (t, _, _, _) = tree();
+        let s = build(&t, &InstabilityModel::off(), 0);
+        assert!(s.find_by_name("Colors").is_some());
+        assert!(s.find_by_name("Blue").is_none());
+    }
+
+    #[test]
+    fn open_menus_reveal_children() {
+        let (mut t, _, menu, _) = tree();
+        t.open_popup(menu);
+        let s = build(&t, &InstabilityModel::off(), 0);
+        assert!(s.find_by_name("Blue").is_some());
+    }
+
+    #[test]
+    fn runtime_ids_track_widget_ids() {
+        let (mut t, _, menu, item) = tree();
+        t.open_popup(menu);
+        let s = build(&t, &InstabilityModel::off(), 0);
+        let idx = s.find_by_name("Blue").unwrap();
+        assert_eq!(widget_of(s.node(idx).runtime_id), item);
+    }
+
+    #[test]
+    fn late_loading_children_absent_then_present() {
+        let (mut t, _, menu, _) = tree();
+        t.open_popup(menu);
+        t.set_pending_children(menu, 5);
+        let s4 = build(&t, &InstabilityModel::off(), 4);
+        assert!(s4.find_by_name("Blue").is_none());
+        let s5 = build(&t, &InstabilityModel::off(), 5);
+        assert!(s5.find_by_name("Blue").is_some());
+    }
+
+    #[test]
+    fn name_variation_applies_in_snapshot_only() {
+        let (mut t, _, menu, _) = tree();
+        t.open_popup(menu);
+        let inst = InstabilityModel::new(3, 0.0, 1.0);
+        let s = build(&t, &inst, 0);
+        // The provider-side name is unchanged.
+        assert_eq!(t.widget(menu).name, "Colors");
+        // The snapshot name is the varied one.
+        let snap_names: Vec<String> =
+            s.iter().map(|(_, n)| n.props.name.clone()).collect();
+        assert!(snap_names.iter().any(|n| n != "Colors" && n.starts_with("Colors")
+            || n == "Colors*"));
+    }
+
+    #[test]
+    fn multiple_windows_in_z_order() {
+        let (mut t, ..) = tree();
+        let dlg = t.add_root(Widget::new("Format Cells", CT::Window));
+        t.add(dlg, Widget::new("OK", CT::Button));
+        t.open_window(dlg, true);
+        let s = build(&t, &InstabilityModel::off(), 0);
+        assert_eq!(s.windows().len(), 2);
+        let top = s.top_window().unwrap();
+        assert_eq!(s.node(top).props.name, "Format Cells");
+    }
+}

@@ -1,0 +1,523 @@
+//! The mutable provider-side control tree.
+//!
+//! A [`UiTree`] is an arena of widgets plus the runtime UI state the
+//! toolkit manages: the open-window stack (main window, dialogs, child
+//! windows), the open-popup chain (menus, dropdowns), keyboard focus,
+//! active UI contexts (e.g. "image-selected"), and shortcut bindings.
+//!
+//! Widgets are never removed from the arena — hidden instead — so
+//! [`WidgetId`]s are stable for the lifetime of the application instance.
+
+use crate::behavior::{CommandBinding, ShortcutAction};
+use crate::widget::{Widget, WidgetId};
+use dmi_uia::ControlType;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An entry in the open-window stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpenWindow {
+    /// Arena root of the window.
+    pub root: WidgetId,
+    /// Whether input outside the window is blocked.
+    pub modal: bool,
+}
+
+/// The provider-side control tree and its runtime UI state.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UiTree {
+    widgets: Vec<Widget>,
+    /// Arena root of the main application window.
+    main_root: Option<WidgetId>,
+    /// Open windows, bottom to top; index 0 is the main window.
+    open_windows: Vec<OpenWindow>,
+    /// Open popup containers, in open order (a chain for nested menus).
+    open_popups: Vec<WidgetId>,
+    /// Keyboard focus.
+    focus: Option<WidgetId>,
+    /// Active UI contexts gating `visible_when` widgets.
+    contexts: BTreeSet<String>,
+    /// Tree-level keyboard shortcuts.
+    shortcuts: BTreeMap<String, ShortcutAction>,
+    /// Widgets whose children are still "loading": hidden from snapshots
+    /// until the given query sequence number (instability injection).
+    pending_children: BTreeMap<WidgetId, u64>,
+}
+
+impl UiTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        UiTree::default()
+    }
+
+    /// Adds a root widget (no parent). The first root added becomes the
+    /// main window and is opened immediately; later roots are dialog or
+    /// child-window roots, closed until opened.
+    pub fn add_root(&mut self, w: Widget) -> WidgetId {
+        let id = WidgetId(self.widgets.len());
+        let mut w = w;
+        w.parent = None;
+        self.widgets.push(w);
+        if self.main_root.is_none() {
+            self.main_root = Some(id);
+            self.open_windows.push(OpenWindow { root: id, modal: false });
+        }
+        id
+    }
+
+    /// Adds a child widget under `parent` and returns its id.
+    pub fn add(&mut self, parent: WidgetId, w: Widget) -> WidgetId {
+        let id = WidgetId(self.widgets.len());
+        let mut w = w;
+        w.parent = Some(parent);
+        self.widgets.push(w);
+        self.widgets[parent.0].children.push(id);
+        id
+    }
+
+    /// Number of widgets in the arena.
+    pub fn len(&self) -> usize {
+        self.widgets.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.widgets.is_empty()
+    }
+
+    /// Borrows a widget.
+    pub fn widget(&self, id: WidgetId) -> &Widget {
+        &self.widgets[id.0]
+    }
+
+    /// Mutably borrows a widget.
+    pub fn widget_mut(&mut self, id: WidgetId) -> &mut Widget {
+        &mut self.widgets[id.0]
+    }
+
+    /// Iterates over all widgets with ids.
+    pub fn iter(&self) -> impl Iterator<Item = (WidgetId, &Widget)> {
+        self.widgets.iter().enumerate().map(|(i, w)| (WidgetId(i), w))
+    }
+
+    /// The main window root.
+    pub fn main_root(&self) -> WidgetId {
+        self.main_root.expect("tree has no main root")
+    }
+
+    /// The open-window stack, bottom to top.
+    pub fn open_windows(&self) -> &[OpenWindow] {
+        &self.open_windows
+    }
+
+    /// The topmost open window.
+    pub fn top_window(&self) -> OpenWindow {
+        *self.open_windows.last().expect("window stack empty")
+    }
+
+    /// The chain of open popups, outermost first.
+    pub fn open_popups(&self) -> &[WidgetId] {
+        &self.open_popups
+    }
+
+    /// The focused widget, if any.
+    pub fn focus(&self) -> Option<WidgetId> {
+        self.focus
+    }
+
+    /// Sets keyboard focus.
+    pub fn set_focus(&mut self, id: Option<WidgetId>) {
+        self.focus = id;
+    }
+
+    /// Registers a tree-level keyboard shortcut (e.g. `"Ctrl+B"`).
+    pub fn bind_shortcut(&mut self, keys: impl Into<String>, action: ShortcutAction) {
+        self.shortcuts.insert(keys.into(), action);
+    }
+
+    /// Looks up a shortcut.
+    pub fn shortcut(&self, keys: &str) -> Option<&ShortcutAction> {
+        self.shortcuts.get(keys)
+    }
+
+    /// Activates or deactivates a UI context (e.g. `"image-selected"`).
+    pub fn set_context(&mut self, ctx: &str, on: bool) {
+        if on {
+            self.contexts.insert(ctx.to_string());
+        } else {
+            self.contexts.remove(ctx);
+        }
+    }
+
+    /// Whether a context is active.
+    pub fn context_active(&self, ctx: &str) -> bool {
+        self.contexts.contains(ctx)
+    }
+
+    /// Active contexts in sorted order.
+    pub fn active_contexts(&self) -> impl Iterator<Item = &str> {
+        self.contexts.iter().map(|s| s.as_str())
+    }
+
+    /// Whether the window rooted at `root` is open.
+    pub fn is_window_open(&self, root: WidgetId) -> bool {
+        self.open_windows.iter().any(|w| w.root == root)
+    }
+
+    /// Opens the window rooted at `root` (push on top of the stack).
+    pub fn open_window(&mut self, root: WidgetId, modal: bool) {
+        if !self.is_window_open(root) {
+            self.open_windows.push(OpenWindow { root, modal });
+        }
+    }
+
+    /// Closes the topmost window (never the main window). Returns its root.
+    pub fn close_top_window(&mut self) -> Option<WidgetId> {
+        if self.open_windows.len() > 1 {
+            // Close any popups that live inside the window being closed.
+            let root = self.open_windows.pop().map(|w| w.root);
+            if let Some(r) = root {
+                let inside: Vec<WidgetId> = self
+                    .open_popups
+                    .iter()
+                    .copied()
+                    .filter(|&p| self.window_root_of(p) == Some(r))
+                    .collect();
+                for p in inside {
+                    self.collapse_popup(p);
+                }
+            }
+            root
+        } else {
+            None
+        }
+    }
+
+    /// Opens a popup container (marks expanded, appends to the chain).
+    pub fn open_popup(&mut self, id: WidgetId) {
+        if !self.open_popups.contains(&id) {
+            self.widgets[id.0].expanded = true;
+            self.open_popups.push(id);
+        }
+    }
+
+    /// Closes one popup (and any popups opened after it).
+    pub fn collapse_popup(&mut self, id: WidgetId) {
+        if let Some(pos) = self.open_popups.iter().position(|&p| p == id) {
+            for &p in &self.open_popups[pos..] {
+                // Collapse later popups too; they are nested under this one.
+                let _ = p;
+            }
+            let closing: Vec<WidgetId> = self.open_popups.drain(pos..).collect();
+            for p in closing {
+                self.widgets[p.0].expanded = false;
+            }
+        }
+    }
+
+    /// Closes every open popup.
+    pub fn close_all_popups(&mut self) {
+        let all: Vec<WidgetId> = self.open_popups.drain(..).collect();
+        for p in all {
+            self.widgets[p.0].expanded = false;
+        }
+    }
+
+    /// Closes popups that do not contain `id` in their subtree (clicking
+    /// elsewhere dismisses unrelated menus).
+    pub fn close_popups_not_containing(&mut self, id: WidgetId) {
+        let keep: Vec<WidgetId> = self
+            .open_popups
+            .iter()
+            .copied()
+            .take_while(|&p| self.is_descendant_or_self(id, p))
+            .collect();
+        let to_close: Vec<WidgetId> = self.open_popups[keep.len()..].to_vec();
+        if let Some(&first) = to_close.first() {
+            self.collapse_popup(first);
+        }
+    }
+
+    /// Whether `id` is `anc` or inside `anc`'s subtree.
+    pub fn is_descendant_or_self(&self, id: WidgetId, anc: WidgetId) -> bool {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            if c == anc {
+                return true;
+            }
+            cur = self.widgets[c.0].parent;
+        }
+        false
+    }
+
+    /// The arena root above `id`.
+    pub fn root_of(&self, id: WidgetId) -> WidgetId {
+        let mut cur = id;
+        while let Some(p) = self.widgets[cur.0].parent {
+            cur = p;
+        }
+        cur
+    }
+
+    /// The open-window root containing `id`, if its root is open.
+    pub fn window_root_of(&self, id: WidgetId) -> Option<WidgetId> {
+        let root = self.root_of(id);
+        self.is_window_open(root).then_some(root)
+    }
+
+    /// Whether a widget is currently revealed (its window open, every
+    /// popup ancestor expanded, every tab ancestor selected, context
+    /// conditions met, and static visibility on).
+    pub fn is_shown(&self, id: WidgetId) -> bool {
+        let w = &self.widgets[id.0];
+        if !w.visible {
+            return false;
+        }
+        if let Some(ctx) = &w.visible_when {
+            if !self.contexts.contains(ctx) {
+                return false;
+            }
+        }
+        match w.parent {
+            None => self.is_window_open(id),
+            Some(p) => {
+                let pw = &self.widgets[p.0];
+                if pw.popup && !pw.expanded {
+                    return false;
+                }
+                if pw.control_type == ControlType::TabItem && !pw.selected {
+                    return false;
+                }
+                self.is_shown(p)
+            }
+        }
+    }
+
+    /// Selects a tab item, deselecting its sibling tab items.
+    pub fn select_tab(&mut self, id: WidgetId) {
+        let parent = self.widgets[id.0].parent;
+        if let Some(p) = parent {
+            let siblings: Vec<WidgetId> = self.widgets[p.0]
+                .children
+                .iter()
+                .copied()
+                .filter(|&c| self.widgets[c.0].control_type == ControlType::TabItem)
+                .collect();
+            for s in siblings {
+                self.widgets[s.0].selected = s == id;
+            }
+        } else {
+            self.widgets[id.0].selected = true;
+        }
+    }
+
+    /// Selects a selection item; when not `additive`, deselects siblings.
+    pub fn select_item(&mut self, id: WidgetId, additive: bool) {
+        if !additive {
+            if let Some(p) = self.widgets[id.0].parent {
+                let siblings = self.widgets[p.0].children.clone();
+                for s in siblings {
+                    self.widgets[s.0].selected = false;
+                }
+            }
+        }
+        self.widgets[id.0].selected = true;
+    }
+
+    /// Marks a container's children as still loading until `ready_query`.
+    pub fn set_pending_children(&mut self, id: WidgetId, ready_query: u64) {
+        self.pending_children.insert(id, ready_query);
+    }
+
+    /// Whether a container's children are hidden at query `query_seq`.
+    pub fn children_pending(&self, id: WidgetId, query_seq: u64) -> bool {
+        self.pending_children.get(&id).is_some_and(|&r| query_seq < r)
+    }
+
+    /// Depth-first pre-order ids below `root` (inclusive), *structural*
+    /// (ignores visibility).
+    pub fn descendants(&self, root: WidgetId) -> Vec<WidgetId> {
+        let mut out = Vec::new();
+        let mut stack = vec![root];
+        while let Some(i) = stack.pop() {
+            out.push(i);
+            for &c in self.widgets[i.0].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Finds the first widget with the given name (structural search).
+    pub fn find_by_name(&self, name: &str) -> Option<WidgetId> {
+        self.iter().find(|(_, w)| w.name == name).map(|(i, _)| i)
+    }
+
+    /// Finds the first widget with the given automation id.
+    pub fn find_by_automation_id(&self, auto: &str) -> Option<WidgetId> {
+        self.iter().find(|(_, w)| w.automation_id == auto).map(|(i, _)| i)
+    }
+
+    /// The semantic command binding attached to a widget through its
+    /// click behavior, if any.
+    pub fn command_of(&self, id: WidgetId) -> Option<&CommandBinding> {
+        use crate::behavior::Behavior;
+        match &self.widgets[id.0].on_click {
+            Behavior::Command(b) | Behavior::CommandAndDismiss(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Restores the runtime UI state to "freshly launched": only the main
+    /// window open, no popups, no focus, contexts cleared. Widget state
+    /// (values, toggles) is left to the application's own reset.
+    pub fn reset_ui_state(&mut self) {
+        self.close_all_popups();
+        while self.open_windows.len() > 1 {
+            self.open_windows.pop();
+        }
+        self.focus = None;
+        self.contexts.clear();
+        self.pending_children.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::widget::WidgetBuilder;
+    use dmi_uia::ControlType as CT;
+
+    fn tree() -> (UiTree, WidgetId, WidgetId, WidgetId, WidgetId) {
+        let mut t = UiTree::new();
+        let main = t.add_root(Widget::new("Main", CT::Window));
+        let tabs = t.add(main, Widget::new("Ribbon", CT::Tab));
+        let home = t.add(tabs, WidgetBuilder::new("Home", CT::TabItem).selected().build());
+        let insert = t.add(tabs, Widget::new("Insert", CT::TabItem));
+        (t, main, tabs, home, insert)
+    }
+
+    #[test]
+    fn first_root_is_open_main_window() {
+        let (t, main, ..) = tree();
+        assert_eq!(t.main_root(), main);
+        assert!(t.is_window_open(main));
+        assert_eq!(t.open_windows().len(), 1);
+    }
+
+    #[test]
+    fn tab_scoping_hides_unselected_panels() {
+        let (mut t, _, _, home, insert) = tree();
+        let bold = t.add(home, Widget::new("Bold", CT::Button));
+        let table = t.add(insert, Widget::new("Table", CT::Button));
+        assert!(t.is_shown(bold));
+        assert!(!t.is_shown(table));
+        t.select_tab(insert);
+        assert!(!t.is_shown(bold));
+        assert!(t.is_shown(table));
+    }
+
+    #[test]
+    fn popup_chain_open_and_collapse() {
+        let (mut t, main, ..) = tree();
+        let menu = t.add(main, WidgetBuilder::new("Colors", CT::SplitButton).popup().build());
+        let sub = t.add(menu, WidgetBuilder::new("More", CT::MenuItem).popup().build());
+        let cell = t.add(sub, Widget::new("Blue", CT::ListItem));
+        assert!(!t.is_shown(cell));
+        t.open_popup(menu);
+        t.open_popup(sub);
+        assert!(t.is_shown(cell));
+        assert_eq!(t.open_popups().len(), 2);
+        t.collapse_popup(menu);
+        assert!(t.open_popups().is_empty());
+        assert!(!t.is_shown(cell));
+    }
+
+    #[test]
+    fn close_popups_not_containing_keeps_own_chain() {
+        let (mut t, main, ..) = tree();
+        let menu = t.add(main, WidgetBuilder::new("Colors", CT::SplitButton).popup().build());
+        let item = t.add(menu, Widget::new("Blue", CT::ListItem));
+        let other = t.add(main, Widget::new("Paste", CT::Button));
+        t.open_popup(menu);
+        t.close_popups_not_containing(item);
+        assert_eq!(t.open_popups().len(), 1);
+        t.close_popups_not_containing(other);
+        assert!(t.open_popups().is_empty());
+    }
+
+    #[test]
+    fn dialog_windows_stack_and_close() {
+        let (mut t, main, ..) = tree();
+        let dlg = t.add_root(Widget::new("Format", CT::Window));
+        let ok = t.add(dlg, Widget::new("OK", CT::Button));
+        assert!(!t.is_shown(ok));
+        t.open_window(dlg, true);
+        assert!(t.is_shown(ok));
+        assert!(t.top_window().modal);
+        assert_eq!(t.close_top_window(), Some(dlg));
+        assert!(!t.is_shown(ok));
+        // The main window never closes.
+        assert_eq!(t.close_top_window(), None);
+        assert!(t.is_window_open(main));
+    }
+
+    #[test]
+    fn context_gated_visibility() {
+        let (mut t, main, ..) = tree();
+        let pic = t.add(
+            main,
+            WidgetBuilder::new("Picture Format", CT::TabItem).visible_when("image-selected").build(),
+        );
+        assert!(!t.is_shown(pic));
+        t.set_context("image-selected", true);
+        assert!(t.is_shown(pic));
+        t.set_context("image-selected", false);
+        assert!(!t.is_shown(pic));
+    }
+
+    #[test]
+    fn window_root_of_walks_up() {
+        let (mut t, main, _, home, _) = tree();
+        let bold = t.add(home, Widget::new("Bold", CT::Button));
+        assert_eq!(t.window_root_of(bold), Some(main));
+        let dlg = t.add_root(Widget::new("Dialog", CT::Window));
+        let btn = t.add(dlg, Widget::new("OK", CT::Button));
+        assert_eq!(t.window_root_of(btn), None);
+        t.open_window(dlg, true);
+        assert_eq!(t.window_root_of(btn), Some(dlg));
+    }
+
+    #[test]
+    fn pending_children_window() {
+        let (mut t, main, ..) = tree();
+        t.set_pending_children(main, 5);
+        assert!(t.children_pending(main, 4));
+        assert!(!t.children_pending(main, 5));
+    }
+
+    #[test]
+    fn reset_ui_state_restores_launch_shape() {
+        let (mut t, ..) = tree();
+        let dlg = t.add_root(Widget::new("Dialog", CT::Window));
+        t.open_window(dlg, true);
+        t.set_context("image-selected", true);
+        t.reset_ui_state();
+        assert_eq!(t.open_windows().len(), 1);
+        assert!(!t.context_active("image-selected"));
+    }
+
+    #[test]
+    fn select_item_exclusive_and_additive() {
+        let (mut t, main, ..) = tree();
+        let list = t.add(main, Widget::new("List", CT::List));
+        let a = t.add(list, Widget::new("A", CT::ListItem));
+        let b = t.add(list, Widget::new("B", CT::ListItem));
+        t.select_item(a, false);
+        t.select_item(b, true);
+        assert!(t.widget(a).selected && t.widget(b).selected);
+        t.select_item(a, false);
+        assert!(t.widget(a).selected);
+        assert!(!t.widget(b).selected);
+    }
+}

@@ -1,0 +1,302 @@
+//! The simulated LLM.
+//!
+//! `SimLlm` plays the role of GPT-5/GPT-5-mini in the evaluation loop: it
+//! "knows" each task's semantic oracle plan and executes it subject to a
+//! [`CapabilityProfile`]'s error rates. All stochastic choices flow from a
+//! seed derived from `(task, seed, mode, model)`, so every experiment is
+//! reproducible. Policy-level failures corrupt the *plan* (producing the
+//! verifiable wrong behaviours of §5.6); mechanism-level failures are
+//! sampled per GUI action by the agent through the `sample_*` methods.
+
+use crate::failure::FailureCause;
+use crate::plan::{apply_mutation, PlanMutation, TaskPlan};
+use crate::profile::CapabilityProfile;
+use dmi_core::tokens::TokenLedger;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The interface condition under evaluation (Table 3 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InterfaceMode {
+    /// UFO2-as baseline: imperative GUI only.
+    GuiOnly,
+    /// Ablation: GUI only, navigation forest supplied as prompt knowledge.
+    GuiPlusForest,
+    /// GUI + the declarative DMI interfaces.
+    GuiPlusDmi,
+}
+
+impl InterfaceMode {
+    /// Table 3 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            InterfaceMode::GuiOnly => "GUI-only",
+            InterfaceMode::GuiPlusForest => "GUI-only+Nav.forest",
+            InterfaceMode::GuiPlusDmi => "GUI+DMI",
+        }
+    }
+
+    /// Whether the prompt carries the navigation forest.
+    pub fn has_forest_knowledge(self) -> bool {
+        matches!(self, InterfaceMode::GuiPlusForest | InterfaceMode::GuiPlusDmi)
+    }
+
+    /// Whether the declarative interfaces are available.
+    pub fn has_dmi(self) -> bool {
+        matches!(self, InterfaceMode::GuiPlusDmi)
+    }
+}
+
+/// A deterministic seed from run coordinates.
+fn derive_seed(task_id: &str, seed: u64, mode: InterfaceMode, model: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in task_id.bytes().chain(model.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^= seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= (mode as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h
+}
+
+/// The simulated LLM for one task run.
+#[derive(Debug, Clone)]
+pub struct SimLlm {
+    /// The capability profile in force.
+    pub profile: CapabilityProfile,
+    /// The interface condition.
+    pub mode: InterfaceMode,
+    rng: SmallRng,
+    /// Token ledger across calls.
+    pub ledger: TokenLedger,
+    /// Simulated wall clock (seconds).
+    pub clock_secs: f64,
+    /// Policy/DMI-side failure injected at plan time, if any.
+    pub injected: Option<FailureCause>,
+}
+
+impl SimLlm {
+    /// Creates the simulated LLM for one `(task, seed)` run.
+    pub fn new(profile: CapabilityProfile, mode: InterfaceMode, task_id: &str, seed: u64) -> Self {
+        let s = derive_seed(task_id, seed, mode, &profile.model);
+        SimLlm {
+            profile,
+            mode,
+            rng: SmallRng::seed_from_u64(s),
+            ledger: TokenLedger::new(),
+            clock_secs: 0.0,
+            injected: None,
+        }
+    }
+
+    /// The effective policy-error probability under this mode (§5.5/§5.6:
+    /// attention splitting and forest knowledge shift semantic error
+    /// rates).
+    pub fn effective_policy_err(&self) -> f64 {
+        let p = &self.profile;
+        match self.mode {
+            InterfaceMode::GuiOnly => p.policy_err * p.gui_attention_mult,
+            InterfaceMode::GuiPlusForest => {
+                p.policy_err * p.gui_attention_mult * p.forest_knowledge_gain
+            }
+            InterfaceMode::GuiPlusDmi => p.policy_err,
+        }
+    }
+
+    /// Decides this run's plan: possibly corrupted by a policy-level
+    /// failure (any mode) or a DMI-side mechanism failure (DMI mode).
+    pub fn prepare_plan(&mut self, plan: &TaskPlan, mutations: &[PlanMutation]) -> TaskPlan {
+        let mut plan = plan.clone();
+        let roll: f64 = self.rng.gen();
+        if roll < self.effective_policy_err() {
+            // Weighted by the paper's policy-failure mix (9 : 6 : 2).
+            let cause = match self.rng.gen_range(0..17u32) {
+                0..=8 => FailureCause::AmbiguousTask,
+                9..=14 => FailureCause::ControlSemanticsMisread,
+                _ => FailureCause::SubtleTaskSemantics,
+            };
+            self.injected = Some(cause);
+            self.corrupt(&mut plan, mutations);
+            return plan;
+        }
+        if self.mode.has_dmi() {
+            let roll: f64 = self.rng.gen();
+            if roll < self.profile.dmi_mech_err {
+                // 3 : 1 weak-visual to topology (Fig. 6a's mechanism mix).
+                let cause = if self.rng.gen_range(0..4u32) < 3 {
+                    FailureCause::WeakVisualSemantic
+                } else {
+                    FailureCause::TopologyInaccuracy
+                };
+                self.injected = Some(cause);
+                self.corrupt(&mut plan, mutations);
+            }
+        }
+        plan
+    }
+
+    fn corrupt(&mut self, plan: &mut TaskPlan, mutations: &[PlanMutation]) {
+        let m = if mutations.is_empty() {
+            PlanMutation::DropLast
+        } else {
+            mutations[self.rng.gen_range(0..mutations.len())].clone()
+        };
+        apply_mutation(plan, &m);
+    }
+
+    /// Records one LLM call: token accounting plus simulated latency.
+    pub fn record_call(&mut self, prompt_tokens: usize, output_tokens: usize) {
+        self.ledger.record(prompt_tokens, output_tokens);
+        self.clock_secs += self.profile.latency.call_secs(prompt_tokens, output_tokens);
+    }
+
+    /// Total calls recorded (the paper's Steps metric counts these).
+    pub fn calls(&self) -> usize {
+        self.ledger.calls()
+    }
+
+    /// Samples a visual-grounding error for one GUI click. Topology
+    /// knowledge in the prompt helps weaker models localize controls
+    /// (§5.5: supplementary knowledge aids models with less
+    /// general-purpose knowledge).
+    pub fn sample_grounding_error(&mut self) -> bool {
+        let mut p = self.profile.grounding_err;
+        if self.mode == InterfaceMode::GuiPlusForest {
+            p *= self.profile.forest_knowledge_gain;
+        }
+        self.rng.gen::<f64>() < p
+    }
+
+    /// Samples a composite-interaction error for one drag.
+    pub fn sample_composite_error(&mut self) -> bool {
+        self.rng.gen::<f64>() < self.profile.composite_err
+    }
+
+    /// Samples whether a mechanism error is noticed and recovered.
+    pub fn sample_recover(&mut self) -> bool {
+        self.rng.gen::<f64>() < self.profile.recover_prob
+    }
+
+    /// Samples imperfect instruction following for one DMI call.
+    pub fn sample_instruction_noise(&mut self) -> bool {
+        self.rng.gen::<f64>() < self.profile.instruction_noise
+    }
+
+    /// A fair coin from the run's RNG stream.
+    pub fn coin(&mut self) -> bool {
+        self.rng.gen::<bool>()
+    }
+
+    /// Picks a wrong option index (mis-grounding target), avoiding
+    /// `correct` when possible.
+    pub fn wrong_index(&mut self, len: usize, correct: usize) -> usize {
+        if len <= 1 {
+            return correct;
+        }
+        let mut i = self.rng.gen_range(0..len);
+        if i == correct {
+            i = (i + 1) % len;
+        }
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PlanStep, TargetQuery, VisitTarget};
+
+    fn plan() -> TaskPlan {
+        TaskPlan {
+            dmi: vec![PlanStep::Visit(vec![VisitTarget::click(TargetQuery::name("Bold"))])],
+            gui: vec![crate::plan::GuiStep::Click(TargetQuery::name("Bold"))],
+        }
+    }
+
+    #[test]
+    fn same_coordinates_same_behaviour() {
+        let p = CapabilityProfile::gpt5_medium();
+        let mut a = SimLlm::new(p.clone(), InterfaceMode::GuiPlusDmi, "t1", 7);
+        let mut b = SimLlm::new(p, InterfaceMode::GuiPlusDmi, "t1", 7);
+        let pa = a.prepare_plan(&plan(), &[]);
+        let pb = b.prepare_plan(&plan(), &[]);
+        assert_eq!(pa, pb);
+        assert_eq!(a.injected, b.injected);
+    }
+
+    #[test]
+    fn different_seeds_eventually_differ() {
+        let p = CapabilityProfile::gpt5_mini_medium();
+        let outcomes: Vec<bool> = (0..64)
+            .map(|s| {
+                let mut llm = SimLlm::new(p.clone(), InterfaceMode::GuiOnly, "t1", s);
+                llm.prepare_plan(&plan(), &[]);
+                llm.injected.is_some()
+            })
+            .collect();
+        assert!(outcomes.iter().any(|&x| x));
+        assert!(outcomes.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn policy_err_is_higher_under_gui() {
+        let p = CapabilityProfile::gpt5_medium();
+        let dmi = SimLlm::new(p.clone(), InterfaceMode::GuiPlusDmi, "t", 0);
+        let gui = SimLlm::new(p, InterfaceMode::GuiOnly, "t", 0);
+        assert!(gui.effective_policy_err() > dmi.effective_policy_err());
+    }
+
+    #[test]
+    fn forest_knowledge_helps_small_models_only() {
+        let mini = CapabilityProfile::gpt5_mini_medium();
+        let m_gui = SimLlm::new(mini.clone(), InterfaceMode::GuiOnly, "t", 0);
+        let m_abl = SimLlm::new(mini, InterfaceMode::GuiPlusForest, "t", 0);
+        assert!(m_abl.effective_policy_err() < m_gui.effective_policy_err());
+        let big = CapabilityProfile::gpt5_medium();
+        let b_gui = SimLlm::new(big.clone(), InterfaceMode::GuiOnly, "t", 0);
+        let b_abl = SimLlm::new(big, InterfaceMode::GuiPlusForest, "t", 0);
+        assert!((b_abl.effective_policy_err() - b_gui.effective_policy_err()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrupted_plans_differ_and_cause_recorded() {
+        let mut p = CapabilityProfile::gpt5_medium();
+        p.policy_err = 1.0; // Force a policy failure.
+        let mut llm = SimLlm::new(p, InterfaceMode::GuiPlusDmi, "t", 3);
+        let corrupted = llm.prepare_plan(&plan(), &[]);
+        assert!(corrupted.dmi.is_empty(), "DropLast removed the only step");
+        assert!(llm.injected.is_some());
+        assert_eq!(llm.injected.unwrap().level(), crate::failure::FailureLevel::Policy);
+    }
+
+    #[test]
+    fn record_call_advances_clock_and_ledger() {
+        let p = CapabilityProfile::gpt5_medium();
+        let mut llm = SimLlm::new(p, InterfaceMode::GuiOnly, "t", 0);
+        llm.record_call(3_000, 100);
+        llm.record_call(3_000, 100);
+        assert_eq!(llm.calls(), 2);
+        assert!(llm.clock_secs > 80.0);
+        assert_eq!(llm.ledger.total_prompt(), 6_000);
+    }
+
+    #[test]
+    fn wrong_index_avoids_correct() {
+        let p = CapabilityProfile::gpt5_medium();
+        let mut llm = SimLlm::new(p, InterfaceMode::GuiOnly, "t", 0);
+        for _ in 0..32 {
+            let w = llm.wrong_index(10, 4);
+            assert_ne!(w, 4);
+            assert!(w < 10);
+        }
+        assert_eq!(llm.wrong_index(1, 0), 0);
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(InterfaceMode::GuiOnly.label(), "GUI-only");
+        assert!(InterfaceMode::GuiPlusDmi.has_dmi());
+        assert!(!InterfaceMode::GuiPlusForest.has_dmi());
+        assert!(InterfaceMode::GuiPlusForest.has_forest_knowledge());
+    }
+}

@@ -1,0 +1,294 @@
+//! Excel tasks: tabular editing, conditional formatting, sorting, panes.
+
+use crate::verify::excel;
+use dmi_agent::AgentTask;
+use dmi_apps::model::sheet::Addr;
+use dmi_apps::AppKind;
+use dmi_llm::{GuiStep, PlanMutation, PlanStep, TargetQuery, TaskPlan, VisitTarget};
+
+fn q(name: &str) -> TargetQuery {
+    TargetQuery::name(name)
+}
+
+fn qu(name: &str, under: &str) -> TargetQuery {
+    TargetQuery::under(name, under)
+}
+
+fn cell(s: &dmi_gui::Session, addr: &str) -> dmi_apps::model::sheet::Cell {
+    excel(s).sheet.cell(Addr::parse(addr).expect("valid addr"))
+}
+
+/// The nine Excel scenarios.
+pub fn tasks() -> Vec<AgentTask> {
+    vec![
+        AgentTask {
+            id: "excel-set-b2".into(),
+            app: AppKind::Excel,
+            description: "Set cell F2 to 500.".into(),
+            setup: None,
+            verify: |s| cell(s, "F2").value == "500",
+            plan: TaskPlan {
+                dmi: vec![PlanStep::Visit(vec![
+                    VisitTarget::input_enter(q("Name Box"), "F2"),
+                    VisitTarget::input_enter(qu("Formula Bar", "Formula Bar Area"), "500"),
+                ])],
+                gui: vec![
+                    GuiStep::ClickAndType { target: q("Name Box"), text: "F2".into() },
+                    GuiStep::Press("Enter".into()),
+                    GuiStep::ClickAndType { target: q("Formula Bar"), text: "500".into() },
+                    GuiStep::Press("Enter".into()),
+                ],
+            },
+            mutations: vec![
+                PlanMutation::DropLast,
+                PlanMutation::ReplaceText { from: "F2".into(), to: "F3".into() },
+            ],
+        },
+        AgentTask {
+            id: "excel-fill-yellow".into(),
+            app: AppKind::Excel,
+            description: "Fill the range A1:B2 with yellow.".into(),
+            setup: None,
+            verify: |s| {
+                cell(s, "A1").fill.as_deref() == Some("Yellow")
+                    && cell(s, "B2").fill.as_deref() == Some("Yellow")
+                    && cell(s, "A3").fill.is_none()
+                    && cell(s, "C3").fill.is_none()
+            },
+            plan: TaskPlan {
+                dmi: vec![PlanStep::Visit(vec![
+                    VisitTarget::input_enter(q("Name Box"), "A1:B2"),
+                    VisitTarget::click(qu("Yellow", "Fill Color")),
+                ])],
+                gui: vec![
+                    GuiStep::ClickAndType { target: q("Name Box"), text: "A1:B2".into() },
+                    GuiStep::Press("Enter".into()),
+                    GuiStep::Click(q("Fill Color")),
+                    GuiStep::Click(qu("Yellow", "Fill Color")),
+                ],
+            },
+            mutations: vec![
+                PlanMutation::ReplaceTarget { from: "Yellow".into(), to: "Gold".into() },
+                PlanMutation::ReplaceText { from: "A1:B2".into(), to: "A1:B3".into() },
+            ],
+        },
+        AgentTask {
+            id: "excel-cond-less-than".into(),
+            app: AppKind::Excel,
+            description: "Highlight cells in C1:C10 with values less than 10 using a \
+                          conditional formatting rule."
+                .into(),
+            setup: None,
+            verify: |s| {
+                let sheet = &excel(s).sheet;
+                sheet.cond_rules.len() == 1
+                    && sheet.cond_rules[0].kind == "less_than"
+                    && (sheet.cond_rules[0].threshold - 10.0).abs() < 1e-9
+            },
+            plan: TaskPlan {
+                dmi: vec![
+                    PlanStep::Visit(vec![VisitTarget::input_enter(q("Name Box"), "C1:C10")]),
+                    PlanStep::Visit(vec![
+                        VisitTarget::input_enter(qu("Format cells that are", "Less Than"), "10"),
+                        VisitTarget::click(qu("Apply Rule", "Less Than")),
+                        VisitTarget::click(qu("OK", "Less Than")),
+                    ]),
+                ],
+                gui: vec![
+                    GuiStep::ClickAndType { target: q("Name Box"), text: "C1:C10".into() },
+                    GuiStep::Press("Enter".into()),
+                    GuiStep::Click(q("Conditional Formatting")),
+                    GuiStep::Click(q("Highlight Cells Rules")),
+                    GuiStep::Click(q("Less Than...")),
+                    GuiStep::ClickAndType {
+                        target: q("Format cells that are"),
+                        text: "10".into(),
+                    },
+                    GuiStep::Press("Enter".into()),
+                    GuiStep::Click(q("Apply Rule")),
+                    GuiStep::Click(q("OK")),
+                ],
+            },
+            mutations: vec![
+                PlanMutation::DropStepWith { name: "Apply Rule".into() },
+                PlanMutation::ReplaceText { from: "10".into(), to: "100".into() },
+            ],
+        },
+        AgentTask {
+            id: "excel-sort-units".into(),
+            app: AppKind::Excel,
+            description: "Sort the table by the Units column (C), smallest to largest.".into(),
+            setup: None,
+            verify: |s| excel(s).sheet.last_sort == Some((2, true)),
+            plan: TaskPlan {
+                dmi: vec![
+                    PlanStep::Visit(vec![VisitTarget::input_enter(q("Name Box"), "C1")]),
+                    PlanStep::Visit(vec![VisitTarget::click(qu("Sort A to Z", "Sort & Filter"))]),
+                ],
+                gui: vec![
+                    GuiStep::ClickAndType { target: q("Name Box"), text: "C1".into() },
+                    GuiStep::Press("Enter".into()),
+                    GuiStep::Click(q("Sort & Filter")),
+                    GuiStep::Click(q("Sort A to Z")),
+                ],
+            },
+            mutations: vec![
+                PlanMutation::ReplaceTarget {
+                    from: "Sort A to Z".into(),
+                    to: "Sort Z to A".into(),
+                },
+                PlanMutation::ReplaceText { from: "C1".into(), to: "D1".into() },
+            ],
+        },
+        AgentTask {
+            id: "excel-freeze-top-row".into(),
+            app: AppKind::Excel,
+            description: "Freeze the top row of the sheet.".into(),
+            setup: None,
+            verify: |s| excel(s).sheet.frozen_rows == 1 && excel(s).sheet.frozen_cols == 0,
+            plan: TaskPlan {
+                dmi: vec![PlanStep::Visit(vec![VisitTarget::click(qu(
+                    "Freeze Top Row",
+                    "Freeze Panes",
+                ))])],
+                gui: vec![
+                    GuiStep::Click(q("View")),
+                    GuiStep::Click(q("Freeze Panes")),
+                    GuiStep::Click(q("Freeze Top Row")),
+                ],
+            },
+            mutations: vec![PlanMutation::ReplaceTarget {
+                from: "Freeze Top Row".into(),
+                to: "Freeze First Column".into(),
+            }],
+        },
+        AgentTask {
+            id: "excel-percent-format".into(),
+            app: AppKind::Excel,
+            description: "Format the range D1:D10 as Percentage.".into(),
+            setup: None,
+            verify: |s| {
+                cell(s, "D2").number_format.as_deref() == Some("Percentage")
+                    && cell(s, "D9").number_format.as_deref() == Some("Percentage")
+            },
+            plan: TaskPlan {
+                dmi: vec![PlanStep::Visit(vec![
+                    VisitTarget::input_enter(q("Name Box"), "D1:D10"),
+                    VisitTarget::click(qu("Percentage", "Number Format")),
+                ])],
+                gui: vec![
+                    GuiStep::ClickAndType { target: q("Name Box"), text: "D1:D10".into() },
+                    GuiStep::Press("Enter".into()),
+                    GuiStep::Click(q("Number Format")),
+                    GuiStep::Click(qu("Percentage", "Number Format")),
+                ],
+            },
+            mutations: vec![PlanMutation::ReplaceTarget {
+                from: "Percentage".into(),
+                to: "Currency".into(),
+            }],
+        },
+        AgentTask {
+            id: "excel-rename-sheet".into(),
+            app: AppKind::Excel,
+            description: "Rename the worksheet to 'Budget'.".into(),
+            setup: None,
+            verify: |s| excel(s).sheet.name == "Budget",
+            plan: TaskPlan {
+                dmi: vec![PlanStep::Visit(vec![
+                    VisitTarget::input_enter(q("Sheet name"), "Budget"),
+                    VisitTarget::click(qu("OK", "Rename Sheet")),
+                ])],
+                gui: vec![
+                    GuiStep::Click(q("Format")),
+                    GuiStep::Click(q("Rename Sheet")),
+                    GuiStep::ClickAndType { target: q("Sheet name"), text: "Budget".into() },
+                    GuiStep::Press("Enter".into()),
+                    GuiStep::Click(q("OK")),
+                ],
+            },
+            mutations: vec![
+                PlanMutation::ReplaceText { from: "Budget".into(), to: "Budget2".into() },
+                PlanMutation::DropLast,
+            ],
+        },
+        AgentTask {
+            id: "excel-autosum-units".into(),
+            app: AppKind::Excel,
+            description: "Use AutoSum to total the Units column into C11.".into(),
+            setup: None,
+            verify: |s| cell(s, "C11").value == "320",
+            plan: TaskPlan {
+                dmi: vec![PlanStep::Visit(vec![
+                    VisitTarget::input_enter(q("Name Box"), "C11"),
+                    VisitTarget::click(qu("Sum", "AutoSum")),
+                ])],
+                gui: vec![
+                    GuiStep::ClickAndType { target: q("Name Box"), text: "C11".into() },
+                    GuiStep::Press("Enter".into()),
+                    GuiStep::Click(q("AutoSum")),
+                    GuiStep::Click(qu("Sum", "AutoSum")),
+                ],
+            },
+            mutations: vec![
+                PlanMutation::ReplaceTarget { from: "Sum".into(), to: "Average".into() },
+                PlanMutation::ReplaceText { from: "C11".into(), to: "C12".into() },
+            ],
+        },
+        AgentTask {
+            id: "excel-read-revenue".into(),
+            app: AppKind::Excel,
+            description: "Find the largest Revenue value in the table and record it in F5."
+                .into(),
+            setup: None,
+            verify: |s| cell(s, "F5").value == "5000",
+            plan: TaskPlan {
+                dmi: vec![
+                    // Observation round: read the Revenue column through
+                    // get_texts (no pixel parsing).
+                    PlanStep::ObserveTexts {
+                        names: vec!["D2".into(), "D3".into(), "D4".into(), "D5".into()],
+                    },
+                    PlanStep::Visit(vec![
+                        VisitTarget::input_enter(q("Name Box"), "F5"),
+                        VisitTarget::input_enter(qu("Formula Bar", "Formula Bar Area"), "5000"),
+                    ]),
+                ],
+                gui: vec![
+                    GuiStep::ClickAndType { target: q("Name Box"), text: "F5".into() },
+                    GuiStep::Press("Enter".into()),
+                    GuiStep::ClickAndType { target: q("Formula Bar"), text: "5000".into() },
+                    GuiStep::Press("Enter".into()),
+                ],
+            },
+            mutations: vec![
+                // A visual misread of the grid: plausible wrong maximum.
+                PlanMutation::ReplaceText { from: "5000".into(), to: "3500".into() },
+                PlanMutation::DropLast,
+            ],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_excel_tasks() {
+        assert_eq!(tasks().len(), 9);
+        assert!(tasks().iter().all(|t| t.app == AppKind::Excel));
+    }
+
+    #[test]
+    fn autosum_expectation_matches_seeded_data() {
+        // 30+4+100+55+12+70+8+41 = 320 from the seeded table.
+        let t = tasks().into_iter().find(|t| t.id == "excel-autosum-units").unwrap();
+        let s = t.launch_small();
+        let sheet = &excel(&s).sheet;
+        let total: i64 = (1..=8)
+            .filter_map(|r| sheet.cell(Addr { row: r, col: 2 }).value.parse::<i64>().ok())
+            .sum();
+        assert_eq!(total, 320);
+    }
+}

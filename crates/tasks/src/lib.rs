@@ -1,0 +1,78 @@
+//! The OSWorld-W-like benchmark suite (§5.1): 27 single-app scenarios —
+//! 9 each for Word, Excel, and PowerPoint — with programmatic setup,
+//! model-state verifiers (the role of OSWorld's getter scripts), oracle
+//! plans in both DMI and GUI lowerings, and the plausible-but-wrong plan
+//! mutations error injection draws from (§5.6 failure flavours).
+
+pub mod excel_suite;
+pub mod ppt_suite;
+pub mod verify;
+pub mod word_suite;
+
+use dmi_agent::AgentTask;
+
+/// The full 27-task suite, Word then Excel then PowerPoint.
+pub fn all_tasks() -> Vec<AgentTask> {
+    let mut v = word_suite::tasks();
+    v.extend(excel_suite::tasks());
+    v.extend(ppt_suite::tasks());
+    v
+}
+
+/// Looks up a task by id.
+pub fn task_by_id(id: &str) -> Option<AgentTask> {
+    all_tasks().into_iter().find(|t| t.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmi_apps::AppKind;
+
+    #[test]
+    fn suite_has_27_tasks_evenly_split() {
+        let tasks = all_tasks();
+        assert_eq!(tasks.len(), 27);
+        for app in AppKind::ALL {
+            let n = tasks.iter().filter(|t| t.app == app).count();
+            assert_eq!(n, 9, "{app} should have 9 tasks");
+        }
+    }
+
+    #[test]
+    fn task_ids_are_unique() {
+        let tasks = all_tasks();
+        let mut ids: Vec<&str> = tasks.iter().map(|t| t.id.as_str()).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 27);
+    }
+
+    #[test]
+    fn every_task_has_plans_and_mutations() {
+        for t in all_tasks() {
+            assert!(!t.plan.dmi.is_empty(), "{} has no DMI plan", t.id);
+            assert!(!t.plan.gui.is_empty(), "{} has no GUI plan", t.id);
+            assert!(!t.mutations.is_empty(), "{} has no mutations", t.id);
+            assert!(!t.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn fresh_sessions_do_not_verify() {
+        // No task may be pre-satisfied by the initial document state.
+        for t in all_tasks() {
+            let mut s = t.launch_small();
+            if let Some(setup) = t.setup {
+                setup(&mut s);
+            }
+            assert!(!(t.verify)(&s), "{} verifies before any action", t.id);
+        }
+    }
+
+    #[test]
+    fn task_lookup() {
+        assert!(task_by_id("ppt-background-all").is_some());
+        assert!(task_by_id("nope").is_none());
+    }
+}

@@ -1,0 +1,264 @@
+//! PowerPoint tasks: graphics, transitions, slide management — including
+//! the paper's Table 1 running examples.
+
+use crate::verify::ppt;
+use dmi_agent::AgentTask;
+use dmi_apps::AppKind;
+use dmi_llm::{GuiStep, PlanMutation, PlanStep, TargetQuery, TaskPlan, VisitTarget};
+
+fn q(name: &str) -> TargetQuery {
+    TargetQuery::name(name)
+}
+
+fn qu(name: &str, under: &str) -> TargetQuery {
+    TargetQuery::under(name, under)
+}
+
+/// The nine PowerPoint scenarios.
+pub fn tasks() -> Vec<AgentTask> {
+    vec![
+        AgentTask {
+            // Table 1, Task 1.
+            id: "ppt-background-all".into(),
+            app: AppKind::PowerPoint,
+            description: "Make the background blue on all slides.".into(),
+            setup: None,
+            verify: |s| {
+                ppt(s).deck.slides.iter().all(|sl| sl.background.as_deref() == Some("Blue"))
+            },
+            plan: TaskPlan {
+                dmi: vec![PlanStep::Visit(vec![
+                    VisitTarget::click(qu("Blue", "Fill Color")),
+                    VisitTarget::click(q("Apply to All")),
+                ])],
+                gui: vec![
+                    GuiStep::Click(q("Design")),
+                    GuiStep::Click(q("Format Background")),
+                    GuiStep::Click(q("Solid fill")),
+                    GuiStep::Click(q("Fill Color")),
+                    GuiStep::Click(qu("Blue", "Fill Color")),
+                    GuiStep::Click(q("Apply to All")),
+                ],
+            },
+            mutations: vec![
+                PlanMutation::DropStepWith { name: "Apply to All".into() },
+                PlanMutation::ReplaceTarget { from: "Blue".into(), to: "Dark Blue".into() },
+            ],
+        },
+        AgentTask {
+            id: "ppt-transition-fade-all".into(),
+            app: AppKind::PowerPoint,
+            description: "Apply the Fade transition to every slide.".into(),
+            setup: None,
+            verify: |s| {
+                ppt(s).deck.slides.iter().all(|sl| sl.transition.as_deref() == Some("Fade"))
+            },
+            plan: TaskPlan {
+                dmi: vec![PlanStep::Visit(vec![
+                    VisitTarget::click(qu("Fade", "Transition Styles")),
+                    VisitTarget::click(q("Apply To All")),
+                ])],
+                gui: vec![
+                    GuiStep::Click(q("Transitions")),
+                    GuiStep::Click(q("Transition Styles")),
+                    GuiStep::Click(qu("Fade", "Transition Styles")),
+                    GuiStep::Click(q("Apply To All")),
+                ],
+            },
+            mutations: vec![
+                PlanMutation::DropStepWith { name: "Apply To All".into() },
+                PlanMutation::ReplaceTarget { from: "Fade".into(), to: "Push".into() },
+            ],
+        },
+        AgentTask {
+            id: "ppt-notes-slide1".into(),
+            app: AppKind::PowerPoint,
+            description: "Add the speaker note 'Thank the team' to the first slide.".into(),
+            setup: None,
+            verify: |s| ppt(s).deck.slides[0].notes == "Thank the team",
+            plan: TaskPlan {
+                dmi: vec![PlanStep::Visit(vec![VisitTarget::input_enter(
+                    q("Notes"),
+                    "Thank the team",
+                )])],
+                gui: vec![
+                    GuiStep::ClickAndType { target: q("Notes"), text: "Thank the team".into() },
+                    GuiStep::Press("Enter".into()),
+                ],
+            },
+            mutations: vec![
+                PlanMutation::ReplaceText {
+                    from: "Thank the team".into(),
+                    to: "Thank the tema".into(),
+                },
+                PlanMutation::DropLast,
+            ],
+        },
+        AgentTask {
+            id: "ppt-slide-size-standard".into(),
+            app: AppKind::PowerPoint,
+            description: "Change the slide size to Standard (4:3).".into(),
+            setup: None,
+            verify: |s| ppt(s).deck.slide_size == "Standard (4:3)",
+            plan: TaskPlan {
+                dmi: vec![PlanStep::Visit(vec![VisitTarget::click(qu(
+                    "Standard (4:3)",
+                    "Slide Size",
+                ))])],
+                gui: vec![
+                    GuiStep::Click(q("Design")),
+                    GuiStep::Click(q("Slide Size")),
+                    GuiStep::Click(q("Standard (4:3)")),
+                ],
+            },
+            mutations: vec![PlanMutation::DropLast],
+        },
+        AgentTask {
+            id: "ppt-new-blank-slide".into(),
+            app: AppKind::PowerPoint,
+            description: "Add a new slide with the Blank layout.".into(),
+            setup: None,
+            verify: |s| {
+                ppt(s).deck.slides.last().is_some_and(|sl| sl.layout == "Blank")
+            },
+            plan: TaskPlan {
+                dmi: vec![PlanStep::Visit(vec![VisitTarget::click(qu("Blank", "New Slide"))])],
+                gui: vec![GuiStep::Click(q("New Slide")), GuiStep::Click(qu("Blank", "New Slide"))],
+            },
+            mutations: vec![PlanMutation::ReplaceTarget {
+                from: "Blank".into(),
+                to: "Two Content".into(),
+            }],
+        },
+        AgentTask {
+            id: "ppt-title-font-36".into(),
+            app: AppKind::PowerPoint,
+            description: "Set the title of slide 1 to font size 36.".into(),
+            setup: None,
+            verify: |s| (ppt(s).deck.slides[0].shapes[0].font_size - 36.0).abs() < 1e-9,
+            plan: TaskPlan {
+                dmi: vec![
+                    PlanStep::StateSelectControls { names: vec!["title 1".into()] },
+                    PlanStep::Visit(vec![VisitTarget::click(qu("36", "Font Size"))]),
+                ],
+                gui: vec![
+                    GuiStep::Click(q("title 1")),
+                    GuiStep::Click(q("Font Size")),
+                    GuiStep::Click(qu("36", "Font Size")),
+                ],
+            },
+            mutations: vec![
+                PlanMutation::ReplaceTarget { from: "36".into(), to: "32".into() },
+                PlanMutation::DropStepWith { name: "title 1".into() },
+            ],
+        },
+        AgentTask {
+            id: "ppt-picture-style".into(),
+            app: AppKind::PowerPoint,
+            description: "Apply Picture Style 3 to the image on slide 2.".into(),
+            setup: None,
+            verify: |s| {
+                ppt(s).deck.slides[1]
+                    .shapes
+                    .iter()
+                    .any(|sh| sh.kind == "image" && sh.style.as_deref() == Some("Picture Style 3"))
+            },
+            plan: TaskPlan {
+                dmi: vec![
+                    PlanStep::StateSelectControls { names: vec!["Slide 2".into()] },
+                    PlanStep::StateSelectControls { names: vec!["image 2".into()] },
+                    PlanStep::Visit(vec![VisitTarget::click(qu(
+                        "Picture Style 3",
+                        "Picture Quick Styles",
+                    ))]),
+                ],
+                gui: vec![
+                    GuiStep::Click(q("Slide 2")),
+                    GuiStep::Click(q("image 2")),
+                    GuiStep::Click(q("Picture Format")),
+                    GuiStep::Click(q("Picture Quick Styles")),
+                    GuiStep::Click(q("Picture Style 3")),
+                ],
+            },
+            mutations: vec![
+                PlanMutation::DropStepWith { name: "image 2".into() },
+                PlanMutation::ReplaceTarget {
+                    from: "Picture Style 3".into(),
+                    to: "Picture Style 7".into(),
+                },
+            ],
+        },
+        AgentTask {
+            id: "ppt-animate-title-zoom".into(),
+            app: AppKind::PowerPoint,
+            description: "Add the Zoom animation to the title on slide 1.".into(),
+            setup: None,
+            verify: |s| {
+                ppt(s).deck.slides[0].shapes[0].animation.as_deref() == Some("Zoom")
+            },
+            plan: TaskPlan {
+                dmi: vec![
+                    PlanStep::StateSelectControls { names: vec!["title 1".into()] },
+                    PlanStep::Visit(vec![VisitTarget::click(qu("Zoom", "Animation Styles"))]),
+                ],
+                gui: vec![
+                    GuiStep::Click(q("title 1")),
+                    GuiStep::Click(q("Animations")),
+                    GuiStep::Click(q("Animation Styles")),
+                    GuiStep::Click(qu("Zoom", "Animation Styles")),
+                ],
+            },
+            mutations: vec![
+                PlanMutation::ReplaceTarget { from: "Zoom".into(), to: "Bounce".into() },
+                PlanMutation::DropStepWith { name: "title 1".into() },
+            ],
+        },
+        AgentTask {
+            // Table 1, Task 2 flavour (slide panel instead of document).
+            id: "ppt-scroll-panel-end".into(),
+            app: AppKind::PowerPoint,
+            description: "Scroll the slide panel to show the last slides.".into(),
+            setup: None,
+            verify: |s| {
+                let a = ppt(s);
+                s.app().tree().widget(a.thumbnails()).scroll_pos >= 80.0
+            },
+            plan: TaskPlan {
+                dmi: vec![PlanStep::StateScrollbar {
+                    surface: "Slide Panel Scroll Bar".into(),
+                    percent: 100.0,
+                }],
+                // Iterative drag-observe loop (§2.1 Mismatch #2).
+                gui: vec![
+                    GuiStep::DragScrollbarTo { name: "Slide Panel Scroll Bar".into(), percent: 60.0 },
+                    GuiStep::DragScrollbarTo { name: "Slide Panel Scroll Bar".into(), percent: 88.0 },
+                    GuiStep::DragScrollbarTo { name: "Slide Panel Scroll Bar".into(), percent: 100.0 },
+                ],
+            },
+            mutations: vec![PlanMutation::PerturbNumber { delta: -60.0 }],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_ppt_tasks() {
+        assert_eq!(tasks().len(), 9);
+        assert!(tasks().iter().all(|t| t.app == AppKind::PowerPoint));
+    }
+
+    #[test]
+    fn table1_task1_is_two_dmi_commands() {
+        // The paper's visit(["Blue", "Apply to All"]) example.
+        let t = tasks().into_iter().find(|t| t.id == "ppt-background-all").unwrap();
+        match &t.plan.dmi[0] {
+            PlanStep::Visit(v) => assert_eq!(v.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        // Imperative GUI needs 6 clicks for the same outcome (Table 1).
+        assert_eq!(t.plan.gui.len(), 6);
+    }
+}

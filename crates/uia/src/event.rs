@@ -1,0 +1,135 @@
+//! Accessibility events.
+//!
+//! The evaluation setup (§5.1) registers a UIA event handler so applications
+//! expose their full control trees (avoiding lazy-loading artifacts). The
+//! simulated runtime emits the analogous events so clients (ripper,
+//! executor) can detect new windows and structure changes.
+
+use crate::RuntimeId;
+use serde::{Deserialize, Serialize};
+
+/// A UIA-style event emitted by the simulated provider.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UiaEvent {
+    /// A new top-level or modal window opened.
+    WindowOpened {
+        /// Runtime id of the window root.
+        window: RuntimeId,
+        /// Window title.
+        title: String,
+        /// Owning process id.
+        process_id: u32,
+        /// Whether the window is modal.
+        modal: bool,
+    },
+    /// A top-level or modal window closed.
+    WindowClosed {
+        /// Runtime id of the window root.
+        window: RuntimeId,
+        /// Window title.
+        title: String,
+    },
+    /// The structure below a control changed (children added/removed).
+    StructureChanged {
+        /// Runtime id of the subtree root that changed.
+        subtree: RuntimeId,
+    },
+    /// A property of a control changed (name, value, enabled, ...).
+    PropertyChanged {
+        /// Runtime id of the control.
+        control: RuntimeId,
+        /// Property name (UIA-style, e.g. `"Name"`, `"Value.Value"`).
+        property: String,
+    },
+    /// Keyboard focus moved.
+    FocusChanged {
+        /// Runtime id of the newly focused control.
+        control: RuntimeId,
+    },
+}
+
+impl UiaEvent {
+    /// Whether this event indicates a window was opened.
+    pub fn is_window_opened(&self) -> bool {
+        matches!(self, UiaEvent::WindowOpened { .. })
+    }
+
+    /// Whether this event indicates any structural change (window open or
+    /// close, or a subtree mutation).
+    pub fn is_structural(&self) -> bool {
+        matches!(
+            self,
+            UiaEvent::WindowOpened { .. }
+                | UiaEvent::WindowClosed { .. }
+                | UiaEvent::StructureChanged { .. }
+        )
+    }
+}
+
+/// An append-only event log kept per session, mirroring an event handler
+/// subscription.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Vec<UiaEvent>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, e: UiaEvent) {
+        self.events.push(e);
+    }
+
+    /// All events since the beginning of the session.
+    pub fn all(&self) -> &[UiaEvent] {
+        &self.events
+    }
+
+    /// Events at or after the given cursor; pair with [`EventLog::cursor`].
+    pub fn since(&self, cursor: usize) -> &[UiaEvent] {
+        &self.events[cursor.min(self.events.len())..]
+    }
+
+    /// Current cursor (index one past the last event).
+    pub fn cursor(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether any window opened at or after `cursor`.
+    pub fn window_opened_since(&self, cursor: usize) -> Option<&UiaEvent> {
+        self.since(cursor).iter().find(|e| e.is_window_opened())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_since_and_cursor() {
+        let mut log = EventLog::new();
+        let c0 = log.cursor();
+        log.push(UiaEvent::FocusChanged { control: RuntimeId(1) });
+        let c1 = log.cursor();
+        log.push(UiaEvent::WindowOpened {
+            window: RuntimeId(2),
+            title: "Dialog".into(),
+            process_id: 7,
+            modal: true,
+        });
+        assert_eq!(log.since(c0).len(), 2);
+        assert_eq!(log.since(c1).len(), 1);
+        assert!(log.window_opened_since(c1).is_some());
+        assert!(log.window_opened_since(log.cursor()).is_none());
+    }
+
+    #[test]
+    fn structural_classification() {
+        assert!(UiaEvent::StructureChanged { subtree: RuntimeId(1) }.is_structural());
+        assert!(!UiaEvent::FocusChanged { control: RuntimeId(1) }.is_structural());
+    }
+}

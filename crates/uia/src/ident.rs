@@ -1,0 +1,383 @@
+//! XPath-like control identifiers and fuzzy matching (§4.1, §3.4).
+//!
+//! Since UIA does not guarantee globally unique `automation_id`s, the paper
+//! synthesizes an identifier of the form:
+//!
+//! ```text
+//! primary_id|control_type|ancestor_path
+//! ```
+//!
+//! where `primary_id` falls back from `automation_id` to `name` to
+//! `[Unnamed]`, and `ancestor_path` is a slash-delimited chain of ancestor
+//! names. Index-based addressing is deliberately avoided because dynamic
+//! menus shift indices unpredictably.
+//!
+//! Exact matching can fail in live UIs (name variation, missing ids), so
+//! the executor falls back to a [`FuzzyMatcher`] that scores candidates by
+//! control type, ancestor hierarchy, and name similarity.
+
+use crate::{ControlType, Node, Snapshot};
+use serde::{Deserialize, Serialize};
+
+/// Synthesized control identifier: `primary_id|control_type|ancestor_path`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ControlId {
+    /// `automation_id`, or `name`, or `"[Unnamed]"`.
+    pub primary: String,
+    /// UIA control type.
+    pub control_type: ControlType,
+    /// Slash-delimited root-first ancestor names.
+    pub ancestor_path: String,
+}
+
+impl ControlId {
+    /// Synthesizes the identifier for a snapshot node.
+    pub fn of(snap: &Snapshot, idx: usize) -> ControlId {
+        let n = snap.node(idx);
+        ControlId {
+            primary: n.props.primary_id().to_string(),
+            control_type: n.props.control_type,
+            ancestor_path: snap.ancestor_path(idx),
+        }
+    }
+
+    /// Serializes to the canonical `primary|type|path` string.
+    pub fn encode(&self) -> String {
+        format!("{}|{}|{}", self.primary, self.control_type.as_str(), self.ancestor_path)
+    }
+
+    /// Parses the canonical form produced by [`ControlId::encode`].
+    pub fn decode(s: &str) -> Option<ControlId> {
+        let mut parts = s.splitn(3, '|');
+        let primary = parts.next()?.to_string();
+        let ct = ControlType::parse(parts.next()?)?;
+        let ancestor_path = parts.next()?.to_string();
+        Some(ControlId { primary, control_type: ct, ancestor_path })
+    }
+
+    /// Whether a node matches this identifier exactly.
+    pub fn matches_exact(&self, snap: &Snapshot, idx: usize) -> bool {
+        let n = snap.node(idx);
+        n.props.primary_id() == self.primary
+            && n.props.control_type == self.control_type
+            && snap.ancestor_path(idx) == self.ancestor_path
+    }
+
+    /// The last component of the ancestor path (immediate parent name).
+    pub fn parent_name(&self) -> Option<&str> {
+        self.ancestor_path.rsplit('/').next().filter(|s| !s.is_empty())
+    }
+}
+
+impl std::fmt::Display for ControlId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+/// A match produced by [`FuzzyMatcher`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchScore {
+    /// Arena index of the candidate node.
+    pub index: usize,
+    /// Similarity in `[0, 1]`; `1.0` is an exact match.
+    pub score: f64,
+}
+
+/// Fuzzy control matcher combining control type, ancestor hierarchy, and
+/// name similarity (paper §3.4, "Handling unstable UI interaction").
+#[derive(Debug, Clone)]
+pub struct FuzzyMatcher {
+    /// Minimum acceptable score; candidates below are rejected.
+    pub threshold: f64,
+    /// Weight of name similarity (the rest is split between type match and
+    /// ancestor-path similarity).
+    pub name_weight: f64,
+}
+
+impl Default for FuzzyMatcher {
+    fn default() -> Self {
+        // High enough that unrelated same-type siblings ("Borders" for
+        // "Margins") are rejected, low enough that live-name variations
+        // ("Next" -> "Next Page") with matching type and path still pass.
+        FuzzyMatcher { threshold: 0.8, name_weight: 0.5 }
+    }
+}
+
+impl FuzzyMatcher {
+    /// Finds the best node for `target` in the snapshot, exact first and
+    /// fuzzy as fallback. Returns `None` if nothing reaches the threshold.
+    pub fn best_match(&self, snap: &Snapshot, target: &ControlId) -> Option<MatchScore> {
+        self.best_match_within(snap, target, None)
+    }
+
+    /// Like [`FuzzyMatcher::best_match`] but restricted to descendants of
+    /// `scope` when given.
+    pub fn best_match_within(
+        &self,
+        snap: &Snapshot,
+        target: &ControlId,
+        scope: Option<usize>,
+    ) -> Option<MatchScore> {
+        self.best_match_filtered(snap, target, scope, false)
+    }
+
+    /// Like [`FuzzyMatcher::best_match_within`], optionally skipping
+    /// off-screen candidates (an executor looking for something *visible*
+    /// must not match scrolled-out content).
+    pub fn best_match_filtered(
+        &self,
+        snap: &Snapshot,
+        target: &ControlId,
+        scope: Option<usize>,
+        skip_offscreen: bool,
+    ) -> Option<MatchScore> {
+        let mut candidates: Vec<usize> = match scope {
+            Some(root) => snap.descendants(root),
+            None => (0..snap.len()).collect(),
+        };
+        if skip_offscreen {
+            candidates.retain(|&i| !snap.node(i).props.offscreen);
+        }
+        // Exact pass.
+        for &i in &candidates {
+            if target.matches_exact(snap, i) {
+                return Some(MatchScore { index: i, score: 1.0 });
+            }
+        }
+        // Fuzzy pass.
+        let mut best: Option<MatchScore> = None;
+        for &i in &candidates {
+            let s = self.score(snap, i, target);
+            if s >= self.threshold && best.is_none_or(|b| s > b.score) {
+                best = Some(MatchScore { index: i, score: s });
+            }
+        }
+        best
+    }
+
+    /// Scores one candidate node against a target identifier.
+    pub fn score(&self, snap: &Snapshot, idx: usize, target: &ControlId) -> f64 {
+        let n: &Node = snap.node(idx);
+        let type_w = (1.0 - self.name_weight) * 0.5;
+        let path_w = (1.0 - self.name_weight) * 0.5;
+
+        let type_score = if n.props.control_type == target.control_type { 1.0 } else { 0.0 };
+        let name_score = {
+            let a = n.props.primary_id();
+            string_similarity(a, &target.primary)
+                .max(string_similarity(&n.props.name, &target.primary))
+        };
+        let path_score = path_similarity(&snap.ancestor_path(idx), &target.ancestor_path);
+
+        self.name_weight * name_score + type_w * type_score + path_w * path_score
+    }
+}
+
+/// Normalized similarity of two strings based on Levenshtein distance with
+/// a case-insensitive prefix bonus. Returns a value in `[0, 1]`.
+pub fn string_similarity(a: &str, b: &str) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let al = a.to_lowercase();
+    let bl = b.to_lowercase();
+    if al == bl {
+        return 0.97;
+    }
+    if al.is_empty() || bl.is_empty() {
+        return 0.0;
+    }
+    // Prefix containment: "Go To" vs "Go To…" or "Next" renamed "Next Page".
+    let prefix = al.starts_with(&bl) || bl.starts_with(&al);
+    let d = levenshtein(&al, &bl);
+    let max_len = al.chars().count().max(bl.chars().count());
+    let base = 1.0 - d as f64 / max_len as f64;
+    if prefix {
+        (base + 0.25).min(0.95)
+    } else {
+        base
+    }
+}
+
+/// Similarity of two slash-delimited ancestor paths: fraction of matching
+/// components, compared suffix-first (nearest ancestors matter most).
+pub fn path_similarity(a: &str, b: &str) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let av: Vec<&str> = a.split('/').filter(|s| !s.is_empty()).collect();
+    let bv: Vec<&str> = b.split('/').filter(|s| !s.is_empty()).collect();
+    if av.is_empty() && bv.is_empty() {
+        return 1.0;
+    }
+    let n = av.len().max(bv.len());
+    let mut matched = 0usize;
+    for k in 1..=av.len().min(bv.len()) {
+        if av[av.len() - k].eq_ignore_ascii_case(bv[bv.len() - k]) {
+            matched += 1;
+        }
+    }
+    matched as f64 / n as f64
+}
+
+/// Levenshtein edit distance over characters.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    if av.is_empty() {
+        return bv.len();
+    }
+    if bv.is_empty() {
+        return av.len();
+    }
+    let mut prev: Vec<usize> = (0..=bv.len()).collect();
+    let mut cur = vec![0usize; bv.len() + 1];
+    for (i, &ac) in av.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &bc) in bv.iter().enumerate() {
+            let cost = usize::from(ac != bc);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[bv.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ControlProps, ControlType};
+
+    fn snap_with(names: &[(&str, &str, ControlType)]) -> Snapshot {
+        // names: (name, automation_id, type) as a chain root->leaf.
+        let mut s = Snapshot::new();
+        let mut parent = None;
+        for (i, (name, auto, ct)) in names.iter().enumerate() {
+            let mut p = ControlProps::new(*name, *ct);
+            p.automation_id = auto.to_string();
+            let idx = s.push(p, parent, 0);
+            if i == 0 {
+                s.push_window_root(idx);
+            }
+            parent = Some(idx);
+        }
+        s
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let id = ControlId {
+            primary: "FontColor".into(),
+            control_type: ControlType::SplitButton,
+            ancestor_path: "Word/Home/Font".into(),
+        };
+        let enc = id.encode();
+        assert_eq!(enc, "FontColor|SplitButton|Word/Home/Font");
+        assert_eq!(ControlId::decode(&enc), Some(id));
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert_eq!(ControlId::decode("no-separators"), None);
+        assert_eq!(ControlId::decode("a|NotAType|b"), None);
+    }
+
+    #[test]
+    fn of_uses_fallback_primary() {
+        let s = snap_with(&[
+            ("Main", "", ControlType::Window),
+            ("Home", "TabHome", ControlType::TabItem),
+            ("Bold", "", ControlType::Button),
+        ]);
+        let id = ControlId::of(&s, 2);
+        assert_eq!(id.primary, "Bold");
+        assert_eq!(id.ancestor_path, "Main/Home");
+        assert!(id.matches_exact(&s, 2));
+        assert!(!id.matches_exact(&s, 1));
+    }
+
+    #[test]
+    fn exact_match_preferred() {
+        let s = snap_with(&[
+            ("Main", "", ControlType::Window),
+            ("Home", "", ControlType::TabItem),
+            ("Bold", "", ControlType::Button),
+        ]);
+        let id = ControlId::of(&s, 2);
+        let m = FuzzyMatcher::default().best_match(&s, &id).unwrap();
+        assert_eq!(m.index, 2);
+        assert_eq!(m.score, 1.0);
+    }
+
+    #[test]
+    fn fuzzy_handles_name_variation() {
+        // Modeled as "Next", live UI renamed to "Go To" -> should NOT match.
+        // Modeled as "Next", live renamed "Next Page" -> should match.
+        let s = snap_with(&[
+            ("Main", "", ControlType::Window),
+            ("Find and Replace", "", ControlType::Window),
+            ("Next Page", "", ControlType::Button),
+        ]);
+        let id = ControlId {
+            primary: "Next".into(),
+            control_type: ControlType::Button,
+            ancestor_path: "Main/Find and Replace".into(),
+        };
+        let m = FuzzyMatcher::default().best_match(&s, &id).expect("prefix variation matches");
+        assert_eq!(m.index, 2);
+        assert!(m.score < 1.0);
+    }
+
+    #[test]
+    fn fuzzy_rejects_unrelated() {
+        let s = snap_with(&[
+            ("Main", "", ControlType::Window),
+            ("Design", "", ControlType::TabItem),
+            ("Watermark", "", ControlType::Button),
+        ]);
+        let id = ControlId {
+            primary: "Conditional Formatting".into(),
+            control_type: ControlType::MenuItem,
+            ancestor_path: "Book1/Home/Styles".into(),
+        };
+        assert!(FuzzyMatcher::default().best_match(&s, &id).is_none());
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn path_similarity_suffix_weighted() {
+        assert_eq!(path_similarity("A/B/C", "A/B/C"), 1.0);
+        assert!(path_similarity("X/B/C", "A/B/C") > 0.5);
+        assert_eq!(path_similarity("", ""), 1.0);
+    }
+
+    #[test]
+    fn scoped_match_restricts_to_subtree() {
+        let mut s = Snapshot::new();
+        let w1 = s.push(ControlProps::new("W1", ControlType::Window), None, 0);
+        s.push_window_root(w1);
+        let b1 = s.push(ControlProps::new("OK", ControlType::Button), Some(w1), 0);
+        let w2 = s.push(ControlProps::new("W2", ControlType::Window), None, 1);
+        s.push_window_root(w2);
+        let b2 = s.push(ControlProps::new("OK", ControlType::Button), Some(w2), 1);
+        let id = ControlId {
+            primary: "OK".into(),
+            control_type: ControlType::Button,
+            ancestor_path: "W2".into(),
+        };
+        let m = FuzzyMatcher::default().best_match_within(&s, &id, Some(w2)).unwrap();
+        assert_eq!(m.index, b2);
+        // Within w1's scope only the w1 button is a candidate and its path
+        // differs; it may still fuzzily match, but must not be b2.
+        if let Some(m1) = FuzzyMatcher::default().best_match_within(&s, &id, Some(w1)) {
+            assert_eq!(m1.index, b1);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! A small head-to-head: the 27-task suite under the GUI-only baseline
+//! and GUI+DMI with the GPT-5 (Medium) profile on the small apps.
+//!
+//! ```text
+//! cargo run -p dmi-examples --bin agent_shootout --release
+//! ```
+
+use dmi_agent::{aggregate, run_task, InterfaceMode, RunConfig};
+use dmi_core::{Dmi, DmiBuildConfig};
+use dmi_gui::Session;
+use dmi_llm::CapabilityProfile;
+use std::collections::HashMap;
+
+fn main() {
+    // Offline phase per app.
+    let mut models: HashMap<&str, Dmi> = HashMap::new();
+    for kind in dmi_apps::AppKind::ALL {
+        let mut s = Session::new(kind.launch_small());
+        let (dmi, _) = Dmi::build(&mut s, &DmiBuildConfig::office(kind.name()));
+        models.insert(kind.name(), dmi);
+    }
+
+    let profile = CapabilityProfile::gpt5_medium();
+    for mode in [InterfaceMode::GuiOnly, InterfaceMode::GuiPlusDmi] {
+        let mut traces = Vec::new();
+        for task in dmi_tasks::all_tasks() {
+            for seed in [1u64, 2, 3] {
+                let cfg = RunConfig::test(profile.clone(), mode, seed);
+                traces.push(run_task(&task, models.get(task.app.name()), &cfg));
+            }
+        }
+        let agg = aggregate(&traces);
+        println!(
+            "{:<10}  SR {:5.1}%   steps {:.2}   sim-time {:>5.0}s   one-shot {:4.1}%   policy-failures {:4.1}%",
+            mode.label(),
+            agg.sr * 100.0,
+            agg.avg_steps,
+            agg.avg_secs,
+            agg.one_shot_frac * 100.0,
+            agg.policy_failure_frac() * 100.0,
+        );
+    }
+}

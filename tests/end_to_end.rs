@@ -1,0 +1,63 @@
+//! End-to-end oracle validation: with a perfect capability profile (no
+//! error injection), every benchmark task must succeed under every
+//! interface condition. This pins down that task plans, the apps, the
+//! DMI executor, and the agents all agree.
+
+use dmi_agent::{run_task, InterfaceMode, RunConfig};
+use dmi_integration_tests::{dmi_models, perfect_profile};
+
+fn run_all(mode: InterfaceMode) -> Vec<(String, bool, usize)> {
+    let models = dmi_models();
+    dmi_tasks::all_tasks()
+        .iter()
+        .map(|t| {
+            let cfg = RunConfig::test(perfect_profile(), mode, 0);
+            let dmi = models.get(t.app.name());
+            let trace = run_task(t, dmi, &cfg);
+            (t.id.clone(), trace.success, trace.llm_calls)
+        })
+        .collect()
+}
+
+#[test]
+fn all_tasks_succeed_with_perfect_profile_gui_only() {
+    let results = run_all(InterfaceMode::GuiOnly);
+    let failed: Vec<&(String, bool, usize)> = results.iter().filter(|(_, ok, _)| !ok).collect();
+    assert!(failed.is_empty(), "GUI-only oracle failures: {failed:?}");
+}
+
+#[test]
+fn all_tasks_succeed_with_perfect_profile_ablation() {
+    let results = run_all(InterfaceMode::GuiPlusForest);
+    let failed: Vec<&(String, bool, usize)> = results.iter().filter(|(_, ok, _)| !ok).collect();
+    assert!(failed.is_empty(), "ablation oracle failures: {failed:?}");
+}
+
+#[test]
+fn all_tasks_succeed_with_perfect_profile_dmi() {
+    let results = run_all(InterfaceMode::GuiPlusDmi);
+    let failed: Vec<&(String, bool, usize)> = results.iter().filter(|(_, ok, _)| !ok).collect();
+    assert!(failed.is_empty(), "GUI+DMI oracle failures: {failed:?}");
+}
+
+#[test]
+fn dmi_uses_fewer_calls_than_gui() {
+    let gui = run_all(InterfaceMode::GuiOnly);
+    let dmi = run_all(InterfaceMode::GuiPlusDmi);
+    let gui_total: usize = gui.iter().map(|(_, _, c)| c).sum();
+    let dmi_total: usize = dmi.iter().map(|(_, _, c)| c).sum();
+    assert!(
+        dmi_total < gui_total,
+        "DMI should need fewer LLM calls: {dmi_total} vs {gui_total}"
+    );
+}
+
+#[test]
+fn dmi_one_shot_majority() {
+    // >61% of successful DMI runs should complete in 4 calls (§5.3).
+    let dmi = run_all(InterfaceMode::GuiPlusDmi);
+    let successes: Vec<_> = dmi.iter().filter(|(_, ok, _)| *ok).collect();
+    let one_shot = successes.iter().filter(|(_, _, c)| *c <= 4).count();
+    let frac = one_shot as f64 / successes.len() as f64;
+    assert!(frac > 0.61, "one-shot fraction {frac:.2} (n={})", successes.len());
+}

@@ -1,0 +1,33 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use dmi_core::{Dmi, DmiBuildConfig};
+use dmi_gui::Session;
+use dmi_llm::CapabilityProfile;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// A capability profile that never errs (oracle executor).
+pub fn perfect_profile() -> CapabilityProfile {
+    let mut p = CapabilityProfile::gpt5_medium();
+    p.policy_err = 0.0;
+    p.dmi_mech_err = 0.0;
+    p.grounding_err = 0.0;
+    p.composite_err = 0.0;
+    p.instruction_noise = 0.0;
+    p.recover_prob = 1.0;
+    p
+}
+
+/// Small-app DMI models, ripped once per test binary.
+pub fn dmi_models() -> &'static HashMap<&'static str, Dmi> {
+    static MODELS: OnceLock<HashMap<&'static str, Dmi>> = OnceLock::new();
+    MODELS.get_or_init(|| {
+        let mut m = HashMap::new();
+        for kind in dmi_apps::AppKind::ALL {
+            let mut s = Session::new(kind.launch_small());
+            let (dmi, _) = Dmi::build(&mut s, &DmiBuildConfig::office(kind.name()));
+            m.insert(kind.name(), dmi);
+        }
+        m
+    })
+}
