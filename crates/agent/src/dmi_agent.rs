@@ -90,7 +90,12 @@ pub fn resolve_target(forest: &Forest, q: &TargetQuery) -> Option<(u64, Vec<u64>
     fallback
 }
 
-fn visit_json(forest: &Forest, targets: &[(u64, Vec<u64>, &VisitTarget)], with_nav_noise: Option<u64>, omit_entries: bool) -> String {
+fn visit_json(
+    forest: &Forest,
+    targets: &[(u64, Vec<u64>, &VisitTarget)],
+    with_nav_noise: Option<u64>,
+    omit_entries: bool,
+) -> String {
     let mut cmds = Vec::new();
     if let Some(nav) = with_nav_noise {
         // Imperfect instruction following: a navigational node sneaks in.
@@ -170,43 +175,33 @@ pub fn run(
                     Ok(())
                 })
             }
-            PlanStep::StateSelectControls { names } => {
-                run_state(session, llm, dmi, |s, screen| {
-                    let labels: Option<Vec<String>> = names
-                        .iter()
-                        .map(|n| screen.find_by_name(n).map(|e| e.label.clone()))
-                        .collect();
-                    let labels = labels.ok_or(FailureCause::WeakVisualSemantic)?;
-                    let refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
-                    state::select_controls(s, screen, &refs)
-                        .map_err(|_| FailureCause::TopologyInaccuracy)?;
-                    Ok(())
-                })
-            }
-            PlanStep::StateToggle { name, on } => {
-                run_state(session, llm, dmi, |s, screen| {
-                    let e = screen
-                        .find_by_name(name)
-                        .map(|e| e.label.clone())
-                        .ok_or(FailureCause::WeakVisualSemantic)?;
-                    state::set_toggle_state(s, screen, &e, *on)
-                        .map_err(|_| FailureCause::TopologyInaccuracy)?;
-                    Ok(())
-                })
-            }
-            PlanStep::ObserveTexts { names } => {
-                run_state(session, llm, dmi, |s, screen| {
-                    let labels: Option<Vec<String>> = names
-                        .iter()
-                        .map(|n| screen.find_by_name(n).map(|e| e.label.clone()))
-                        .collect();
-                    let labels = labels.ok_or(FailureCause::WeakVisualSemantic)?;
-                    let refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
-                    obs::get_texts_active(s, screen, &refs)
-                        .map_err(|_| FailureCause::TopologyInaccuracy)?;
-                    Ok(())
-                })
-            }
+            PlanStep::StateSelectControls { names } => run_state(session, llm, dmi, |s, screen| {
+                let labels: Option<Vec<String>> =
+                    names.iter().map(|n| screen.find_by_name(n).map(|e| e.label.clone())).collect();
+                let labels = labels.ok_or(FailureCause::WeakVisualSemantic)?;
+                let refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+                state::select_controls(s, screen, &refs)
+                    .map_err(|_| FailureCause::TopologyInaccuracy)?;
+                Ok(())
+            }),
+            PlanStep::StateToggle { name, on } => run_state(session, llm, dmi, |s, screen| {
+                let e = screen
+                    .find_by_name(name)
+                    .map(|e| e.label.clone())
+                    .ok_or(FailureCause::WeakVisualSemantic)?;
+                state::set_toggle_state(s, screen, &e, *on)
+                    .map_err(|_| FailureCause::TopologyInaccuracy)?;
+                Ok(())
+            }),
+            PlanStep::ObserveTexts { names } => run_state(session, llm, dmi, |s, screen| {
+                let labels: Option<Vec<String>> =
+                    names.iter().map(|n| screen.find_by_name(n).map(|e| e.label.clone())).collect();
+                let labels = labels.ok_or(FailureCause::WeakVisualSemantic)?;
+                let refs: Vec<&str> = labels.iter().map(|s| s.as_str()).collect();
+                obs::get_texts_active(s, screen, &refs)
+                    .map_err(|_| FailureCause::TopologyInaccuracy)?;
+                Ok(())
+            }),
         };
         if let Err(cause) = outcome {
             return DmiRunResult { failure: Some(cause), completed: false, fallback_used };

@@ -25,11 +25,7 @@ pub fn ground<'a>(screen: &'a LabeledScreen, q: &TargetQuery) -> Option<(usize, 
     let mut best: Option<(usize, f64, bool)> = None; // (idx, score, clickable)
     for (i, e) in screen.entries.iter().enumerate() {
         let clickable = dmi_core::interface::is_clickable(e.control_type);
-        let s = if e.name == q.name {
-            1.0
-        } else {
-            string_similarity(&e.name, &q.name)
-        };
+        let s = if e.name == q.name { 1.0 } else { string_similarity(&e.name, &q.name) };
         if s < GROUNDING_SIMILARITY {
             continue;
         }

@@ -30,7 +30,14 @@ pub struct RunConfig {
 impl RunConfig {
     /// The evaluation defaults (§5.1 methodology).
     pub fn evaluation(profile: CapabilityProfile, mode: InterfaceMode, seed: u64) -> Self {
-        RunConfig { profile, mode, seed, step_cap: 30, small_apps: false, instability: (0.06, 0.02) }
+        RunConfig {
+            profile,
+            mode,
+            seed,
+            step_cap: 30,
+            small_apps: false,
+            instability: (0.06, 0.02),
+        }
     }
 
     /// Fast test configuration on small apps.

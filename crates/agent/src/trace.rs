@@ -113,17 +113,13 @@ pub fn normalized_core_steps(
     let mut solved: Vec<BTreeSet<(String, u64)>> = Vec::new();
     for traces in by_mode.values() {
         solved.push(
-            traces
-                .iter()
-                .filter(|t| t.success)
-                .map(|t| (t.task_id.clone(), t.seed))
-                .collect(),
+            traces.iter().filter(|t| t.success).map(|t| (t.task_id.clone(), t.seed)).collect(),
         );
     }
     let intersection: BTreeSet<(String, u64)> = match solved.split_first() {
-        Some((first, rest)) => rest.iter().fold(first.clone(), |acc, s| {
-            acc.intersection(s).cloned().collect()
-        }),
+        Some((first, rest)) => {
+            rest.iter().fold(first.clone(), |acc, s| acc.intersection(s).cloned().collect())
+        }
         None => BTreeSet::new(),
     };
     let mut out = BTreeMap::new();

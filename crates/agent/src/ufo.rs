@@ -56,7 +56,10 @@ pub fn run(
     while cursor < plan.len() {
         // Reserve the two verification calls within the cap.
         if llm.calls() + 2 >= step_cap {
-            return GuiRunResult { failure: Some(FailureCause::StepLimitExceeded), completed: false };
+            return GuiRunResult {
+                failure: Some(FailureCause::StepLimitExceeded),
+                completed: false,
+            };
         }
         let (snap, screen) = observe(session);
         // The baseline observation carries the full exposed accessibility
@@ -132,9 +135,7 @@ pub fn run(
 
 fn step_groundable(screen: &LabeledScreen, step: &GuiStep) -> bool {
     match step {
-        GuiStep::Click(q) | GuiStep::ClickAndType { target: q, .. } => {
-            ground(screen, q).is_some()
-        }
+        GuiStep::Click(q) | GuiStep::ClickAndType { target: q, .. } => ground(screen, q).is_some(),
         GuiStep::Press(_) => true,
         GuiStep::DragScrollbarTo { name, .. } => {
             ground(screen, &dmi_llm::TargetQuery::name(name.clone())).is_some()

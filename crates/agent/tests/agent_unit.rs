@@ -52,8 +52,7 @@ fn wide_horizon_bundles_covisible_actions() {
     narrow.gui_bundle_limit = 1;
     let mut wide = perfect();
     wide.gui_bundle_limit = 4;
-    let t_narrow =
-        run_task(&task, None, &RunConfig::test(narrow, InterfaceMode::GuiOnly, 0));
+    let t_narrow = run_task(&task, None, &RunConfig::test(narrow, InterfaceMode::GuiOnly, 0));
     let t_wide = run_task(&task, None, &RunConfig::test(wide, InterfaceMode::GuiOnly, 0));
     assert!(t_narrow.success && t_wide.success);
     // Narrow horizon: host + 2 action turns + 2 verify = 5.
@@ -91,13 +90,9 @@ fn gui_plus_forest_requires_no_dmi_but_uses_its_tokens() {
     let task = bold_italic_task();
     let mut s = dmi_gui::Session::new(AppKind::Word.launch_small());
     let (dmi, _) = dmi_core::Dmi::build(&mut s, &dmi_core::DmiBuildConfig::office("Word"));
-    let with = run_task(
-        &task,
-        Some(&dmi),
-        &RunConfig::test(perfect(), InterfaceMode::GuiPlusForest, 0),
-    );
-    let without =
-        run_task(&task, None, &RunConfig::test(perfect(), InterfaceMode::GuiOnly, 0));
+    let with =
+        run_task(&task, Some(&dmi), &RunConfig::test(perfect(), InterfaceMode::GuiPlusForest, 0));
+    let without = run_task(&task, None, &RunConfig::test(perfect(), InterfaceMode::GuiOnly, 0));
     assert!(with.success && without.success);
     assert!(
         with.prompt_tokens > without.prompt_tokens + 1000,

@@ -201,10 +201,18 @@ fn build_ui(tree: &mut UiTree, chrome: &Chrome, config: &ExcelConfig, sheet: &Sh
     office::toggle_button(tree, font_grp, "Bold", "bold");
     office::toggle_button(tree, font_grp, "Italic", "italic");
     office::toggle_button(tree, font_grp, "Underline", "underline");
-    let border_opts: Vec<String> = ["Bottom Border", "Top Border", "Left Border", "Right Border",
-        "All Borders", "Outside Borders", "Thick Box Border", "No Border"]
-        .map(String::from)
-        .to_vec();
+    let border_opts: Vec<String> = [
+        "Bottom Border",
+        "Top Border",
+        "Left Border",
+        "Right Border",
+        "All Borders",
+        "Outside Borders",
+        "Thick Box Border",
+        "No Border",
+    ]
+    .map(String::from)
+    .to_vec();
     office::gallery(tree, font_grp, "Borders", &border_opts, "set_borders");
     office::color_menu(tree, font_grp, "Fill Color", "set_fill_color", "fill");
     office::color_menu(tree, font_grp, "Font Color", "set_font_color", "font");
@@ -215,14 +223,27 @@ fn build_ui(tree: &mut UiTree, chrome: &Chrome, config: &ExcelConfig, sheet: &Sh
     }
     office::checkbox(tree, align_grp, "Wrap Text", "wrap_text");
     let merge_opts: Vec<String> =
-        ["Merge & Center", "Merge Across", "Merge Cells", "Unmerge Cells"].map(String::from).to_vec();
+        ["Merge & Center", "Merge Across", "Merge Cells", "Unmerge Cells"]
+            .map(String::from)
+            .to_vec();
     office::gallery(tree, align_grp, "Merge", &merge_opts, "merge_cells");
 
     let num_grp = office::add_group(tree, home, "Number");
-    let formats: Vec<String> = ["General", "Number", "Currency", "Accounting", "Short Date",
-        "Long Date", "Time", "Percentage", "Fraction", "Scientific", "Text"]
-        .map(String::from)
-        .to_vec();
+    let formats: Vec<String> = [
+        "General",
+        "Number",
+        "Currency",
+        "Accounting",
+        "Short Date",
+        "Long Date",
+        "Time",
+        "Percentage",
+        "Fraction",
+        "Scientific",
+        "Text",
+    ]
+    .map(String::from)
+    .to_vec();
     office::gallery(tree, num_grp, "Number Format", &formats, "set_number_format");
     office::button(tree, num_grp, "Percent Style", "set_number_format", Some("Percentage"));
     office::button(tree, num_grp, "Comma Style", "set_number_format", Some("Number"));
@@ -297,10 +318,10 @@ fn build_ui(tree: &mut UiTree, chrome: &Chrome, config: &ExcelConfig, sheet: &Sh
     ] {
         let (dlg, body) = office::dialog(tree, label.trim_end_matches("..."));
         office::edit_field(tree, body, "Format cells that are", "set_cond_threshold");
-        let fills: Vec<String> = ["Light Red Fill", "Yellow Fill", "Green Fill", "Red", "Yellow",
-            "Green"]
-            .map(String::from)
-            .to_vec();
+        let fills: Vec<String> =
+            ["Light Red Fill", "Yellow Fill", "Green Fill", "Red", "Yellow", "Green"]
+                .map(String::from)
+                .to_vec();
         office::gallery(tree, body, "with", &fills, "set_cond_fill");
         office::button(tree, body, "Apply Rule", "apply_cond_rule", Some(kind));
         tree.add(
@@ -315,9 +336,14 @@ fn build_ui(tree: &mut UiTree, chrome: &Chrome, config: &ExcelConfig, sheet: &Sh
             .on_click(Behavior::OpenMenu)
             .build(),
     );
-    for l in ["Top 10 Items...", "Top 10%...", "Bottom 10 Items...", "Bottom 10%...",
-        "Above Average...", "Below Average..."]
-    {
+    for l in [
+        "Top 10 Items...",
+        "Top 10%...",
+        "Bottom 10 Items...",
+        "Bottom 10%...",
+        "Above Average...",
+        "Below Average...",
+    ] {
         tree.add(
             tb,
             WidgetBuilder::new(l, CT::MenuItem)
@@ -359,13 +385,17 @@ fn build_ui(tree: &mut UiTree, chrome: &Chrome, config: &ExcelConfig, sheet: &Sh
     office::edit_field(tree, rh_body, "Row height", "set_row_height");
     tree.add(
         fmt_menu,
-        WidgetBuilder::new("Row Height...", CT::MenuItem).on_click(Behavior::OpenDialog(rh_dlg)).build(),
+        WidgetBuilder::new("Row Height...", CT::MenuItem)
+            .on_click(Behavior::OpenDialog(rh_dlg))
+            .build(),
     );
     let (rn_dlg, rn_body) = office::dialog(tree, "Rename Sheet");
     office::edit_field(tree, rn_body, "Sheet name", "rename_sheet");
     tree.add(
         fmt_menu,
-        WidgetBuilder::new("Rename Sheet", CT::MenuItem).on_click(Behavior::OpenDialog(rn_dlg)).build(),
+        WidgetBuilder::new("Rename Sheet", CT::MenuItem)
+            .on_click(Behavior::OpenDialog(rn_dlg))
+            .build(),
     );
     tree.add(
         fmt_menu,
@@ -441,9 +471,16 @@ fn build_ui(tree: &mut UiTree, chrome: &Chrome, config: &ExcelConfig, sheet: &Sh
 
     let formulas = office::add_tab(tree, chrome.ribbon, "Formulas", false);
     let lib = office::add_group(tree, formulas, "Function Library");
-    for cat in ["Financial", "Logical", "Text", "Date & Time", "Lookup", "Math & Trig",
-        "Statistical", "Engineering"]
-    {
+    for cat in [
+        "Financial",
+        "Logical",
+        "Text",
+        "Date & Time",
+        "Lookup",
+        "Math & Trig",
+        "Statistical",
+        "Engineering",
+    ] {
         let items: Vec<String> = (0..24).map(|i| format!("{cat} Function {i}")).collect();
         office::gallery(tree, lib, cat, &items, "insert_function");
     }
@@ -524,7 +561,10 @@ fn build_ui(tree: &mut UiTree, chrome: &Chrome, config: &ExcelConfig, sheet: &Sh
         tree.add(
             header_row,
             WidgetBuilder::new(format!("Column {name}"), CT::HeaderItem)
-                .on_click(Behavior::Command(CommandBinding::with_arg("select_column", name.clone())))
+                .on_click(Behavior::Command(CommandBinding::with_arg(
+                    "select_column",
+                    name.clone(),
+                )))
                 .build(),
         );
     }
@@ -735,8 +775,7 @@ impl GuiApp for ExcelApp {
                         from: Addr { row: 0, col: a.col },
                         to: Addr { row: a.row - 1, col: a.col },
                     };
-                    let formula =
-                        format!("={f}({}:{})", range.from.to_a1(), range.to.to_a1());
+                    let formula = format!("={f}({}:{})", range.from.to_a1(), range.to.to_a1());
                     self.sheet.set_value(a, &formula);
                     self.sync_grid();
                 }
@@ -887,9 +926,8 @@ mod tests {
         click_by_name(&mut s, "Sort & Filter");
         click_by_name(&mut s, "Sort A to Z");
         assert_eq!(excel(&s).sheet.last_sort, Some((2, true)));
-        let units: Vec<String> = (1..9)
-            .map(|r| excel(&s).sheet.cell(Addr { row: r, col: 2 }).value.clone())
-            .collect();
+        let units: Vec<String> =
+            (1..9).map(|r| excel(&s).sheet.cell(Addr { row: r, col: 2 }).value.clone()).collect();
         let mut sorted = units.clone();
         sorted.sort_by_key(|v| v.parse::<i64>().unwrap_or(i64::MAX));
         assert_eq!(units, sorted);

@@ -55,15 +55,12 @@ impl AppKind {
     /// Instantiates the app with a small configuration (fast tests).
     pub fn launch_small(self) -> Box<dyn dmi_gui::GuiApp> {
         match self {
-            AppKind::Word => Box::new(WordApp::with_config(WordConfig {
-                paragraphs: 12,
-                viewport_rows: 6,
-            })),
-            AppKind::Excel => Box::new(ExcelApp::with_config(ExcelConfig {
-                rows: 12,
-                cols: 8,
-                viewport_rows: 6,
-            })),
+            AppKind::Word => {
+                Box::new(WordApp::with_config(WordConfig { paragraphs: 12, viewport_rows: 6 }))
+            }
+            AppKind::Excel => {
+                Box::new(ExcelApp::with_config(ExcelConfig { rows: 12, cols: 8, viewport_rows: 6 }))
+            }
             AppKind::PowerPoint => Box::new(PowerPointApp::with_config(PowerPointConfig {
                 slides: 5,
                 viewport_rows: 5,

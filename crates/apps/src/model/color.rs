@@ -5,9 +5,8 @@
 //! models store the same strings, so task verifiers compare exactly.
 
 /// The 10 theme base colors.
-pub const THEME_BASES: [&str; 10] = [
-    "White", "Black", "Gray", "Dark Blue", "Blue", "Red", "Orange", "Gold", "Green", "Purple",
-];
+pub const THEME_BASES: [&str; 10] =
+    ["White", "Black", "Gray", "Dark Blue", "Blue", "Red", "Orange", "Gold", "Green", "Purple"];
 
 /// The 6 tint/shade variant labels applied to each theme base.
 pub const VARIANTS: [&str; 6] =

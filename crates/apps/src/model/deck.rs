@@ -18,7 +18,13 @@ pub struct Shape {
 impl Shape {
     /// A shape of the given kind with text.
     pub fn new(kind: impl Into<String>, text: impl Into<String>) -> Self {
-        Shape { kind: kind.into(), text: text.into(), font_size: 18.0, animation: None, style: None }
+        Shape {
+            kind: kind.into(),
+            text: text.into(),
+            font_size: 18.0,
+            animation: None,
+            style: None,
+        }
     }
 }
 

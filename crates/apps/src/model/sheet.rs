@@ -46,6 +46,17 @@ impl Addr {
     }
 }
 
+// Addresses key the serialized sparse cell map.
+impl serde::SerKey for Addr {
+    fn to_key(&self) -> String {
+        self.to_a1()
+    }
+
+    fn from_key(s: &str) -> Result<Self, serde::Error> {
+        Addr::parse(s).ok_or_else(|| serde::Error::msg(format!("bad cell address `{s}`")))
+    }
+}
+
 /// A rectangular cell range, inclusive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Range {
@@ -154,11 +165,8 @@ impl Sheet {
     /// Sets a cell's value; evaluates `=SUM(range)` and `=AVERAGE(range)`
     /// formulas immediately (value-storing model).
     pub fn set_value(&mut self, a: Addr, value: &str) {
-        let stored = if let Some(result) = self.eval_formula(value) {
-            result
-        } else {
-            value.to_string()
-        };
+        let stored =
+            if let Some(result) = self.eval_formula(value) { result } else { value.to_string() };
         self.cell_mut(a).value = stored;
     }
 
@@ -176,14 +184,16 @@ impl Sheet {
                 Some(format_num(nums.iter().sum::<f64>() / nums.len() as f64))
             }
             "COUNT" => Some(format_num(nums.len() as f64)),
-            "MAX" => nums.iter().cloned().fold(None, |m: Option<f64>, x| {
-                Some(m.map_or(x, |m| m.max(x)))
-            })
-            .map(format_num),
-            "MIN" => nums.iter().cloned().fold(None, |m: Option<f64>, x| {
-                Some(m.map_or(x, |m| m.min(x)))
-            })
-            .map(format_num),
+            "MAX" => nums
+                .iter()
+                .cloned()
+                .fold(None, |m: Option<f64>, x| Some(m.map_or(x, |m| m.max(x))))
+                .map(format_num),
+            "MIN" => nums
+                .iter()
+                .cloned()
+                .fold(None, |m: Option<f64>, x| Some(m.map_or(x, |m| m.min(x))))
+                .map(format_num),
             _ => None,
         }
     }
@@ -201,7 +211,8 @@ impl Sheet {
             let any = (0..self.cols).any(|c| !self.cell(Addr { row: r, col: c }).value.is_empty());
             if any {
                 present.push(r);
-                data_rows.push((0..self.cols).map(|c| self.cell(Addr { row: r, col: c })).collect());
+                data_rows
+                    .push((0..self.cols).map(|c| self.cell(Addr { row: r, col: c })).collect());
             }
         }
         data_rows.sort_by(|a, b| {

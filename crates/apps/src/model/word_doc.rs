@@ -73,7 +73,11 @@ pub struct PageSettings {
 
 impl Default for PageSettings {
     fn default() -> Self {
-        PageSettings { margins: (1.0, 1.0, 1.0, 1.0), orientation_landscape: false, background: None }
+        PageSettings {
+            margins: (1.0, 1.0, 1.0, 1.0),
+            orientation_landscape: false,
+            background: None,
+        }
     }
 }
 

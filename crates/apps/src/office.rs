@@ -43,9 +43,8 @@ pub struct Chrome {
 /// Builds the main window, title bar, quick-access toolbar, ribbon strip,
 /// shared Colors dialog, and status bar.
 pub fn build_chrome(tree: &mut UiTree, title: &str) -> Chrome {
-    let main = tree.add_root(
-        WidgetBuilder::new(title, CT::Window).automation_id("AppWindow").build(),
-    );
+    let main =
+        tree.add_root(WidgetBuilder::new(title, CT::Window).automation_id("AppWindow").build());
     let tb = tree.add(main, Widget::new("Title Bar", CT::TitleBar));
     tree.add(
         tb,
@@ -55,14 +54,8 @@ pub fn build_chrome(tree: &mut UiTree, title: &str) -> Chrome {
             .on_click(Behavior::OpenExternal)
             .build(),
     );
-    tree.add(
-        tb,
-        WidgetBuilder::new("Minimize", CT::Button).on_click(Behavior::None).build(),
-    );
-    tree.add(
-        tb,
-        WidgetBuilder::new("Restore Down", CT::Button).on_click(Behavior::None).build(),
-    );
+    tree.add(tb, WidgetBuilder::new("Minimize", CT::Button).on_click(Behavior::None).build());
+    tree.add(tb, WidgetBuilder::new("Restore Down", CT::Button).on_click(Behavior::None).build());
     // Quick access toolbar.
     let qat = tree.add(main, Widget::new("Quick Access Toolbar", CT::ToolBar));
     for (name, cmd) in [("Save", "save"), ("Undo", "undo"), ("Redo", "redo")] {
@@ -73,10 +66,8 @@ pub fn build_chrome(tree: &mut UiTree, title: &str) -> Chrome {
                 .build(),
         );
     }
-    let ribbon = tree.add(
-        main,
-        WidgetBuilder::new("Ribbon", CT::Tab).automation_id("RibbonTabs").build(),
-    );
+    let ribbon =
+        tree.add(main, WidgetBuilder::new("Ribbon", CT::Tab).automation_id("RibbonTabs").build());
     let more_colors = build_more_colors_dialog(tree);
     let status_bar = tree.add(main, Widget::new("Status Bar", CT::StatusBar));
     tree.add(status_bar, Widget::new("Page 1 of 1", CT::Text));
@@ -110,10 +101,7 @@ pub fn add_context_tab(tree: &mut UiTree, ribbon: WidgetId, name: &str, ctx: &st
 
 /// Adds a ribbon group under a tab.
 pub fn add_group(tree: &mut UiTree, tab: WidgetId, name: &str) -> WidgetId {
-    tree.add(
-        tab,
-        WidgetBuilder::new(name, CT::Group).help(format!("{name} group.")).build(),
-    )
+    tree.add(tab, WidgetBuilder::new(name, CT::Group).help(format!("{name} group.")).build())
 }
 
 /// Adds a command button.
@@ -200,10 +188,7 @@ pub fn menu(
             .build(),
     );
     for (label, behavior) in entries {
-        tree.add(
-            m,
-            WidgetBuilder::new(*label, CT::MenuItem).on_click(behavior.clone()).build(),
-        );
+        tree.add(m, WidgetBuilder::new(*label, CT::MenuItem).on_click(behavior.clone()).build());
     }
     m
 }
@@ -236,9 +221,7 @@ pub fn color_menu(
                 theme,
                 WidgetBuilder::new(c.clone(), CT::ListItem)
                     .help(format!("{c}. Theme color swatch under {name}."))
-                    .on_click(Behavior::CommandAndDismiss(CommandBinding::with_arg(
-                        command, c,
-                    )))
+                    .on_click(Behavior::CommandAndDismiss(CommandBinding::with_arg(command, c)))
                     .build(),
             );
         }
@@ -279,16 +262,15 @@ fn build_more_colors_dialog(tree: &mut UiTree) -> WidgetId {
         tree.add(
             honeycomb,
             WidgetBuilder::new(c.clone(), CT::ListItem)
-                .on_click(Behavior::Command(CommandBinding::with_arg(
-                    commands::APPLY_COLOR_CTX,
-                    c,
-                )))
+                .on_click(Behavior::Command(CommandBinding::with_arg(commands::APPLY_COLOR_CTX, c)))
                 .build(),
         );
     }
     tree.add(
         dlg,
-        WidgetBuilder::new("OK", CT::Button).on_click(Behavior::CloseWindow(CommitKind::Ok)).build(),
+        WidgetBuilder::new("OK", CT::Button)
+            .on_click(Behavior::CloseWindow(CommitKind::Ok))
+            .build(),
     );
     tree.add(
         dlg,
@@ -310,7 +292,9 @@ pub fn dialog(tree: &mut UiTree, title: &str) -> (WidgetId, WidgetId) {
     let body = tree.add(dlg, Widget::new("Body", CT::Pane));
     tree.add(
         dlg,
-        WidgetBuilder::new("OK", CT::Button).on_click(Behavior::CloseWindow(CommitKind::Ok)).build(),
+        WidgetBuilder::new("OK", CT::Button)
+            .on_click(Behavior::CloseWindow(CommitKind::Ok))
+            .build(),
     );
     tree.add(
         dlg,
@@ -387,12 +371,42 @@ pub fn radio_group(
 /// The standard font list (a "large enumeration" the core topology prunes).
 pub fn font_names() -> Vec<String> {
     let bases = [
-        "Arial", "Calibri", "Cambria", "Candara", "Consolas", "Constantia", "Corbel",
-        "Courier New", "Franklin Gothic", "Garamond", "Georgia", "Gill Sans", "Helvetica",
-        "Impact", "Lato", "Lucida Sans", "Palatino", "Rockwell", "Segoe UI", "Tahoma",
-        "Times New Roman", "Trebuchet MS", "Verdana", "Book Antiqua",
+        "Arial",
+        "Calibri",
+        "Cambria",
+        "Candara",
+        "Consolas",
+        "Constantia",
+        "Corbel",
+        "Courier New",
+        "Franklin Gothic",
+        "Garamond",
+        "Georgia",
+        "Gill Sans",
+        "Helvetica",
+        "Impact",
+        "Lato",
+        "Lucida Sans",
+        "Palatino",
+        "Rockwell",
+        "Segoe UI",
+        "Tahoma",
+        "Times New Roman",
+        "Trebuchet MS",
+        "Verdana",
+        "Book Antiqua",
     ];
-    let weights = ["", " Light", " Semibold", " Black", " Condensed", " Narrow", " Italic", " Display", " Text"];
+    let weights = [
+        "",
+        " Light",
+        " Semibold",
+        " Black",
+        " Condensed",
+        " Narrow",
+        " Italic",
+        " Display",
+        " Text",
+    ];
     let mut out = Vec::new();
     for b in bases {
         for w in weights {
@@ -490,11 +504,8 @@ mod tests {
             .filter(|&i| t.widget(i).control_type == CT::ListItem)
             .count();
         assert_eq!(cells, 70);
-        let more = t
-            .descendants(m)
-            .into_iter()
-            .find(|&i| t.widget(i).name == "More Colors...")
-            .unwrap();
+        let more =
+            t.descendants(m).into_iter().find(|&i| t.widget(i).name == "More Colors...").unwrap();
         assert!(matches!(t.widget(more).on_click, Behavior::CommandAndDismiss(_)));
     }
 
@@ -527,11 +538,7 @@ mod tests {
         let mut t = UiTree::new();
         let c = build_chrome(&mut t, "X");
         let f = build_backstage(&mut t, c.main);
-        let fb = t
-            .descendants(f)
-            .into_iter()
-            .find(|&i| t.widget(i).name == "Feedback")
-            .unwrap();
+        let fb = t.descendants(f).into_iter().find(|&i| t.widget(i).name == "Feedback").unwrap();
         assert!(t.widget(fb).on_click.is_rip_hazard());
     }
 

@@ -137,11 +137,19 @@ fn build_ui(tree: &mut UiTree, chrome: &Chrome, config: &PowerPointConfig, deck:
     // ---------------- Home tab ----------------
     let home = office::add_tab(tree, chrome.ribbon, "Home", true);
     let slides_grp = office::add_group(tree, home, "Slides");
-    let layouts: Vec<String> = ["Title Slide", "Title and Content", "Section Header",
-        "Two Content", "Comparison", "Title Only", "Blank", "Content with Caption",
-        "Picture with Caption"]
-        .map(String::from)
-        .to_vec();
+    let layouts: Vec<String> = [
+        "Title Slide",
+        "Title and Content",
+        "Section Header",
+        "Two Content",
+        "Comparison",
+        "Title Only",
+        "Blank",
+        "Content with Caption",
+        "Picture with Caption",
+    ]
+    .map(String::from)
+    .to_vec();
     office::gallery(tree, slides_grp, "New Slide", &layouts, "new_slide");
     office::gallery(tree, slides_grp, "Layout", &layouts, "set_layout");
     office::button(tree, slides_grp, "Reset", "reset_slide", None);
@@ -159,8 +167,16 @@ fn build_ui(tree: &mut UiTree, chrome: &Chrome, config: &PowerPointConfig, deck:
     office::color_menu(tree, font_grp, "Font Color", "set_font_color", "font");
 
     let draw_grp = office::add_group(tree, home, "Drawing");
-    let shape_cats = ["Lines", "Rectangles", "Basic Shapes", "Block Arrows", "Flowchart",
-        "Stars and Banners", "Callouts", "Action Buttons"];
+    let shape_cats = [
+        "Lines",
+        "Rectangles",
+        "Basic Shapes",
+        "Block Arrows",
+        "Flowchart",
+        "Stars and Banners",
+        "Callouts",
+        "Action Buttons",
+    ];
     let shapes_menu = tree.add(
         draw_grp,
         WidgetBuilder::new("Shapes", CT::SplitButton).popup().on_click(Behavior::OpenMenu).build(),
@@ -290,19 +306,70 @@ fn build_ui(tree: &mut UiTree, chrome: &Chrome, config: &PowerPointConfig, deck:
     // ---------------- Transitions tab ----------------
     let trans = office::add_tab(tree, chrome.ribbon, "Transitions", false);
     let tt = office::add_group(tree, trans, "Transition to This Slide");
-    let transitions: Vec<String> = ["None", "Morph", "Fade", "Push", "Wipe", "Split", "Reveal",
-        "Random Bars", "Shape", "Uncover", "Cover", "Flash", "Fall Over", "Drape", "Curtains",
-        "Wind", "Prestige", "Fracture", "Crush", "Peel Off", "Page Curl", "Airplane", "Origami",
-        "Dissolve", "Checkerboard", "Blinds", "Clock", "Ripple", "Honeycomb", "Glitter",
-        "Vortex", "Shred", "Switch", "Flip", "Gallery", "Cube", "Doors", "Box", "Comb", "Zoom",
-        "Pan", "Ferris Wheel", "Conveyor", "Rotate", "Window", "Orbit", "Fly Through"]
-        .map(String::from)
-        .to_vec();
+    let transitions: Vec<String> = [
+        "None",
+        "Morph",
+        "Fade",
+        "Push",
+        "Wipe",
+        "Split",
+        "Reveal",
+        "Random Bars",
+        "Shape",
+        "Uncover",
+        "Cover",
+        "Flash",
+        "Fall Over",
+        "Drape",
+        "Curtains",
+        "Wind",
+        "Prestige",
+        "Fracture",
+        "Crush",
+        "Peel Off",
+        "Page Curl",
+        "Airplane",
+        "Origami",
+        "Dissolve",
+        "Checkerboard",
+        "Blinds",
+        "Clock",
+        "Ripple",
+        "Honeycomb",
+        "Glitter",
+        "Vortex",
+        "Shred",
+        "Switch",
+        "Flip",
+        "Gallery",
+        "Cube",
+        "Doors",
+        "Box",
+        "Comb",
+        "Zoom",
+        "Pan",
+        "Ferris Wheel",
+        "Conveyor",
+        "Rotate",
+        "Window",
+        "Orbit",
+        "Fly Through",
+    ]
+    .map(String::from)
+    .to_vec();
     office::gallery(tree, tt, "Transition Styles", &transitions, "set_transition");
-    let effect_opts: Vec<String> = ["From Right", "From Left", "From Top", "From Bottom",
-        "Horizontal In", "Horizontal Out", "Vertical In", "Vertical Out"]
-        .map(String::from)
-        .to_vec();
+    let effect_opts: Vec<String> = [
+        "From Right",
+        "From Left",
+        "From Top",
+        "From Bottom",
+        "Horizontal In",
+        "Horizontal Out",
+        "Vertical In",
+        "Vertical Out",
+    ]
+    .map(String::from)
+    .to_vec();
     office::gallery(tree, tt, "Effect Options", &effect_opts, "set_transition_effect");
     let timing = office::add_group(tree, trans, "Timing");
     office::button(tree, timing, "Apply To All", "transition_apply_all", None);
@@ -311,12 +378,36 @@ fn build_ui(tree: &mut UiTree, chrome: &Chrome, config: &PowerPointConfig, deck:
     // ---------------- Animations tab ----------------
     let anim = office::add_tab(tree, chrome.ribbon, "Animations", false);
     let ag = office::add_group(tree, anim, "Animation");
-    let animations: Vec<String> = ["Appear", "Fade", "Fly In", "Float In", "Split", "Wipe",
-        "Shape", "Wheel", "Random Bars", "Grow & Turn", "Zoom", "Swivel", "Bounce", "Pulse",
-        "Color Pulse", "Teeter", "Spin", "Grow/Shrink", "Desaturate", "Darken", "Lighten",
-        "Transparency", "Object Color", "Complementary Color", "Line Color", "Fill Color"]
-        .map(String::from)
-        .to_vec();
+    let animations: Vec<String> = [
+        "Appear",
+        "Fade",
+        "Fly In",
+        "Float In",
+        "Split",
+        "Wipe",
+        "Shape",
+        "Wheel",
+        "Random Bars",
+        "Grow & Turn",
+        "Zoom",
+        "Swivel",
+        "Bounce",
+        "Pulse",
+        "Color Pulse",
+        "Teeter",
+        "Spin",
+        "Grow/Shrink",
+        "Desaturate",
+        "Darken",
+        "Lighten",
+        "Transparency",
+        "Object Color",
+        "Complementary Color",
+        "Line Color",
+        "Fill Color",
+    ]
+    .map(String::from)
+    .to_vec();
     office::gallery(tree, ag, "Animation Styles", &animations, "set_animation");
     office::gallery(tree, ag, "Add Animation", &animations, "set_animation");
 
@@ -609,14 +700,37 @@ impl GuiApp for PowerPointApp {
                 self.show_current_slide();
                 Ok(())
             }
-            "set_font" | "set_font_color" | "toggle_format" | "set_shape_fill"
-            | "set_shape_outline" | "apply_variant" | "reset_slide"
-            | "insert_shape" | "insert_wordart" | "insert_symbol" | "insert_smartart"
-            | "insert_chart" | "set_picture_border"
-            | "remove_background" | "apply_correction" | "crop_picture" | "set_picture_height"
-            | "set_picture_width" | "set_picture_name" | "set_view" | "set_transition_duration"
-            | "set_transition_effect" | "insert_icon" | "insert_3d_model" | "insert_stock_image"
-            | "save" | "save_as" | "undo" | "redo" | "print" | "new_from_template"
+            "set_font"
+            | "set_font_color"
+            | "toggle_format"
+            | "set_shape_fill"
+            | "set_shape_outline"
+            | "apply_variant"
+            | "reset_slide"
+            | "insert_shape"
+            | "insert_wordart"
+            | "insert_symbol"
+            | "insert_smartart"
+            | "insert_chart"
+            | "set_picture_border"
+            | "remove_background"
+            | "apply_correction"
+            | "crop_picture"
+            | "set_picture_height"
+            | "set_picture_width"
+            | "set_picture_name"
+            | "set_view"
+            | "set_transition_duration"
+            | "set_transition_effect"
+            | "insert_icon"
+            | "insert_3d_model"
+            | "insert_stock_image"
+            | "save"
+            | "save_as"
+            | "undo"
+            | "redo"
+            | "print"
+            | "new_from_template"
             | "open_recent" => Ok(()),
             other => {
                 Err(AppError::Command { command: other.into(), reason: "unknown command".into() })

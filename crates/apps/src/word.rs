@@ -135,13 +135,15 @@ impl WordApp {
 
     fn parse_range(arg: Option<&str>) -> Result<(usize, usize), AppError> {
         let s = arg.ok_or_else(|| AppError::InvalidArgument { message: "missing range".into() })?;
-        let (a, b) = s.split_once("..").ok_or_else(|| AppError::InvalidArgument {
-            message: format!("bad range '{s}'"),
-        })?;
-        let a: usize =
-            a.parse().map_err(|_| AppError::InvalidArgument { message: format!("bad range '{s}'") })?;
-        let b: usize =
-            b.parse().map_err(|_| AppError::InvalidArgument { message: format!("bad range '{s}'") })?;
+        let (a, b) = s
+            .split_once("..")
+            .ok_or_else(|| AppError::InvalidArgument { message: format!("bad range '{s}'") })?;
+        let a: usize = a
+            .parse()
+            .map_err(|_| AppError::InvalidArgument { message: format!("bad range '{s}'") })?;
+        let b: usize = b
+            .parse()
+            .map_err(|_| AppError::InvalidArgument { message: format!("bad range '{s}'") })?;
         Ok((a, b))
     }
 }
@@ -203,16 +205,30 @@ fn build_ui(
     }
     office::color_menu(tree, ul_menu, "Underline Color", "set_underline_color", "underline");
     office::color_menu(tree, font_grp, "Font Color", "set_font_color", "font");
-    let highlights: Vec<String> = ["Yellow", "Bright Green", "Turquoise", "Pink", "Blue", "Red",
-        "Dark Blue", "Teal", "Green", "Violet", "Dark Red", "Dark Yellow", "Gray", "Black",
-        "No Color"]
-        .map(String::from)
-        .to_vec();
+    let highlights: Vec<String> = [
+        "Yellow",
+        "Bright Green",
+        "Turquoise",
+        "Pink",
+        "Blue",
+        "Red",
+        "Dark Blue",
+        "Teal",
+        "Green",
+        "Violet",
+        "Dark Red",
+        "Dark Yellow",
+        "Gray",
+        "Black",
+        "No Color",
+    ]
+    .map(String::from)
+    .to_vec();
     office::gallery(tree, font_grp, "Text Highlight Color", &highlights, "set_highlight");
-    let case_items: Vec<String> = ["Sentence case.", "lowercase", "UPPERCASE",
-        "Capitalize Each Word", "tOGGLE cASE"]
-        .map(String::from)
-        .to_vec();
+    let case_items: Vec<String> =
+        ["Sentence case.", "lowercase", "UPPERCASE", "Capitalize Each Word", "tOGGLE cASE"]
+            .map(String::from)
+            .to_vec();
     office::gallery(tree, font_grp, "Change Case", &case_items, "change_case");
     office::button(tree, font_grp, "Clear All Formatting", "clear_formatting", None);
     // Font dialog (launcher; carries a second font enumeration).
@@ -273,18 +289,41 @@ fn build_ui(
             .build(),
     );
     office::color_menu(tree, para_grp, "Shading", "set_shading", "shading");
-    let borders: Vec<String> = ["Bottom Border", "Top Border", "Left Border", "Right Border",
-        "No Border", "All Borders", "Outside Borders", "Inside Borders"]
-        .map(String::from)
-        .to_vec();
+    let borders: Vec<String> = [
+        "Bottom Border",
+        "Top Border",
+        "Left Border",
+        "Right Border",
+        "No Border",
+        "All Borders",
+        "Outside Borders",
+        "Inside Borders",
+    ]
+    .map(String::from)
+    .to_vec();
     office::gallery(tree, para_grp, "Borders", &borders, "set_borders");
     office::dialog_launcher(tree, para_grp, "Paragraph Settings", para_dlg);
 
     let styles_grp = office::add_group(tree, home, "Styles");
     let styles: Vec<String> = [
-        "Normal", "No Spacing", "Heading 1", "Heading 2", "Heading 3", "Heading 4", "Title",
-        "Subtitle", "Subtle Emphasis", "Emphasis", "Intense Emphasis", "Strong", "Quote",
-        "Intense Quote", "Subtle Reference", "Intense Reference", "Book Title", "List Paragraph",
+        "Normal",
+        "No Spacing",
+        "Heading 1",
+        "Heading 2",
+        "Heading 3",
+        "Heading 4",
+        "Title",
+        "Subtitle",
+        "Subtle Emphasis",
+        "Emphasis",
+        "Intense Emphasis",
+        "Strong",
+        "Quote",
+        "Intense Quote",
+        "Subtle Reference",
+        "Intense Reference",
+        "Book Title",
+        "List Paragraph",
     ]
     .iter()
     .flat_map(|s| [(*s).to_string(), format!("{s} (linked)")])
@@ -314,10 +353,18 @@ fn build_ui(
     );
     office::checkbox(tree, fmt_menu, "Subscript", "find_subscript");
     office::checkbox(tree, fmt_menu, "Superscript", "find_superscript");
-    let special: Vec<String> = ["Paragraph Mark", "Tab Character", "Any Character", "Any Digit",
-        "Any Letter", "Caret Character", "Section Character", "Paragraph Character"]
-        .map(String::from)
-        .to_vec();
+    let special: Vec<String> = [
+        "Paragraph Mark",
+        "Tab Character",
+        "Any Character",
+        "Any Digit",
+        "Any Letter",
+        "Caret Character",
+        "Section Character",
+        "Paragraph Character",
+    ]
+    .map(String::from)
+    .to_vec();
     office::gallery(tree, fr_body, "Special", &special, "insert_special");
     office::dialog_launcher(tree, edit_grp, "Replace", fr_dlg);
     office::dialog_launcher(tree, edit_grp, "Find", fr_dlg);
@@ -354,8 +401,16 @@ fn build_ui(
     office::edit_field(tree, pic_body, "File name", "set_picture_name");
     office::button(tree, pic_body, "Insert", "insert_picture", None);
     office::dialog_launcher(tree, illus, "Pictures", pic_dlg);
-    let shape_cats = ["Lines", "Rectangles", "Basic Shapes", "Block Arrows", "Equation Shapes",
-        "Flowchart", "Stars and Banners", "Callouts"];
+    let shape_cats = [
+        "Lines",
+        "Rectangles",
+        "Basic Shapes",
+        "Block Arrows",
+        "Equation Shapes",
+        "Flowchart",
+        "Stars and Banners",
+        "Callouts",
+    ];
     let shapes_menu = tree.add(
         illus,
         WidgetBuilder::new("Shapes", CT::SplitButton).popup().on_click(Behavior::OpenMenu).build(),
@@ -444,17 +499,33 @@ fn build_ui(
     let style_sets: Vec<String> = (0..36).map(|i| format!("Style Set {i}")).collect();
     office::gallery(tree, fmt, "Style Sets", &style_sets, "apply_style_set");
     let bg = office::add_group(tree, design, "Page Background");
-    let marks: Vec<String> = ["CONFIDENTIAL 1", "CONFIDENTIAL 2", "DO NOT COPY 1",
-        "DO NOT COPY 2", "DRAFT 1", "DRAFT 2", "SAMPLE 1", "SAMPLE 2", "ASAP 1", "URGENT 1"]
-        .map(String::from)
-        .to_vec();
+    let marks: Vec<String> = [
+        "CONFIDENTIAL 1",
+        "CONFIDENTIAL 2",
+        "DO NOT COPY 1",
+        "DO NOT COPY 2",
+        "DRAFT 1",
+        "DRAFT 2",
+        "SAMPLE 1",
+        "SAMPLE 2",
+        "ASAP 1",
+        "URGENT 1",
+    ]
+    .map(String::from)
+    .to_vec();
     office::gallery(tree, bg, "Watermark", &marks, "set_watermark");
     let (wm_dlg, wm_body) = office::dialog(tree, "Custom Watermark");
     office::edit_field(tree, wm_body, "Watermark text", "set_watermark_text");
     office::dialog_launcher(tree, bg, "Custom Watermark", wm_dlg);
     office::color_menu(tree, bg, "Page Color", "set_page_color", "page");
     let (border_dlg, border_body) = office::dialog(tree, "Borders and Shading");
-    office::radio_group(tree, border_body, "Setting", &["None", "Box", "Shadow", "3-D"], "set_page_border");
+    office::radio_group(
+        tree,
+        border_body,
+        "Setting",
+        &["None", "Box", "Shadow", "3-D"],
+        "set_page_border",
+    );
     office::dialog_launcher(tree, bg, "Page Borders", border_dlg);
 
     // ---------------- Layout tab ----------------
@@ -468,7 +539,13 @@ fn build_ui(
     office::edit_field(tree, ps_body, "Bottom", "set_margin_bottom");
     office::edit_field(tree, ps_body, "Left", "set_margin_left");
     office::edit_field(tree, ps_body, "Right", "set_margin_right");
-    office::radio_group(tree, ps_body, "Orientation", &["Portrait", "Landscape"], "set_orientation");
+    office::radio_group(
+        tree,
+        ps_body,
+        "Orientation",
+        &["Portrait", "Landscape"],
+        "set_orientation",
+    );
     office::dialog_launcher(tree, setup, "Page Setup", ps_dlg);
     let orient_menu = tree.add(
         setup,
@@ -488,10 +565,10 @@ fn build_ui(
                 .build(),
         );
     }
-    let sizes_g: Vec<String> = ["Letter", "Legal", "A3", "A4", "A5", "B4", "B5", "Executive",
-        "Tabloid", "Statement"]
-        .map(String::from)
-        .to_vec();
+    let sizes_g: Vec<String> =
+        ["Letter", "Legal", "A3", "A4", "A5", "B4", "B5", "Executive", "Tabloid", "Statement"]
+            .map(String::from)
+            .to_vec();
     office::gallery(tree, setup, "Size", &sizes_g, "set_page_size");
     let cols: Vec<String> = ["One", "Two", "Three", "Left", "Right"].map(String::from).to_vec();
     office::gallery(tree, setup, "Columns", &cols, "set_columns");
@@ -690,11 +767,13 @@ impl GuiApp for WordApp {
                 Ok(())
             }
             "set_margin_top" | "set_margin_bottom" | "set_margin_left" | "set_margin_right" => {
-                let v: f64 = self.tree.widget(src).value.parse().map_err(|_| {
-                    AppError::InvalidArgument {
-                        message: format!("margin '{}' is not a number", self.tree.widget(src).value),
-                    }
-                })?;
+                let v: f64 =
+                    self.tree.widget(src).value.parse().map_err(|_| AppError::InvalidArgument {
+                        message: format!(
+                            "margin '{}' is not a number",
+                            self.tree.widget(src).value
+                        ),
+                    })?;
                 let m = &mut self.doc.page.margins;
                 match b.command.as_str() {
                     "set_margin_top" => m.0 = v,
@@ -787,9 +866,7 @@ mod tests {
         let id = tree
             .iter()
             .filter(|(i, w)| {
-                w.name == name
-                    && tree.is_shown(*i)
-                    && w.on_click != dmi_gui::Behavior::None
+                w.name == name && tree.is_shown(*i) && w.on_click != dmi_gui::Behavior::None
             })
             .map(|(i, _)| i)
             .next()
@@ -960,10 +1037,7 @@ mod extra_tests {
     use dmi_gui::Session;
 
     fn session() -> Session {
-        Session::new(Box::new(WordApp::with_config(WordConfig {
-            paragraphs: 8,
-            viewport_rows: 4,
-        })))
+        Session::new(Box::new(WordApp::with_config(WordConfig { paragraphs: 8, viewport_rows: 4 })))
     }
 
     fn word(s: &Session) -> &WordApp {

@@ -60,8 +60,15 @@ fn main() {
     println!(
         "{}",
         report::table(
-            &["App", "DAG nodes", "Merge nodes", "Externalized", "Cloned", "Forest nodes",
-              "Growth"],
+            &[
+                "App",
+                "DAG nodes",
+                "Merge nodes",
+                "Externalized",
+                "Cloned",
+                "Forest nodes",
+                "Growth"
+            ],
             &rows,
         )
     );
@@ -100,8 +107,5 @@ fn main() {
             s.forest_nodes.to_string(),
         ]);
     }
-    println!(
-        "{}",
-        report::table(&["Threshold", "Externalized", "Cloned", "Total nodes"], &rows)
-    );
+    println!("{}", report::table(&["Threshold", "Externalized", "Cloned", "Total nodes"], &rows));
 }

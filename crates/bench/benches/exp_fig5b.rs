@@ -33,9 +33,6 @@ fn main() {
             format!("{:.2} (paper {:.2})", norm[&InterfaceMode::GuiPlusDmi], p.2),
         ]);
     }
-    println!(
-        "{}",
-        report::table(&["Model", "GUI-only", "GUI+Nav.forest", "GUI+DMI"], &rows)
-    );
+    println!("{}", report::table(&["Model", "GUI-only", "GUI+Nav.forest", "GUI+DMI"], &rows));
     println!("(Normalization: intersection of (task, seed) runs all three methods solved.)");
 }

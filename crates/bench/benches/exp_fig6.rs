@@ -10,10 +10,9 @@ fn main() {
     let cfg = EvalConfig::default();
     let med = CapabilityProfile::gpt5_medium();
 
-    for (mode, paper_policy, paper_mech) in [
-        (InterfaceMode::GuiPlusDmi, 81.0, 19.0),
-        (InterfaceMode::GuiOnly, 46.7, 53.3),
-    ] {
+    for (mode, paper_policy, paper_mech) in
+        [(InterfaceMode::GuiPlusDmi, 81.0, 19.0), (InterfaceMode::GuiOnly, 46.7, 53.3)]
+    {
         let agg = aggregate(&run_cell(&med, mode, models, &cfg));
         println!("{}", report::banner(&format!("Figure 6: {} failures", mode.label())));
         let total = agg.failure_count().max(1);

@@ -26,8 +26,17 @@ fn main() {
     println!(
         "{}",
         report::table(
-            &["App", "UNG nodes", "UNG edges", "Back edges", "Forest nodes", "Shared subtrees",
-              "Core controls", "Core tokens", "Model time (s)"],
+            &[
+                "App",
+                "UNG nodes",
+                "UNG edges",
+                "Back edges",
+                "Forest nodes",
+                "Shared subtrees",
+                "Core controls",
+                "Core tokens",
+                "Model time (s)"
+            ],
             &rows,
         )
     );
@@ -49,8 +58,7 @@ fn main() {
     println!(
         "{}",
         report::table(
-            &["App", "Clicks", "Snapshots", "Restarts", "Blocklisted", "Replay fails",
-              "Windows"],
+            &["App", "Clicks", "Snapshots", "Restarts", "Blocklisted", "Replay fails", "Windows"],
             &rows,
         )
     );

@@ -21,11 +21,7 @@ fn main() {
     let rows: Vec<Vec<String>> = hist
         .iter()
         .map(|(calls, n)| {
-            vec![
-                calls.to_string(),
-                n.to_string(),
-                report::pct(*n as f64 / successes.len() as f64),
-            ]
+            vec![calls.to_string(), n.to_string(), report::pct(*n as f64 / successes.len() as f64)]
         })
         .collect();
     println!("{}", report::table(&["LLM calls", "Successful runs", "Share"], &rows));

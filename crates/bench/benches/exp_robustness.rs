@@ -75,10 +75,8 @@ fn main() {
 
     let mut rows = Vec::new();
     for (cname, exec) in &configs {
-        let execs: BTreeMap<&'static str, Dmi> = models
-            .iter()
-            .map(|(&k, m)| (k, with_executor(&m.dmi, (*exec).clone())))
-            .collect();
+        let execs: BTreeMap<&'static str, Dmi> =
+            models.iter().map(|(&k, m)| (k, with_executor(&m.dmi, (*exec).clone()))).collect();
         let mut row = vec![cname.to_string()];
         for (_, inst) in &levels {
             row.push(report::pct(run_suite(models, &execs, *inst)));

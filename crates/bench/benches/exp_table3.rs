@@ -37,8 +37,16 @@ fn main() {
     println!(
         "{}",
         report::table(
-            &["Interface", "Model", "SR", "SR(paper)", "Steps", "Steps(paper)", "Time(s)",
-              "Time(paper)"],
+            &[
+                "Interface",
+                "Model",
+                "SR",
+                "SR(paper)",
+                "Steps",
+                "Steps(paper)",
+                "Time(s)",
+                "Time(paper)"
+            ],
             &rows,
         )
     );

@@ -43,5 +43,7 @@ fn main() {
         ]);
     }
     println!("{}", report::table(&["Interface", "Avg tokens/task", "Avg steps"], &rows));
-    println!("(Paper: DMI's fewer rounds keep total tokens below the baseline in the core scenario.)");
+    println!(
+        "(Paper: DMI's fewer rounds keep total tokens below the baseline in the core scenario.)"
+    );
 }

@@ -29,12 +29,9 @@ fn bench_parse(c: &mut Criterion) {
 
 fn bench_control_path(c: &mut Criterion) {
     let f = word_forest();
-    let target = f
-        .nodes
-        .iter()
-        .find(|n| n.name == "Narrow" && f.is_functional_leaf(n.id))
-        .unwrap()
-        .id as u64;
+    let target =
+        f.nodes.iter().find(|n| n.name == "Narrow" && f.is_functional_leaf(n.id)).unwrap().id
+            as u64;
     c.bench_function("control_path_resolution", |b| {
         b.iter(|| std::hint::black_box(control_path(f, target, &[]).unwrap().len()))
     });

@@ -149,10 +149,7 @@ mod tests {
         assert_eq!(table3_rows().len(), 8);
         assert_eq!(paper_table3().len(), 8);
         for (p, m) in table3_rows() {
-            let key = (
-                Box::leak(p.label().into_boxed_str()) as &'static str,
-                m.label(),
-            );
+            let key = (Box::leak(p.label().into_boxed_str()) as &'static str, m.label());
             assert!(paper_table3().contains_key(&(key.0, key.1)), "{key:?}");
         }
     }

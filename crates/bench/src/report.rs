@@ -60,10 +60,7 @@ mod tests {
     fn table_aligns_columns() {
         let t = table(
             &["Interface", "SR"],
-            &[
-                vec!["GUI-only".into(), "44.4%".into()],
-                vec!["GUI+DMI".into(), "74.1%".into()],
-            ],
+            &[vec!["GUI-only".into(), "44.4%".into()], vec!["GUI+DMI".into(), "74.1%".into()]],
         );
         assert!(t.contains("| GUI-only "));
         assert!(t.contains("| 74.1%"));

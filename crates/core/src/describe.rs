@@ -95,11 +95,7 @@ fn shared_name_set(forest: &Forest) -> HashSet<String> {
         e.0 += 1;
         e.1 |= n.control_type.is_key_type();
     }
-    count
-        .into_iter()
-        .filter(|(_, (c, key))| *c > 1 && *key)
-        .map(|(n, _)| n.to_string())
-        .collect()
+    count.into_iter().filter(|(_, (c, key))| *c > 1 && *key).map(|(n, _)| n.to_string()).collect()
 }
 
 /// Serializes one node (and children, within limits) into `out`.
@@ -265,7 +261,7 @@ mod tests {
         );
         let r = g.root();
         g.add_edge(r, 2); // root -> Insert (arena id 2)
-        // Big payload under Colors so it externalizes.
+                          // Big payload under Colors so it externalizes.
         for i in 0..20 {
             let id = g.add_node(crate::graph::UngNode {
                 control: dmi_uia::ControlId {
@@ -357,10 +353,7 @@ mod tests {
         let f = forest_fixture();
         let d = full_description(&f, &DescribeConfig::default());
         let per_control = d.tokens() as f64 / f.len() as f64;
-        assert!(
-            (3.0..=25.0).contains(&per_control),
-            "tokens per control = {per_control:.1}"
-        );
+        assert!((3.0..=25.0).contains(&per_control), "tokens per control = {per_control:.1}");
     }
 
     #[test]

@@ -212,10 +212,9 @@ impl Dmi {
                     Some(text),
                 )
                 .map(|()| format!("accessed #{id} and input {} chars", text.len())),
-                VisitCommand::Shortcut { keys } => session
-                    .press(keys)
-                    .map(|()| format!("pressed {keys}"))
-                    .map_err(DmiError::from),
+                VisitCommand::Shortcut { keys } => {
+                    session.press(keys).map(|()| format!("pressed {keys}")).map_err(DmiError::from)
+                }
                 VisitCommand::FurtherQuery { ids } => {
                     outcome.query_result = Some(self.further_query(ids));
                     Ok(format!("queried {ids:?}"))
@@ -350,9 +349,7 @@ mod tests {
             .id;
         let entry_blue = entry_for(&dmi, blue);
         let entry_apply = entry_for(&dmi, apply);
-        let json = format!(
-            r#"[{{"id": {blue}{entry_blue}}}, {{"id": {apply}{entry_apply}}}]"#
-        );
+        let json = format!(r#"[{{"id": {blue}{entry_blue}}}, {{"id": {apply}{entry_apply}}}]"#);
         let out = dmi.visit_json(&mut s, &json);
         assert!(out.ok(), "{:?}", out.error);
         let ppt = s.app().as_any().downcast_ref::<dmi_apps::PowerPointApp>().unwrap();

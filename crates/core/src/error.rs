@@ -136,7 +136,8 @@ mod tests {
 
     #[test]
     fn display_carries_replanning_context() {
-        let e = DmiError::ControlDisabled { name: "Paste".into(), path: "Word/Home/Clipboard".into() };
+        let e =
+            DmiError::ControlDisabled { name: "Paste".into(), path: "Word/Home/Clipboard".into() };
         let s = e.to_string();
         assert!(s.contains("Paste") && s.contains("disabled") && s.contains("Clipboard"));
     }

@@ -5,9 +5,8 @@
 //! control transitions are modeled; keyboard shortcuts are not edges (their
 //! effects are achievable via equivalent clicks).
 
-use dmi_uia::{ControlId, ControlType};
+use dmi_uia::{ControlId, ControlKey, ControlType, KeyMap};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Index of a node in the UNG.
 pub type UngNodeId = usize;
@@ -35,9 +34,12 @@ pub struct Ung {
     pred: Vec<Vec<UngNodeId>>,
     /// Root node (virtual).
     root: UngNodeId,
-    /// Dedup index: encoded control id -> node.
+    /// Dedup index: [`ControlKey`] fingerprint -> nodes with that key.
+    /// Buckets are confirmed against the full [`ControlId`] on lookup
+    /// (hash+confirm, §4.1), so collisions cost a comparison, never a
+    /// wrong dedup. Rebuilt after deserialization.
     #[serde(skip)]
-    index: HashMap<String, UngNodeId>,
+    index: KeyMap<ControlKey, Vec<UngNodeId>>,
     edge_count: usize,
 }
 
@@ -49,7 +51,7 @@ impl Ung {
             succ: Vec::new(),
             pred: Vec::new(),
             root: 0,
-            index: HashMap::new(),
+            index: KeyMap::default(),
             edge_count: 0,
         };
         let root_id = ControlId {
@@ -57,7 +59,7 @@ impl Ung {
             control_type: ControlType::Window,
             ancestor_path: String::new(),
         };
-        g.insert(UngNode {
+        g.add_node(UngNode {
             control: root_id,
             name: "<root>".into(),
             control_type: ControlType::Window,
@@ -66,13 +68,13 @@ impl Ung {
         g
     }
 
-    fn insert(&mut self, node: UngNode) -> UngNodeId {
-        let key = node.control.encode();
-        if let Some(&id) = self.index.get(&key) {
+    fn insert(&mut self, node: UngNode, key: ControlKey) -> UngNodeId {
+        let bucket = self.index.entry(key).or_default();
+        if let Some(&id) = bucket.iter().find(|&&id| self.nodes[id].control == node.control) {
             return id;
         }
         let id = self.nodes.len();
-        self.index.insert(key, id);
+        bucket.push(id);
         self.nodes.push(node);
         self.succ.push(Vec::new());
         self.pred.push(Vec::new());
@@ -81,7 +83,15 @@ impl Ung {
 
     /// Adds (or finds) a node for a control; returns its id.
     pub fn add_node(&mut self, node: UngNode) -> UngNodeId {
-        self.insert(node)
+        let key = ControlKey::of_id(&node.control);
+        self.insert(node, key)
+    }
+
+    /// Like [`Ung::add_node`] with the control's fingerprint already in
+    /// hand (snapshot indexes carry it), skipping the re-hash.
+    pub fn add_node_with_key(&mut self, node: UngNode, key: ControlKey) -> UngNodeId {
+        debug_assert_eq!(key, ControlKey::of_id(&node.control));
+        self.insert(node, key)
     }
 
     /// Adds a deduplicated directed edge; returns true if new.
@@ -125,9 +135,14 @@ impl Ung {
         &self.pred[id]
     }
 
-    /// Looks up a node by encoded control id.
+    /// Looks up a node by control id (O(1) keyed, collision-confirmed).
     pub fn find(&self, control: &ControlId) -> Option<UngNodeId> {
-        self.index.get(&control.encode()).copied()
+        self.find_with_key(control, ControlKey::of_id(control))
+    }
+
+    /// Like [`Ung::find`] with the fingerprint already in hand.
+    pub fn find_with_key(&self, control: &ControlId, key: ControlKey) -> Option<UngNodeId> {
+        self.index.get(&key)?.iter().find(|&&id| self.nodes[id].control == *control).copied()
     }
 
     /// Iterates over all node ids.
@@ -161,8 +176,11 @@ impl Ung {
 
     /// Rebuilds the dedup index (needed after deserialization).
     pub fn rebuild_index(&mut self) {
-        self.index =
-            self.nodes.iter().enumerate().map(|(i, n)| (n.control.encode(), i)).collect();
+        self.index = KeyMap::default();
+        self.index.reserve(self.nodes.len());
+        for (i, n) in self.nodes.iter().enumerate() {
+            self.index.entry(ControlKey::of_id(&n.control)).or_default().push(i);
+        }
     }
 
     /// Removes the given edges (used by decycling).
@@ -225,8 +243,17 @@ mod tests {
     #[test]
     fn nodes_dedup_by_control_id() {
         let mut g = Ung::new();
-        let id = ControlId { primary: "Bold".into(), control_type: CT::Button, ancestor_path: "W/Home".into() };
-        let n = UngNode { control: id.clone(), name: "Bold".into(), control_type: CT::Button, help_text: String::new() };
+        let id = ControlId {
+            primary: "Bold".into(),
+            control_type: CT::Button,
+            ancestor_path: "W/Home".into(),
+        };
+        let n = UngNode {
+            control: id.clone(),
+            name: "Bold".into(),
+            control_type: CT::Button,
+            help_text: String::new(),
+        };
         let a = g.add_node(n.clone());
         let b = g.add_node(n);
         assert_eq!(a, b);
@@ -245,7 +272,10 @@ mod tests {
     #[test]
     fn merge_nodes_detected() {
         // A -> C, B -> C; root -> A, root -> B.
-        let mut g = ung_from_parts(&[("A", CT::Button), ("B", CT::Button), ("C", CT::Button)], &[(0, 2), (1, 2)]);
+        let mut g = ung_from_parts(
+            &[("A", CT::Button), ("B", CT::Button), ("C", CT::Button)],
+            &[(0, 2), (1, 2)],
+        );
         let r = g.root();
         g.add_edge(r, 2); // B (index base shifts by root) — attach B under root too.
         let merges = g.merge_nodes();
@@ -257,7 +287,11 @@ mod tests {
     fn reachable_ignores_orphans() {
         let mut g = Ung::new();
         g.add_node(UngNode {
-            control: ControlId { primary: "Orphan".into(), control_type: CT::Button, ancestor_path: String::new() },
+            control: ControlId {
+                primary: "Orphan".into(),
+                control_type: CT::Button,
+                ancestor_path: String::new(),
+            },
             name: "Orphan".into(),
             control_type: CT::Button,
             help_text: String::new(),

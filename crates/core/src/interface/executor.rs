@@ -50,33 +50,29 @@ fn resolve_chain(forest: &Forest, id: usize, entries: &mut Vec<u64>) -> DmiResul
         None => Ok(forest.path_to(id)),
         Some(subtree_root) => {
             let refs = forest.references_to(subtree_root);
-            let chosen = if let Some(pos) =
-                entries.iter().position(|e| refs.contains(&(*e as usize)))
-            {
-                entries.remove(pos) as usize
-            } else if let Some(&bad) = entries.first() {
-                // An entry was supplied but does not reach this subtree.
-                if forest.node(bad as usize).is_none()
-                    || !matches!(
-                        forest.nodes[bad as usize].kind,
-                        TopoKind::Reference { .. }
-                    )
-                {
-                    return Err(DmiError::WrongEntry { id: id as u64, entry: bad });
-                }
-                if refs.len() == 1 {
+            let chosen =
+                if let Some(pos) = entries.iter().position(|e| refs.contains(&(*e as usize))) {
+                    entries.remove(pos) as usize
+                } else if let Some(&bad) = entries.first() {
+                    // An entry was supplied but does not reach this subtree.
+                    if forest.node(bad as usize).is_none()
+                        || !matches!(forest.nodes[bad as usize].kind, TopoKind::Reference { .. })
+                    {
+                        return Err(DmiError::WrongEntry { id: id as u64, entry: bad });
+                    }
+                    if refs.len() == 1 {
+                        refs[0]
+                    } else {
+                        return Err(DmiError::WrongEntry { id: id as u64, entry: bad });
+                    }
+                } else if refs.len() == 1 {
                     refs[0]
                 } else {
-                    return Err(DmiError::WrongEntry { id: id as u64, entry: bad });
-                }
-            } else if refs.len() == 1 {
-                refs[0]
-            } else {
-                return Err(DmiError::AmbiguousEntry {
-                    id: id as u64,
-                    candidates: refs.iter().map(|&r| r as u64).collect(),
-                });
-            };
+                    return Err(DmiError::AmbiguousEntry {
+                        id: id as u64,
+                        candidates: refs.iter().map(|&r| r as u64).collect(),
+                    });
+                };
             // Chain to the reference node (recursively: the reference may
             // itself sit in another shared subtree), minus the reference
             // node, plus the in-subtree path.
@@ -120,11 +116,8 @@ pub fn access(
     input_text: Option<&str>,
 ) -> DmiResult<()> {
     let chain = control_path(forest, target, entries)?;
-    let clickables: Vec<usize> = chain
-        .iter()
-        .copied()
-        .filter(|&id| is_clickable(forest.nodes[id].control_type))
-        .collect();
+    let clickables: Vec<usize> =
+        chain.iter().copied().filter(|&id| is_clickable(forest.nodes[id].control_type)).collect();
     if clickables.is_empty() {
         return Err(DmiError::Malformed {
             message: format!("target {target} resolves to no clickable path"),
@@ -273,10 +266,7 @@ mod tests {
     #[test]
     fn unknown_target_errors() {
         let (_s, forest) = build(AppKind::Word);
-        assert!(matches!(
-            control_path(&forest, 10_000_000, &[]),
-            Err(DmiError::UnknownId { .. })
-        ));
+        assert!(matches!(control_path(&forest, 10_000_000, &[]), Err(DmiError::UnknownId { .. })));
     }
 
     #[test]
@@ -292,10 +282,7 @@ mod tests {
             .find(|n| {
                 n.name == "Blue"
                     && forest.is_functional_leaf(n.id)
-                    && forest
-                        .path_to(n.id)
-                        .iter()
-                        .any(|&a| forest.nodes[a].name == "Font Color")
+                    && forest.path_to(n.id).iter().any(|&a| forest.nodes[a].name == "Font Color")
             })
             .expect("Blue under Font Color")
             .id as u64;
@@ -344,8 +331,8 @@ mod tests {
     fn disabled_target_reports_structured_error() {
         let (mut s, forest) = build(AppKind::Word);
         let paste = find_leaf(&forest, "Paste");
-        let err = access(&mut s, &forest, &ExecutorConfig::default(), paste, &[], None)
-            .unwrap_err();
+        let err =
+            access(&mut s, &forest, &ExecutorConfig::default(), paste, &[], None).unwrap_err();
         assert!(matches!(err, DmiError::ControlDisabled { .. }), "got {err:?}");
     }
 

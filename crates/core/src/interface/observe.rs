@@ -113,9 +113,8 @@ pub fn get_texts_active(
         if l.chars().all(|c| c.is_ascii_digit()) && !l.is_empty() {
             return Err(DmiError::StaticIdProhibited { label: l.to_string() });
         }
-        let e = screen
-            .resolve(l)
-            .ok_or_else(|| DmiError::LabelNotFound { label: l.to_string() })?;
+        let e =
+            screen.resolve(l).ok_or_else(|| DmiError::LabelNotFound { label: l.to_string() })?;
         if !e.patterns.supports(PatternKind::Value) && !e.patterns.supports(PatternKind::Text) {
             return Err(DmiError::PatternUnsupported {
                 name: e.name.clone(),

@@ -146,9 +146,7 @@ pub fn set_expanded(
     let rt = require_pattern(screen, label, PatternKind::ExpandCollapse)?;
     let wid = session.widget_of(rt);
     session.set_expanded(wid, expanded).map_err(DmiError::from)?;
-    Ok(StateReport {
-        status: (if expanded { "expanded" } else { "collapsed" }).to_string(),
-    })
+    Ok(StateReport { status: (if expanded { "expanded" } else { "collapsed" }).to_string() })
 }
 
 /// `set_texts(text)` (TextPattern/ValuePattern): set an edit's content

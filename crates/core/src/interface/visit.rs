@@ -167,7 +167,9 @@ pub fn filter_non_leaf(
                         .unwrap_or_else(|| format!("#{id}"));
                     filtered.push(FilteredCommand {
                         index: i,
-                        reason: format!("'{name}' is a navigational (non-leaf) node; DMI handles navigation"),
+                        reason: format!(
+                            "'{name}' is a navigational (non-leaf) node; DMI handles navigation"
+                        ),
                     });
                     last_dropped = true;
                 }
@@ -215,16 +217,22 @@ mod tests {
         .unwrap();
         assert_eq!(cmds.len(), 3);
         assert_eq!(cmds[0], VisitCommand::Access { id: 7, entry_ref_id: vec![], enforced: false });
-        assert!(matches!(&cmds[1], VisitCommand::AccessInput { id: 3, text, .. } if text == "hello"));
+        assert!(
+            matches!(&cmds[1], VisitCommand::AccessInput { id: 3, text, .. } if text == "hello")
+        );
         assert!(matches!(&cmds[2], VisitCommand::Shortcut { keys } if keys == "Enter"));
     }
 
     #[test]
     fn parse_entry_refs_scalar_or_array() {
-        let cmds =
-            parse_commands(r#"[{"id": 9, "entry_ref_id": ["4", 5]}, {"id": 9, "entry_ref_id": 4}]"#)
-                .unwrap();
-        assert_eq!(cmds[0], VisitCommand::Access { id: 9, entry_ref_id: vec![4, 5], enforced: false });
+        let cmds = parse_commands(
+            r#"[{"id": 9, "entry_ref_id": ["4", 5]}, {"id": 9, "entry_ref_id": 4}]"#,
+        )
+        .unwrap();
+        assert_eq!(
+            cmds[0],
+            VisitCommand::Access { id: 9, entry_ref_id: vec![4, 5], enforced: false }
+        );
         assert_eq!(cmds[1], VisitCommand::Access { id: 9, entry_ref_id: vec![4], enforced: false });
     }
 

@@ -85,4 +85,3 @@ pub(crate) mod testutil {
         })
     }
 }
-

@@ -15,8 +15,7 @@
 
 use crate::graph::{Ung, UngNode, UngNodeId};
 use dmi_gui::Session;
-use dmi_uia::{ControlId, ControlType, Snapshot};
-use std::collections::HashSet;
+use dmi_uia::{ControlId, ControlIdSet, ControlKey, ControlType, Snapshot};
 
 /// A context the explorer establishes before a dedicated exploration pass
 /// (§4.1 "Context-aware exploration"). The clicks encode app-specific
@@ -108,9 +107,12 @@ struct Explorer<'a> {
     config: &'a RipConfig,
     g: Ung,
     stats: RipStats,
-    visited: HashSet<String>,
-    /// DFS stack of (control, click path to reveal it).
-    stack: Vec<(ControlId, Vec<ControlId>)>,
+    /// Controls already explored (or blocklisted), keyed by
+    /// [`ControlKey`] with full-id confirmation — no per-probe string
+    /// encoding or hashing.
+    visited: ControlIdSet,
+    /// DFS stack of (control, its fingerprint, click path to reveal it).
+    stack: Vec<(ControlId, ControlKey, Vec<ControlId>)>,
 }
 
 /// Rips an application into a UNG.
@@ -120,7 +122,7 @@ pub fn rip(session: &mut Session, config: &RipConfig) -> (Ung, RipStats) {
         config,
         g: Ung::new(),
         stats: RipStats::default(),
-        visited: HashSet::new(),
+        visited: ControlIdSet::new(),
         stack: Vec::new(),
     };
     ex.base_pass();
@@ -154,15 +156,29 @@ impl Explorer<'_> {
     /// seen candidates.
     fn seed(&mut self, snap: &Snapshot, path: &[ControlId]) {
         let root = self.g.root();
+        let index = snap.index();
         let mut ids: Vec<Option<UngNodeId>> = vec![None; snap.len()];
         for (idx, node) in snap.iter() {
-            let cid = ControlId::of(snap, idx);
-            let gid = self.g.add_node(UngNode {
-                control: cid.clone(),
-                name: node.props.name.clone(),
-                control_type: node.props.control_type,
-                help_text: node.props.help_text.clone(),
-            });
+            let cid = index.control_id(snap, idx);
+            let key = index.key(idx);
+            self.maybe_enqueue(
+                &cid,
+                key,
+                node.props.control_type,
+                &node.props.name,
+                &node.props.automation_id,
+                path,
+            );
+            // `cid` is consumed by the UNG node — no per-node clone.
+            let gid = self.g.add_node_with_key(
+                UngNode {
+                    control: cid,
+                    name: node.props.name.clone(),
+                    control_type: node.props.control_type,
+                    help_text: node.props.help_text.clone(),
+                },
+                key,
+            );
             ids[idx] = Some(gid);
             match node.parent {
                 Some(p) => {
@@ -174,14 +190,13 @@ impl Explorer<'_> {
                     self.g.add_edge(root, gid);
                 }
             }
-            self.maybe_enqueue(&cid, node.props.control_type, &node.props.name,
-                &node.props.automation_id, path);
         }
     }
 
     fn maybe_enqueue(
         &mut self,
         cid: &ControlId,
+        key: ControlKey,
         ct: ControlType,
         name: &str,
         auto: &str,
@@ -190,24 +205,25 @@ impl Explorer<'_> {
         if !self.is_candidate_type(ct) {
             return;
         }
-        let key = cid.encode();
-        if self.visited.contains(&key) {
+        if self.visited.contains(key, cid) {
             return;
         }
         if self.is_blocklisted(name, auto) {
-            self.visited.insert(key);
+            self.visited.insert(key, cid);
             self.stats.blocklisted += 1;
             return;
         }
         if path.len() >= self.config.max_depth {
             return;
         }
-        self.stack.push((cid.clone(), path.to_vec()));
+        self.stack.push((cid.clone(), key, path.to_vec()));
     }
 
-    /// Resolves a modeled control id in a snapshot by exact match.
+    /// Resolves a modeled control id in a snapshot by exact match — O(1)
+    /// through the snapshot identity index (arena-order tie-break, exactly
+    /// like the linear scan it replaces).
     fn resolve(snap: &Snapshot, cid: &ControlId) -> Option<usize> {
-        (0..snap.len()).find(|&i| cid.matches_exact(snap, i))
+        snap.resolve(cid)
     }
 
     /// Replays a click path from a fresh start; returns false on failure.
@@ -259,10 +275,8 @@ impl Explorer<'_> {
     }
 
     fn drain(&mut self, setup: &[String]) {
-        let setup = setup.to_vec();
-        while let Some((cid, path)) = self.stack.pop() {
-            let key = cid.encode();
-            if !self.visited.insert(key) {
+        while let Some((cid, key, path)) = self.stack.pop() {
+            if !self.visited.insert(key, &cid) {
                 continue;
             }
             if let Some(cap) = self.config.max_clicks {
@@ -270,7 +284,7 @@ impl Explorer<'_> {
                     return;
                 }
             }
-            if !self.replay(&setup, &path) {
+            if !self.replay(setup, &path) {
                 continue;
             }
             // A replayed path can leave a stray modal window above the
@@ -318,6 +332,11 @@ impl Explorer<'_> {
     /// window's controls from the available set, so its OK/Cancel buttons
     /// gain back-edges to the re-revealed window — the cycles §3.2
     /// decycles away.
+    ///
+    /// The "present before?" test runs against the pre-snapshot's identity
+    /// index: each post node's [`ControlKey`] probes the pre key-multimap
+    /// and collision-confirms component-wise. No per-click encoded-string
+    /// set is materialized for either snapshot.
     fn record_diff(
         &mut self,
         clicked: &ControlId,
@@ -325,14 +344,11 @@ impl Explorer<'_> {
         post: &Snapshot,
         path: &[ControlId],
     ) {
-        let before: HashSet<String> = (0..pre.len())
-            .filter(|&i| pre.is_available(i))
-            .map(|i| ControlId::of(pre, i).encode())
-            .collect();
-        let clicked_gid = self
-            .g
-            .find(clicked)
-            .expect("clicked control must already be a UNG node");
+        let pre_ix = pre.index();
+        let post_ix = post.index();
+        // One post-click probe per node follows: amortize the multimap.
+        pre_ix.key_multimap();
+        let clicked_gid = self.g.find(clicked).expect("clicked control must already be a UNG node");
         let mut new_gid: Vec<Option<UngNodeId>> = vec![None; post.len()];
         let child_path: Vec<ControlId> = {
             let mut p = path.to_vec();
@@ -343,35 +359,45 @@ impl Explorer<'_> {
             if !post.is_available(idx) {
                 continue;
             }
-            let cid = ControlId::of(post, idx);
-            let key = cid.encode();
-            if before.contains(&key) {
+            let key = post_ix.key(idx);
+            // Identical control available before the click? (Identity is
+            // compared component-wise: primary id, type, cached path.)
+            let existed_before = pre_ix.candidates(key).any(|i| {
+                let pn = &pre.node(i).props;
+                pre.is_available(i)
+                    && pn.control_type == node.props.control_type
+                    && pn.primary_id() == node.props.primary_id()
+                    && pre_ix.path(i) == post_ix.path(idx)
+            });
+            if existed_before {
                 continue;
             }
-            let existed = self.g.find(&cid).is_some();
-            let gid = self.g.add_node(UngNode {
-                control: cid.clone(),
-                name: node.props.name.clone(),
-                control_type: node.props.control_type,
-                help_text: node.props.help_text.clone(),
-            });
-            new_gid[idx] = Some(gid);
-            // Edge source: the snapshot parent when it is also new (deep
-            // hierarchy), else the clicked control.
-            let src = node
-                .parent
-                .and_then(|p| new_gid[p])
-                .unwrap_or(clicked_gid);
-            self.g.add_edge(src, gid);
+            let cid = post_ix.control_id(post, idx);
+            let existed = self.g.find_with_key(&cid, key).is_some();
             if !existed {
                 self.maybe_enqueue(
                     &cid,
+                    key,
                     node.props.control_type,
                     &node.props.name,
                     &node.props.automation_id,
                     &child_path,
                 );
             }
+            let gid = self.g.add_node_with_key(
+                UngNode {
+                    control: cid,
+                    name: node.props.name.clone(),
+                    control_type: node.props.control_type,
+                    help_text: node.props.help_text.clone(),
+                },
+                key,
+            );
+            new_gid[idx] = Some(gid);
+            // Edge source: the snapshot parent when it is also new (deep
+            // hierarchy), else the clicked control.
+            let src = node.parent.and_then(|p| new_gid[p]).unwrap_or(clicked_gid);
+            self.g.add_edge(src, gid);
         }
     }
 }
@@ -403,10 +429,7 @@ mod tests {
     #[test]
     fn word_rip_produces_merge_nodes_and_cycles() {
         let (mut g, _) = rip_small(AppKind::Word);
-        assert!(
-            !g.merge_nodes().is_empty(),
-            "shared dialogs must appear as merge nodes"
-        );
+        assert!(!g.merge_nodes().is_empty(), "shared dialogs must appear as merge nodes");
         assert!(!crate::topology::is_acyclic(&g), "close buttons create cycles");
         let stats = crate::topology::decycle(&mut g);
         assert!(stats.back_edges_removed > 0);

@@ -114,7 +114,8 @@ mod tests {
 
     #[test]
     fn typical_control_description_is_about_15_tokens() {
-        let desc = "Conditional Formatting(SplitButton)(Highlight interesting cells with rules.)_412";
+        let desc =
+            "Conditional Formatting(SplitButton)(Highlight interesting cells with rules.)_412";
         let t = count(desc);
         assert!((10..=25).contains(&t), "got {t}");
     }

@@ -229,11 +229,7 @@ pub fn build_forest(g: &Ung, config: &ForestConfig) -> (Forest, ForestStats) {
                 Repr::Shared => 1, // a reference node
             };
         }
-        let indeg = g
-            .predecessors(u)
-            .iter()
-            .filter(|p| reach.contains(p))
-            .count();
+        let indeg = g.predecessors(u).iter().filter(|p| reach.contains(p)).count();
         let r = if u != g.root() && indeg > 1 {
             stats.merge_nodes += 1;
             let clone_cost = (indeg - 1).saturating_mul(s);
@@ -319,8 +315,7 @@ pub fn build_forest(g: &Ung, config: &ForestConfig) -> (Forest, ForestStats) {
     }
 
     // Main tree.
-    forest.main_root =
-        emit(g, g.root(), None, &repr, &reach, &mut forest, &mut pending_refs, true);
+    forest.main_root = emit(g, g.root(), None, &repr, &reach, &mut forest, &mut pending_refs, true);
 
     // Shared subtrees: every node marked Shared gets one body.
     let shared_nodes: Vec<UngNodeId> = order
@@ -330,8 +325,7 @@ pub fn build_forest(g: &Ung, config: &ForestConfig) -> (Forest, ForestStats) {
         .filter(|u| matches!(repr[u], Repr::Shared))
         .collect();
     for u in shared_nodes {
-        let root_id =
-            emit(g, u, None, &repr, &reach, &mut forest, &mut pending_refs, true);
+        let root_id = emit(g, u, None, &repr, &reach, &mut forest, &mut pending_refs, true);
         forest.shared_roots.push(root_id);
         shared_root_of.insert(u, root_id);
     }
@@ -455,8 +449,7 @@ mod tests {
 
         let (_tree, tree_stats) =
             build_forest(&g, &ForestConfig { externalize_threshold: usize::MAX });
-        let (_forest, forest_stats) =
-            build_forest(&g, &ForestConfig { externalize_threshold: 4 });
+        let (_forest, forest_stats) = build_forest(&g, &ForestConfig { externalize_threshold: 4 });
         assert!(
             tree_stats.forest_nodes > 2usize.pow(k as u32),
             "cloning should explode: {} nodes",

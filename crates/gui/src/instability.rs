@@ -28,7 +28,12 @@ pub struct InstabilityModel {
 impl InstabilityModel {
     /// No instability (probabilities zero).
     pub fn off() -> Self {
-        InstabilityModel { seed: 0, late_load_prob: 0.0, late_load_delay: 0, name_variation_prob: 0.0 }
+        InstabilityModel {
+            seed: 0,
+            late_load_prob: 0.0,
+            late_load_delay: 0,
+            name_variation_prob: 0.0,
+        }
     }
 
     /// A model with the given seed and probabilities.
@@ -143,10 +148,7 @@ mod tests {
             let v = m.live_name(WidgetId(i), "Format Background");
             // Every variant either starts with the original head word or is
             // a prefix extension.
-            assert!(
-                v.starts_with("Format"),
-                "variant {v:?} lost its recognizable head"
-            );
+            assert!(v.starts_with("Format"), "variant {v:?} lost its recognizable head");
         }
     }
 }

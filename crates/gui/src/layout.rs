@@ -95,8 +95,7 @@ fn place_children(
     forced_off: bool,
 ) {
     let pw = tree.widget(parent);
-    let kids: Vec<WidgetId> =
-        pw.children.iter().copied().filter(|&c| tree.is_shown(c)).collect();
+    let kids: Vec<WidgetId> = pw.children.iter().copied().filter(|&c| tree.is_shown(c)).collect();
 
     // Viewport window for scrollable containers.
     let viewport: Option<(usize, usize)> = if pw.scrollable && !kids.is_empty() {
@@ -193,10 +192,8 @@ mod tests {
         let mut t = UiTree::new();
         let main = t.add_root(Widget::new("Main", CT::Window));
         let doc = t.add(main, WidgetBuilder::new("Doc", CT::Document).scrollable(3).build());
-        let sb = t.add(
-            main,
-            WidgetBuilder::new("Vertical", CT::ScrollBar).scroll_target(doc).build(),
-        );
+        let sb =
+            t.add(main, WidgetBuilder::new("Vertical", CT::ScrollBar).scroll_target(doc).build());
         let l = compute(&t);
         let r = l.rect(sb).unwrap();
         assert_eq!(r.x, SCREEN_W - 18);

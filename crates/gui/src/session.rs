@@ -120,7 +120,15 @@ impl Session {
 
     /// Starts a session with the given instability model.
     pub fn with_instability(app: Box<dyn GuiApp>, inst: InstabilityModel) -> Self {
-        Session { app, inst, events: EventLog::new(), query_seq: 0, action_seq: 0, external_jumps: 0, trapped: false }
+        Session {
+            app,
+            inst,
+            events: EventLog::new(),
+            query_seq: 0,
+            action_seq: 0,
+            external_jumps: 0,
+            trapped: false,
+        }
     }
 
     /// The application.
@@ -257,8 +265,7 @@ impl Session {
             // Viewport-relative rows: the application resolves them against
             // its scroll position (absolute selection goes through
             // `select_lines`).
-            let binding =
-                CommandBinding::with_arg("ui.select_lines_viewport", format!("{a}..{b}"));
+            let binding = CommandBinding::with_arg("ui.select_lines_viewport", format!("{a}..{b}"));
             return self.app.dispatch(src, &binding);
         }
         Err(AppError::NotInteractable { reason: format!("'{}' is not draggable", w.name) })
@@ -281,7 +288,9 @@ impl Session {
             match self.app.tree().widget(cur).parent {
                 Some(p) => cur = p,
                 None => {
-                    return Err(AppError::NotInteractable { reason: "no scrollable ancestor".into() })
+                    return Err(AppError::NotInteractable {
+                        reason: "no scrollable ancestor".into(),
+                    })
                 }
             }
         }
@@ -335,10 +344,8 @@ impl Session {
                 if let Some(root) = t.close_top_window() {
                     let title = self.app.tree().widget(root).name.clone();
                     let _ = self.app.on_window_close(root, CommitKind::Cancel);
-                    self.events.push(UiaEvent::WindowClosed {
-                        window: snapshot::runtime_of(root),
-                        title,
-                    });
+                    self.events
+                        .push(UiaEvent::WindowClosed { window: snapshot::runtime_of(root), title });
                 }
                 Ok(())
             }
@@ -390,7 +397,10 @@ impl Session {
         } else if let Some(t) = w.scroll_target {
             t
         } else {
-            return Err(AppError::PatternUnsupported { name: w.name.clone(), pattern: PatternKind::Scroll });
+            return Err(AppError::PatternUnsupported {
+                name: w.name.clone(),
+                pattern: PatternKind::Scroll,
+            });
         };
         self.app.tree_mut().widget_mut(target).scroll_pos = percent;
         Ok(())
@@ -402,7 +412,10 @@ impl Session {
         self.check_interactable(id)?;
         let w = self.app.tree().widget(id);
         if !w.patterns.supports(PatternKind::Toggle) {
-            return Err(AppError::PatternUnsupported { name: w.name.clone(), pattern: PatternKind::Toggle });
+            return Err(AppError::PatternUnsupported {
+                name: w.name.clone(),
+                pattern: PatternKind::Toggle,
+            });
         }
         let desired = if on { ToggleState::On } else { ToggleState::Off };
         if self.app.tree().widget(id).toggle == Some(desired) {
@@ -422,7 +435,10 @@ impl Session {
         self.check_interactable(id)?;
         let w = self.app.tree().widget(id);
         if !w.patterns.supports(PatternKind::SelectionItem) {
-            return Err(AppError::PatternUnsupported { name: w.name.clone(), pattern: PatternKind::SelectionItem });
+            return Err(AppError::PatternUnsupported {
+                name: w.name.clone(),
+                pattern: PatternKind::SelectionItem,
+            });
         }
         self.app.tree_mut().select_item(id, additive);
         let binding = self.app.tree().widget(id).binding.clone();
@@ -438,7 +454,10 @@ impl Session {
         self.check_interactable(id)?;
         let w = self.app.tree().widget(id);
         if !w.patterns.supports(PatternKind::Value) {
-            return Err(AppError::PatternUnsupported { name: w.name.clone(), pattern: PatternKind::Value });
+            return Err(AppError::PatternUnsupported {
+                name: w.name.clone(),
+                pattern: PatternKind::Value,
+            });
         }
         self.app.tree_mut().widget_mut(id).value = value.to_string();
         Ok(())
@@ -450,7 +469,10 @@ impl Session {
         self.check_interactable(id)?;
         let w = self.app.tree().widget(id);
         if !w.popup && !w.patterns.supports(PatternKind::ExpandCollapse) {
-            return Err(AppError::PatternUnsupported { name: w.name.clone(), pattern: PatternKind::ExpandCollapse });
+            return Err(AppError::PatternUnsupported {
+                name: w.name.clone(),
+                pattern: PatternKind::ExpandCollapse,
+            });
         }
         if expanded {
             self.app.tree_mut().open_popup(id);
@@ -468,7 +490,10 @@ impl Session {
         self.check_interactable(id)?;
         let w = self.app.tree().widget(id);
         if !w.text_surface {
-            return Err(AppError::PatternUnsupported { name: w.name.clone(), pattern: PatternKind::Text });
+            return Err(AppError::PatternUnsupported {
+                name: w.name.clone(),
+                pattern: PatternKind::Text,
+            });
         }
         if start > end {
             return Err(AppError::InvalidArgument {
@@ -490,7 +515,10 @@ impl Session {
         self.check_interactable(id)?;
         let w = self.app.tree().widget(id);
         if !w.text_surface {
-            return Err(AppError::PatternUnsupported { name: w.name.clone(), pattern: PatternKind::Text });
+            return Err(AppError::PatternUnsupported {
+                name: w.name.clone(),
+                pattern: PatternKind::Text,
+            });
         }
         if start > end {
             return Err(AppError::InvalidArgument {
@@ -598,10 +626,8 @@ impl Session {
                 if let Some(root) = t.close_top_window() {
                     let title = self.app.tree().widget(root).name.clone();
                     self.app.on_window_close(root, commit)?;
-                    self.events.push(UiaEvent::WindowClosed {
-                        window: snapshot::runtime_of(root),
-                        title,
-                    });
+                    self.events
+                        .push(UiaEvent::WindowClosed { window: snapshot::runtime_of(root), title });
                 }
                 Ok(())
             }
@@ -757,7 +783,8 @@ mod tests {
             font_menu,
             WidgetBuilder::new("Blue", CT::ListItem)
                 .on_click(Behavior::CommandAndDismiss(CommandBinding::with_arg(
-                    "set_color", "Blue",
+                    "set_color",
+                    "Blue",
                 )))
                 .build(),
         );
@@ -772,7 +799,8 @@ mod tests {
             outline_menu,
             WidgetBuilder::new("Blue", CT::ListItem)
                 .on_click(Behavior::CommandAndDismiss(CommandBinding::with_arg(
-                    "set_color", "Blue",
+                    "set_color",
+                    "Blue",
                 )))
                 .build(),
         );
@@ -780,10 +808,8 @@ mod tests {
         for i in 0..12 {
             t.add(doc, Widget::new(format!("Para {i}"), CT::Text));
         }
-        let sbar = t.add(
-            main,
-            WidgetBuilder::new("Vertical", CT::ScrollBar).scroll_target(doc).build(),
-        );
+        let sbar =
+            t.add(main, WidgetBuilder::new("Vertical", CT::ScrollBar).scroll_target(doc).build());
         (
             TestApp {
                 tree: t,
@@ -830,15 +856,17 @@ mod tests {
                 "set_color" => {
                     // Path-dependent semantics: the target property depends
                     // on which menu is (or was) open.
-                    let target = if self.tree.widget(src).parent.is_some_and(|p| {
-                        self.tree.widget(p).name.starts_with("Outline")
-                    }) {
+                    let target = if self
+                        .tree
+                        .widget(src)
+                        .parent
+                        .is_some_and(|p| self.tree.widget(p).name.starts_with("Outline"))
+                    {
                         "outline"
                     } else {
                         &self.color_target
                     };
-                    self.last_color =
-                        Some((target.to_string(), b.arg.clone().unwrap_or_default()));
+                    self.last_color = Some((target.to_string(), b.arg.clone().unwrap_or_default()));
                     Ok(())
                 }
                 other => Err(AppError::Command { command: other.into(), reason: "unknown".into() }),

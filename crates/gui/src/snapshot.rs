@@ -153,10 +153,10 @@ mod tests {
         // The provider-side name is unchanged.
         assert_eq!(t.widget(menu).name, "Colors");
         // The snapshot name is the varied one.
-        let snap_names: Vec<String> =
-            s.iter().map(|(_, n)| n.props.name.clone()).collect();
-        assert!(snap_names.iter().any(|n| n != "Colors" && n.starts_with("Colors")
-            || n == "Colors*"));
+        let snap_names: Vec<String> = s.iter().map(|(_, n)| n.props.name.clone()).collect();
+        assert!(snap_names
+            .iter()
+            .any(|n| n != "Colors" && n.starts_with("Colors") || n == "Colors*"));
     }
 
     #[test]

@@ -467,7 +467,9 @@ mod tests {
         let (mut t, main, ..) = tree();
         let pic = t.add(
             main,
-            WidgetBuilder::new("Picture Format", CT::TabItem).visible_when("image-selected").build(),
+            WidgetBuilder::new("Picture Format", CT::TabItem)
+                .visible_when("image-selected")
+                .build(),
         );
         assert!(!t.is_shown(pic));
         t.set_context("image-selected", true);

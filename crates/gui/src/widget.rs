@@ -18,6 +18,17 @@ impl std::fmt::Display for WidgetId {
     }
 }
 
+// Widget ids key serialized maps (e.g. pending-children schedules).
+impl serde::SerKey for WidgetId {
+    fn to_key(&self) -> String {
+        self.0.to_string()
+    }
+
+    fn from_key(s: &str) -> Result<Self, serde::Error> {
+        s.parse().map(WidgetId).map_err(|_| serde::Error::msg(format!("bad widget id `{s}`")))
+    }
+}
+
 /// One control in the provider tree.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Widget {

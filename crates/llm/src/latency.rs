@@ -55,7 +55,8 @@ mod tests {
 
     #[test]
     fn latency_is_monotone_in_tokens() {
-        let m = LatencyModel { base_secs: 30.0, per_1k_prompt_secs: 0.4, per_output_token_secs: 0.02 };
+        let m =
+            LatencyModel { base_secs: 30.0, per_1k_prompt_secs: 0.4, per_output_token_secs: 0.02 };
         let small = m.call_secs(1_000, 50);
         let big = m.call_secs(30_000, 50);
         assert!(big > small);

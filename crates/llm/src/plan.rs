@@ -373,7 +373,10 @@ mod tests {
     #[test]
     fn replace_target_hits_both_lowerings() {
         let mut p = sample_plan();
-        apply_mutation(&mut p, &PlanMutation::ReplaceTarget { from: "Bold".into(), to: "Italic".into() });
+        apply_mutation(
+            &mut p,
+            &PlanMutation::ReplaceTarget { from: "Bold".into(), to: "Italic".into() },
+        );
         match &p.dmi[1] {
             PlanStep::Visit(ts) => assert_eq!(ts[1].query.name, "Italic"),
             other => panic!("{other:?}"),

@@ -160,9 +160,14 @@ mod tests {
     #[test]
     fn probabilities_are_valid() {
         for p in CapabilityProfile::evaluation_set() {
-            for v in [p.policy_err, p.dmi_mech_err, p.grounding_err, p.composite_err,
-                p.recover_prob, p.instruction_noise]
-            {
+            for v in [
+                p.policy_err,
+                p.dmi_mech_err,
+                p.grounding_err,
+                p.composite_err,
+                p.recover_prob,
+                p.instruction_noise,
+            ] {
                 assert!((0.0..=1.0).contains(&v));
             }
             assert!(p.bundle_limit >= 1);

@@ -100,10 +100,7 @@ pub fn tasks() -> Vec<AgentTask> {
                     GuiStep::Click(q("Conditional Formatting")),
                     GuiStep::Click(q("Highlight Cells Rules")),
                     GuiStep::Click(q("Less Than...")),
-                    GuiStep::ClickAndType {
-                        target: q("Format cells that are"),
-                        text: "10".into(),
-                    },
+                    GuiStep::ClickAndType { target: q("Format cells that are"), text: "10".into() },
                     GuiStep::Press("Enter".into()),
                     GuiStep::Click(q("Apply Rule")),
                     GuiStep::Click(q("OK")),
@@ -238,8 +235,7 @@ pub fn tasks() -> Vec<AgentTask> {
         AgentTask {
             id: "excel-read-revenue".into(),
             app: AppKind::Excel,
-            description: "Find the largest Revenue value in the table and record it in F5."
-                .into(),
+            description: "Find the largest Revenue value in the table and record it in F5.".into(),
             setup: None,
             verify: |s| cell(s, "F5").value == "5000",
             plan: TaskPlan {

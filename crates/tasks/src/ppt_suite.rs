@@ -118,9 +118,7 @@ pub fn tasks() -> Vec<AgentTask> {
             app: AppKind::PowerPoint,
             description: "Add a new slide with the Blank layout.".into(),
             setup: None,
-            verify: |s| {
-                ppt(s).deck.slides.last().is_some_and(|sl| sl.layout == "Blank")
-            },
+            verify: |s| ppt(s).deck.slides.last().is_some_and(|sl| sl.layout == "Blank"),
             plan: TaskPlan {
                 dmi: vec![PlanStep::Visit(vec![VisitTarget::click(qu("Blank", "New Slide"))])],
                 gui: vec![GuiStep::Click(q("New Slide")), GuiStep::Click(qu("Blank", "New Slide"))],
@@ -193,9 +191,7 @@ pub fn tasks() -> Vec<AgentTask> {
             app: AppKind::PowerPoint,
             description: "Add the Zoom animation to the title on slide 1.".into(),
             setup: None,
-            verify: |s| {
-                ppt(s).deck.slides[0].shapes[0].animation.as_deref() == Some("Zoom")
-            },
+            verify: |s| ppt(s).deck.slides[0].shapes[0].animation.as_deref() == Some("Zoom"),
             plan: TaskPlan {
                 dmi: vec![
                     PlanStep::StateSelectControls { names: vec!["title 1".into()] },
@@ -230,9 +226,18 @@ pub fn tasks() -> Vec<AgentTask> {
                 }],
                 // Iterative drag-observe loop (§2.1 Mismatch #2).
                 gui: vec![
-                    GuiStep::DragScrollbarTo { name: "Slide Panel Scroll Bar".into(), percent: 60.0 },
-                    GuiStep::DragScrollbarTo { name: "Slide Panel Scroll Bar".into(), percent: 88.0 },
-                    GuiStep::DragScrollbarTo { name: "Slide Panel Scroll Bar".into(), percent: 100.0 },
+                    GuiStep::DragScrollbarTo {
+                        name: "Slide Panel Scroll Bar".into(),
+                        percent: 60.0,
+                    },
+                    GuiStep::DragScrollbarTo {
+                        name: "Slide Panel Scroll Bar".into(),
+                        percent: 88.0,
+                    },
+                    GuiStep::DragScrollbarTo {
+                        name: "Slide Panel Scroll Bar".into(),
+                        percent: 100.0,
+                    },
                 ],
             },
             mutations: vec![PlanMutation::PerturbNumber { delta: -60.0 }],

@@ -148,9 +148,7 @@ pub fn tasks() -> Vec<AgentTask> {
             app: AppKind::Word,
             description: "Add a DRAFT watermark to the document.".into(),
             setup: None,
-            verify: |s| {
-                word(s).doc.watermark.as_deref().is_some_and(|w| w.contains("DRAFT"))
-            },
+            verify: |s| word(s).doc.watermark.as_deref().is_some_and(|w| w.contains("DRAFT")),
             plan: TaskPlan {
                 dmi: vec![PlanStep::Visit(vec![VisitTarget::click(qu("DRAFT 1", "Watermark"))])],
                 gui: vec![

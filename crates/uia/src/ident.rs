@@ -18,6 +18,124 @@
 
 use crate::{ControlType, Node, Snapshot};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A 64-bit fingerprint of a [`ControlId`] (§4.1, hash+confirm design).
+///
+/// Keys are FxHash-style digests of the `primary | control_type |
+/// ancestor_path` triple. Two distinct identifiers may collide (the key is
+/// only 64 bits), so every keyed structure keeps the full [`ControlId`]
+/// (or an equivalent component view) alongside and confirms equality on
+/// lookup — collisions cost a comparison, never correctness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ControlKey(u64);
+
+impl ControlKey {
+    /// Fingerprints raw identifier components.
+    ///
+    /// Components are length-prefixed before hashing so `("ab", "c")` and
+    /// `("a", "bc")` cannot alias.
+    pub fn of_parts(primary: &str, control_type: ControlType, ancestor_path: &str) -> ControlKey {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        #[inline]
+        fn mix(h: u64, w: u64) -> u64 {
+            (h.rotate_left(5) ^ w).wrapping_mul(SEED)
+        }
+        #[inline]
+        fn mix_str(mut h: u64, s: &str) -> u64 {
+            h = mix(h, s.len() as u64);
+            let bytes = s.as_bytes();
+            let mut chunks = bytes.chunks_exact(8);
+            for c in &mut chunks {
+                h = mix(h, u64::from_le_bytes(c.try_into().unwrap()));
+            }
+            let mut tail = 0u64;
+            for (i, &b) in chunks.remainder().iter().enumerate() {
+                tail |= (b as u64) << (8 * i);
+            }
+            mix(h, tail)
+        }
+        let mut h = mix(SEED, control_type as u64);
+        h = mix_str(h, primary);
+        h = mix_str(h, ancestor_path);
+        ControlKey(h)
+    }
+
+    /// Fingerprints a full identifier.
+    pub fn of_id(id: &ControlId) -> ControlKey {
+        ControlKey::of_parts(&id.primary, id.control_type, &id.ancestor_path)
+    }
+
+    /// The raw 64-bit digest.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A pass-through hasher for keys that are already high-quality digests
+/// ([`ControlKey`]s, runtime ids). Avoids re-hashing through SipHash on
+/// every map probe.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("IdentityHasher only accepts u64 writes");
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+/// A hash map keyed by pre-hashed 64-bit digests.
+pub type KeyMap<K, V> = HashMap<K, V, BuildHasherDefault<IdentityHasher>>;
+
+/// A set of [`ControlId`]s keyed by [`ControlKey`] with full-identifier
+/// confirmation on every probe, so hash collisions cannot conflate two
+/// distinct controls.
+#[derive(Debug, Clone, Default)]
+pub struct ControlIdSet {
+    map: KeyMap<ControlKey, Vec<ControlId>>,
+}
+
+impl ControlIdSet {
+    /// Creates an empty set.
+    pub fn new() -> ControlIdSet {
+        ControlIdSet::default()
+    }
+
+    /// Whether the set holds `id` (whose key is `key`).
+    pub fn contains(&self, key: ControlKey, id: &ControlId) -> bool {
+        self.map.get(&key).is_some_and(|bucket| bucket.iter().any(|c| c == id))
+    }
+
+    /// Inserts `id` under `key`; returns `true` if it was not present.
+    /// The identifier is cloned only on actual insertion.
+    pub fn insert(&mut self, key: ControlKey, id: &ControlId) -> bool {
+        let bucket = self.map.entry(key).or_default();
+        if bucket.iter().any(|c| c == id) {
+            return false;
+        }
+        bucket.push(id.clone());
+        true
+    }
+
+    /// Number of identifiers stored.
+    pub fn len(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
 
 /// Synthesized control identifier: `primary_id|control_type|ancestor_path`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -32,13 +150,11 @@ pub struct ControlId {
 
 impl ControlId {
     /// Synthesizes the identifier for a snapshot node.
+    ///
+    /// Served from the snapshot's identity index: the ancestor path is the
+    /// cached per-snapshot string, not a fresh walk-and-join.
     pub fn of(snap: &Snapshot, idx: usize) -> ControlId {
-        let n = snap.node(idx);
-        ControlId {
-            primary: n.props.primary_id().to_string(),
-            control_type: n.props.control_type,
-            ancestor_path: snap.ancestor_path(idx),
-        }
+        snap.control_id(idx)
     }
 
     /// Serializes to the canonical `primary|type|path` string.
@@ -55,12 +171,10 @@ impl ControlId {
         Some(ControlId { primary, control_type: ct, ancestor_path })
     }
 
-    /// Whether a node matches this identifier exactly.
+    /// Whether a node matches this identifier exactly (component-wise,
+    /// against the snapshot's cached paths — no allocation).
     pub fn matches_exact(&self, snap: &Snapshot, idx: usize) -> bool {
-        let n = snap.node(idx);
-        n.props.primary_id() == self.primary
-            && n.props.control_type == self.control_type
-            && snap.ancestor_path(idx) == self.ancestor_path
+        snap.index().matches(snap, idx, self)
     }
 
     /// The last component of the ancestor path (immediate parent name).
@@ -132,25 +246,40 @@ impl FuzzyMatcher {
         scope: Option<usize>,
         skip_offscreen: bool,
     ) -> Option<MatchScore> {
-        let mut candidates: Vec<usize> = match scope {
+        // Exact pass: keyed lookup in the snapshot identity index
+        // (collision-confirmed), instead of scanning every candidate with
+        // per-node path rebuilding. Among duplicate exact matches the
+        // earliest arena index wins.
+        let ix = snap.index();
+        for i in ix.candidates(crate::ControlKey::of_id(target)) {
+            if !ix.matches(snap, i, target) {
+                continue;
+            }
+            if skip_offscreen && snap.node(i).props.offscreen {
+                continue;
+            }
+            if let Some(root) = scope {
+                if !snap.is_in_subtree(i, root) {
+                    continue;
+                }
+            }
+            return Some(MatchScore { index: i, score: 1.0 });
+        }
+        // Fuzzy pass.
+        let candidates: Vec<usize> = match scope {
             Some(root) => snap.descendants(root),
             None => (0..snap.len()).collect(),
         };
-        if skip_offscreen {
-            candidates.retain(|&i| !snap.node(i).props.offscreen);
-        }
-        // Exact pass.
-        for &i in &candidates {
-            if target.matches_exact(snap, i) {
-                return Some(MatchScore { index: i, score: 1.0 });
-            }
-        }
-        // Fuzzy pass.
         let mut best: Option<MatchScore> = None;
-        for &i in &candidates {
-            let s = self.score(snap, i, target);
+        let mut floor = self.threshold;
+        for i in candidates {
+            if skip_offscreen && snap.node(i).props.offscreen {
+                continue;
+            }
+            let s = self.score_bounded(snap, i, target, floor);
             if s >= self.threshold && best.is_none_or(|b| s > b.score) {
                 best = Some(MatchScore { index: i, score: s });
+                floor = floor.max(s);
             }
         }
         best
@@ -158,88 +287,168 @@ impl FuzzyMatcher {
 
     /// Scores one candidate node against a target identifier.
     pub fn score(&self, snap: &Snapshot, idx: usize, target: &ControlId) -> f64 {
+        self.score_bounded(snap, idx, target, 0.0)
+    }
+
+    /// Like [`FuzzyMatcher::score`], but may return early with an
+    /// underestimate once the candidate provably cannot reach `floor`
+    /// (cheap components are computed first; the name similarity is then
+    /// bounded before any edit-distance work).
+    fn score_bounded(&self, snap: &Snapshot, idx: usize, target: &ControlId, floor: f64) -> f64 {
         let n: &Node = snap.node(idx);
         let type_w = (1.0 - self.name_weight) * 0.5;
         let path_w = (1.0 - self.name_weight) * 0.5;
 
         let type_score = if n.props.control_type == target.control_type { 1.0 } else { 0.0 };
-        let name_score = {
-            let a = n.props.primary_id();
-            string_similarity(a, &target.primary)
-                .max(string_similarity(&n.props.name, &target.primary))
-        };
-        let path_score = path_similarity(&snap.ancestor_path(idx), &target.ancestor_path);
+        let path_score = path_similarity(snap.index().path(idx), &target.ancestor_path);
+        let fixed = type_w * type_score + path_w * path_score;
+        // The name score needed to reach `floor`; above 1.0 is hopeless.
+        let name_floor = (floor - fixed) / self.name_weight;
+        if name_floor > 1.0 {
+            return fixed;
+        }
 
-        self.name_weight * name_score + type_w * type_score + path_w * path_score
+        let a = n.props.primary_id();
+        let mut name_score = string_similarity_bounded(a, &target.primary, name_floor);
+        if a != n.props.name {
+            name_score = name_score.max(string_similarity_bounded(
+                &n.props.name,
+                &target.primary,
+                name_floor,
+            ));
+        }
+        self.name_weight * name_score + fixed
     }
+}
+
+/// Reusable per-thread buffers for similarity computations: lowercased
+/// character vectors and the two Levenshtein DP rows. Fuzzy matching
+/// scores hundreds of candidates per resolve; without this every call
+/// paid four heap allocations.
+struct SimScratch {
+    al: Vec<char>,
+    bl: Vec<char>,
+    prev: Vec<usize>,
+    cur: Vec<usize>,
+}
+
+thread_local! {
+    static SIM_SCRATCH: std::cell::RefCell<SimScratch> =
+        const {
+            std::cell::RefCell::new(SimScratch {
+                al: Vec::new(),
+                bl: Vec::new(),
+                prev: Vec::new(),
+                cur: Vec::new(),
+            })
+        };
 }
 
 /// Normalized similarity of two strings based on Levenshtein distance with
 /// a case-insensitive prefix bonus. Returns a value in `[0, 1]`.
 pub fn string_similarity(a: &str, b: &str) -> f64 {
+    string_similarity_bounded(a, b, 0.0)
+}
+
+/// Like [`string_similarity`], but may return `0.0` early when a cheap
+/// length-difference bound proves the similarity cannot reach `floor`
+/// (the edit distance between strings is at least their length
+/// difference). Exact whenever the true similarity is `>= floor`, so
+/// thresholded callers can reject candidates for ~nothing.
+pub fn string_similarity_bounded(a: &str, b: &str, floor: f64) -> f64 {
     if a == b {
         return 1.0;
     }
-    let al = a.to_lowercase();
-    let bl = b.to_lowercase();
-    if al == bl {
-        return 0.97;
-    }
-    if al.is_empty() || bl.is_empty() {
-        return 0.0;
-    }
-    // Prefix containment: "Go To" vs "Go To…" or "Next" renamed "Next Page".
-    let prefix = al.starts_with(&bl) || bl.starts_with(&al);
-    let d = levenshtein(&al, &bl);
-    let max_len = al.chars().count().max(bl.chars().count());
-    let base = 1.0 - d as f64 / max_len as f64;
-    if prefix {
-        (base + 0.25).min(0.95)
-    } else {
-        base
-    }
+    SIM_SCRATCH.with(|scratch| {
+        let s = &mut *scratch.borrow_mut();
+        s.al.clear();
+        s.al.extend(a.chars().flat_map(char::to_lowercase));
+        s.bl.clear();
+        s.bl.extend(b.chars().flat_map(char::to_lowercase));
+        if s.al == s.bl {
+            return 0.97;
+        }
+        if s.al.is_empty() || s.bl.is_empty() {
+            return 0.0;
+        }
+        let (la, lb) = (s.al.len(), s.bl.len());
+        let max_len = la.max(lb);
+        // d >= |la - lb|, so base <= base_bound; the prefix bonus can add
+        // at most 0.25 (capped at 0.95).
+        let base_bound = 1.0 - la.abs_diff(lb) as f64 / max_len as f64;
+        let upper = base_bound.max((base_bound + 0.25).min(0.95));
+        if upper < floor {
+            return 0.0;
+        }
+        // Prefix containment: "Go To" vs "Go To…" or "Next" renamed
+        // "Next Page".
+        let prefix = s.al.starts_with(&s.bl) || s.bl.starts_with(&s.al);
+        let d = lev_chars(&s.al, &s.bl, &mut s.prev, &mut s.cur);
+        let base = 1.0 - d as f64 / max_len as f64;
+        if prefix {
+            (base + 0.25).min(0.95)
+        } else {
+            base
+        }
+    })
 }
 
 /// Similarity of two slash-delimited ancestor paths: fraction of matching
 /// components, compared suffix-first (nearest ancestors matter most).
+/// Allocation-free: components are compared straight off the split
+/// iterators.
 pub fn path_similarity(a: &str, b: &str) -> f64 {
     if a == b {
         return 1.0;
     }
-    let av: Vec<&str> = a.split('/').filter(|s| !s.is_empty()).collect();
-    let bv: Vec<&str> = b.split('/').filter(|s| !s.is_empty()).collect();
-    if av.is_empty() && bv.is_empty() {
+    fn comps(s: &str) -> impl Iterator<Item = &str> {
+        s.split('/').filter(|c| !c.is_empty())
+    }
+    let na = comps(a).count();
+    let nb = comps(b).count();
+    if na == 0 && nb == 0 {
         return 1.0;
     }
-    let n = av.len().max(bv.len());
-    let mut matched = 0usize;
-    for k in 1..=av.len().min(bv.len()) {
-        if av[av.len() - k].eq_ignore_ascii_case(bv[bv.len() - k]) {
-            matched += 1;
-        }
-    }
-    matched as f64 / n as f64
+    let matched = a
+        .rsplit('/')
+        .filter(|c| !c.is_empty())
+        .zip(b.rsplit('/').filter(|c| !c.is_empty()))
+        .filter(|(x, y)| x.eq_ignore_ascii_case(y))
+        .count();
+    matched as f64 / na.max(nb) as f64
 }
 
 /// Levenshtein edit distance over characters.
 pub fn levenshtein(a: &str, b: &str) -> usize {
-    let av: Vec<char> = a.chars().collect();
-    let bv: Vec<char> = b.chars().collect();
+    SIM_SCRATCH.with(|scratch| {
+        let s = &mut *scratch.borrow_mut();
+        s.al.clear();
+        s.al.extend(a.chars());
+        s.bl.clear();
+        s.bl.extend(b.chars());
+        lev_chars(&s.al, &s.bl, &mut s.prev, &mut s.cur)
+    })
+}
+
+/// Two-row Levenshtein DP over char slices, reusing row buffers.
+fn lev_chars(av: &[char], bv: &[char], prev: &mut Vec<usize>, cur: &mut Vec<usize>) -> usize {
     if av.is_empty() {
         return bv.len();
     }
     if bv.is_empty() {
         return av.len();
     }
-    let mut prev: Vec<usize> = (0..=bv.len()).collect();
-    let mut cur = vec![0usize; bv.len() + 1];
+    prev.clear();
+    prev.extend(0..=bv.len());
+    cur.clear();
+    cur.resize(bv.len() + 1, 0);
     for (i, &ac) in av.iter().enumerate() {
         cur[0] = i + 1;
         for (j, &bc) in bv.iter().enumerate() {
             let cost = usize::from(ac != bc);
             cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
         }
-        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(prev, cur);
     }
     prev[bv.len()]
 }
@@ -379,5 +588,64 @@ mod tests {
         if let Some(m1) = FuzzyMatcher::default().best_match_within(&s, &id, Some(w1)) {
             assert_eq!(m1.index, b1);
         }
+    }
+
+    #[test]
+    fn control_key_separates_components() {
+        // Length-prefixed hashing: shifting a character across the
+        // component boundary must change the key.
+        let k1 = ControlKey::of_parts("ab", ControlType::Button, "c");
+        let k2 = ControlKey::of_parts("a", ControlType::Button, "bc");
+        assert_ne!(k1, k2);
+        let k3 = ControlKey::of_parts("ab", ControlType::MenuItem, "c");
+        assert_ne!(k1, k3);
+        // Deterministic across processes and runs.
+        assert_eq!(k1, ControlKey::of_parts("ab", ControlType::Button, "c"));
+    }
+
+    #[test]
+    fn control_id_set_confirms_on_forced_key_collision() {
+        // Two distinct identifiers deliberately filed under one key: the
+        // set must keep them apart by confirming the full identifier —
+        // this is the collision-confirmation path that makes 64-bit keys
+        // safe.
+        let shared = ControlKey::of_parts("Bold", ControlType::Button, "W/Home/Font");
+        let bold = ControlId {
+            primary: "Bold".into(),
+            control_type: ControlType::Button,
+            ancestor_path: "W/Home/Font".into(),
+        };
+        let imposter = ControlId {
+            primary: "Italic".into(),
+            control_type: ControlType::Button,
+            ancestor_path: "W/Home/Font".into(),
+        };
+        let mut set = ControlIdSet::new();
+        assert!(set.insert(shared, &bold));
+        assert!(!set.insert(shared, &bold), "re-insert is a no-op");
+        assert!(set.contains(shared, &bold));
+        assert!(!set.contains(shared, &imposter), "colliding key must not conflate ids");
+        assert!(set.insert(shared, &imposter), "collision bucket holds both");
+        assert!(set.contains(shared, &imposter));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn exact_match_uses_index_and_skips_offscreen() {
+        let mut s = Snapshot::new();
+        let w = s.push(ControlProps::new("W", ControlType::Window), None, 0);
+        s.push_window_root(w);
+        let mut hidden = ControlProps::new("Save", ControlType::Button);
+        hidden.offscreen = true;
+        let off = s.push(hidden, Some(w), 0);
+        let on = s.push(ControlProps::new("Save", ControlType::Button), Some(w), 0);
+        let id = ControlId::of(&s, on);
+        // Unfiltered: the earlier (offscreen) duplicate wins, as the old
+        // arena-order scan did.
+        let m = FuzzyMatcher::default().best_match(&s, &id).unwrap();
+        assert_eq!((m.index, m.score), (off, 1.0));
+        // Visible-only: the exact pass must skip the offscreen duplicate.
+        let m = FuzzyMatcher::default().best_match_filtered(&s, &id, None, true).unwrap();
+        assert_eq!((m.index, m.score), (on, 1.0));
     }
 }

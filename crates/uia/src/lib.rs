@@ -8,6 +8,9 @@
 //!   real UIA (`automation_id` is *not* guaranteed unique and may be empty),
 //! - immutable accessibility-tree snapshots ([`Snapshot`], [`Node`]),
 //! - XPath-like control identifiers ([`ControlId`]) with fuzzy matching,
+//!   resolved in O(1) through a per-snapshot identity index
+//!   ([`SnapIndex`], [`ControlKey`] — see the [`index`] module for the
+//!   hash+confirm design),
 //! - structure-change events ([`UiaEvent`]).
 //!
 //! Applications (see `dmi-gui` / `dmi-apps`) produce snapshots; the DMI
@@ -28,6 +31,7 @@ pub mod control_type;
 pub mod error;
 pub mod event;
 pub mod ident;
+pub mod index;
 pub mod pattern;
 pub mod props;
 pub mod tree;
@@ -35,7 +39,8 @@ pub mod tree;
 pub use control_type::ControlType;
 pub use error::{UiaError, UiaResult};
 pub use event::UiaEvent;
-pub use ident::{ControlId, FuzzyMatcher, MatchScore};
+pub use ident::{ControlId, ControlIdSet, ControlKey, FuzzyMatcher, KeyMap, MatchScore};
+pub use index::SnapIndex;
 pub use pattern::{PatternKind, PatternSet};
 pub use props::{ControlProps, Rect, RuntimeId, ToggleState};
 pub use tree::{Node, NodeRef, Snapshot};

@@ -6,8 +6,10 @@
 //! the GUI ripper both operate exclusively on snapshots, which mirrors how
 //! real accessibility clients are decoupled from the provider process.
 
-use crate::{ControlProps, ControlType, PatternKind, Rect, RuntimeId};
+use crate::index::SnapIndex;
+use crate::{ControlId, ControlKey, ControlProps, ControlType, PatternKind, Rect, RuntimeId};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// One control in a snapshot.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -29,13 +31,24 @@ pub struct Node {
 /// Node index 0.. are arena indices; `windows` lists the arena index of each
 /// top-level window root in z-order (last = topmost), mirroring UIA's
 /// desktop children.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Snapshot {
     nodes: Vec<Node>,
     windows: Vec<usize>,
     /// Modality flag per entry of `windows`.
     #[serde(default)]
     modal: Vec<bool>,
+    /// Lazily built identity index (see [`SnapIndex`]); invalidated by any
+    /// mutation, never serialized or compared.
+    #[serde(skip)]
+    index: OnceLock<Box<SnapIndex>>,
+}
+
+// Equality ignores the derived identity cache.
+impl PartialEq for Snapshot {
+    fn eq(&self, other: &Snapshot) -> bool {
+        self.nodes == other.nodes && self.windows == other.windows && self.modal == other.modal
+    }
 }
 
 impl Snapshot {
@@ -48,6 +61,7 @@ impl Snapshot {
     ///
     /// `parent` must be an index previously returned by `push`.
     pub fn push(&mut self, props: ControlProps, parent: Option<usize>, window: usize) -> usize {
+        self.index.take();
         let idx = self.nodes.len();
         let runtime_id = RuntimeId(idx as u64 + 1);
         self.nodes.push(Node { runtime_id, props, parent, children: Vec::new(), window });
@@ -92,12 +106,48 @@ impl Snapshot {
     /// Overrides the runtime id of a node (providers that derive runtime
     /// ids from their own widget identity use this after `push`).
     pub fn set_runtime_id(&mut self, idx: usize, rt: RuntimeId) {
+        self.index.take();
         self.nodes[idx].runtime_id = rt;
     }
 
-    /// Finds the arena index of the node carrying the given runtime id.
+    /// The snapshot's identity index, built on first use (O(n)) and O(1)
+    /// to query thereafter. See [`SnapIndex`] for the design.
+    pub fn index(&self) -> &SnapIndex {
+        self.index.get_or_init(|| Box::new(SnapIndex::build(self)))
+    }
+
+    /// Finds the arena index of the node carrying the given runtime id
+    /// (O(1) via the identity index).
     pub fn index_of_runtime(&self, rt: RuntimeId) -> Option<usize> {
-        self.nodes.iter().position(|n| n.runtime_id == rt)
+        self.index().index_of_runtime(rt)
+    }
+
+    /// Synthesizes the control identifier of a node from cached parts.
+    pub fn control_id(&self, idx: usize) -> ControlId {
+        self.index().control_id(self, idx)
+    }
+
+    /// The 64-bit identity fingerprint of a node.
+    pub fn control_key(&self, idx: usize) -> ControlKey {
+        self.index().key(idx)
+    }
+
+    /// Resolves a control identifier to the first exactly matching node in
+    /// arena order, O(1) via the identity index (with collision confirm).
+    pub fn resolve(&self, id: &ControlId) -> Option<usize> {
+        self.index().resolve(self, id)
+    }
+
+    /// Whether `idx` lies in the subtree rooted at `root` (inclusive).
+    pub fn is_in_subtree(&self, idx: usize, root: usize) -> bool {
+        let mut cur = Some(idx);
+        while let Some(i) = cur {
+            if i == root {
+                return true;
+            }
+            cur = self.nodes[i].parent;
+        }
+        false
     }
 
     /// Number of nodes in the snapshot.
@@ -156,17 +206,12 @@ impl Snapshot {
     }
 
     /// Slash-delimited ancestor path of names, root-first (§4.1).
+    ///
+    /// Served from the identity index cache; use
+    /// [`SnapIndex::path`] (via [`Snapshot::index`]) to borrow the cached
+    /// string without this method's allocation.
     pub fn ancestor_path(&self, idx: usize) -> String {
-        let mut names: Vec<&str> = self
-            .ancestors(idx)
-            .into_iter()
-            .map(|a| {
-                let p = &self.nodes[a].props;
-                if p.name.is_empty() { "[Unnamed]" } else { p.name.as_str() }
-            })
-            .collect();
-        names.reverse();
-        names.join("/")
+        self.index().path(idx).to_string()
     }
 
     /// The depth of a node (root = 0).
@@ -201,16 +246,26 @@ impl Snapshot {
 
     /// The deepest node whose rectangle contains the point, searching the
     /// topmost window first (hit testing for simulated pointer input).
+    ///
+    /// A single O(n) DFS per window: depth rides on the traversal stack
+    /// instead of being recomputed by an ancestor walk per contained node.
     pub fn hit_test(&self, x: i32, y: i32) -> Option<usize> {
         for &w in self.windows.iter().rev() {
             let mut best: Option<(usize, usize)> = None; // (idx, depth)
-            for i in self.descendants(w) {
+            let mut stack: Vec<(usize, usize)> = vec![(w, 0)]; // (idx, depth)
+            while let Some((i, d)) = stack.pop() {
                 let n = &self.nodes[i];
-                if !n.props.offscreen && n.props.rect.contains(x, y) {
-                    let d = self.depth(i);
-                    if best.is_none_or(|(_, bd)| d >= bd) {
-                        best = Some((i, d));
-                    }
+                if !n.props.offscreen
+                    && n.props.rect.contains(x, y)
+                    && best.is_none_or(|(_, bd)| d >= bd)
+                {
+                    best = Some((i, d));
+                }
+                // Push children reversed so traversal is document-order,
+                // matching `descendants` (ties prefer later document order
+                // at equal depth).
+                for &c in n.children.iter().rev() {
+                    stack.push((c, d + 1));
                 }
             }
             if let Some((i, _)) = best {

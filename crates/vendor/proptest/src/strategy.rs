@@ -1,0 +1,268 @@
+//! Value-generation strategies (sampling only; no value trees, no
+//! shrinking).
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// A strategy that feeds sampled values into `f` and samples the
+    /// strategy `f` returns.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// A strategy that maps sampled values through `f`.
+    fn prop_map<T, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        MapStrategy { base: self, f }
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        let inner = (self.f)(self.base.sample(rng));
+        inner.sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for MapStrategy<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+/// See [`crate::collection::vec`].
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        let n = if self.len.is_empty() { self.len.start } else { rng.gen_range(self.len.clone()) };
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+// ------------------------------------------------------------ regex-lite
+
+/// One atom of a regex-lite pattern.
+enum Atom {
+    /// `.` — any printable ASCII character.
+    Any,
+    /// `[...]` — one of an explicit set.
+    Class(Vec<char>),
+    /// A literal character.
+    Lit(char),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Parses the regex-lite subset: atoms `.`/`[class]`/literal with optional
+/// `{m}` / `{m,n}` repetition. Character classes support ranges (`a-z`)
+/// and literal members; negation and alternation are not supported.
+fn parse_pattern(pat: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated character class in `{pat}`");
+                i += 1; // `]`
+                Atom::Class(set)
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "trailing escape in `{pat}`");
+                i += 2;
+                Atom::Lit(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Atom::Lit(c)
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated repetition in `{pat}`"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("repetition min"),
+                    n.trim().parse().expect("repetition max"),
+                ),
+                None => {
+                    let m: usize = body.trim().parse().expect("repetition count");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut SmallRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let n = if piece.min == piece.max {
+                piece.min
+            } else {
+                rng.gen_range(piece.min..piece.max + 1)
+            };
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Any => out.push((rng.gen_range(0x20u32..0x7f) as u8) as char),
+                    Atom::Class(set) => out.push(set[rng.gen_range(0..set.len())]),
+                    Atom::Lit(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn regex_lite_respects_bounds() {
+        let mut rng = case_rng("regex_lite", 0);
+        for _ in 0..200 {
+            let s = "[a-z]{1,10}".sample(&mut rng);
+            assert!((1..=10).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = ".{0,40}".sample(&mut rng);
+            assert!(t.len() <= 40);
+            let u = "[a-zA-Z0-9 /]{0,40}".sample(&mut rng);
+            assert!(u.chars().all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '/'));
+        }
+    }
+
+    #[test]
+    fn flat_map_and_vec_compose() {
+        let mut rng = case_rng("flat_map", 1);
+        let strat = (2usize..10)
+            .prop_flat_map(|n| (Just(n), crate::collection::vec((0..n, 0..n), 0..n * 3)));
+        for _ in 0..100 {
+            let (n, edges) = strat.sample(&mut rng);
+            assert!((2..10).contains(&n));
+            assert!(edges.len() < n * 3);
+            assert!(edges.iter().all(|&(a, b)| a < n && b < n));
+        }
+    }
+}

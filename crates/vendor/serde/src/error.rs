@@ -1,0 +1,30 @@
+//! Serialization/deserialization error type shared by the stub stack.
+
+use crate::Value;
+
+/// An error produced while converting between Rust values, [`Value`]s, and
+/// JSON text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn msg(message: impl Into<String>) -> Error {
+        Error { message: message.into() }
+    }
+
+    /// Creates a type-mismatch error.
+    pub fn ty(expected: &str, got: &Value) -> Error {
+        Error::msg(format!("expected {expected}, got {}", got.kind()))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,481 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! stub.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (the sandbox has no
+//! `syn`/`quote`). Supports the shapes this workspace uses:
+//!
+//! - structs with named fields, honoring `#[serde(default)]` and
+//!   `#[serde(skip)]`,
+//! - tuple structs (newtype structs serialize as their inner value),
+//! - enums with unit, tuple, and struct variants (externally tagged, like
+//!   serde's JSON default),
+//! - lifetime-generic items (`struct Saved<'a> { .. }`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone, Default)]
+struct FieldAttrs {
+    default: bool,
+    skip: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum ItemShape {
+    Struct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    generics: String,
+    shape: ItemShape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    // Generics (lifetimes only in this workspace).
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1usize;
+            let mut parts = TokenStream::new();
+            while depth > 0 {
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(q)) if q.as_char() == '<' => {
+                        depth += 1;
+                        parts.extend([tokens[i].clone()]);
+                    }
+                    Some(TokenTree::Punct(q)) if q.as_char() == '>' => {
+                        depth -= 1;
+                        if depth > 0 {
+                            parts.extend([tokens[i].clone()]);
+                        }
+                    }
+                    Some(t) => parts.extend([t.clone()]),
+                    None => panic!("unbalanced generics on `{name}`"),
+                }
+                i += 1;
+            }
+            generics = parts.to_string();
+        }
+    }
+
+    let shape = if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemShape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemShape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => ItemShape::UnitStruct,
+        }
+    } else if kind == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemShape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, got {other:?}"),
+        }
+    } else {
+        panic!("cannot derive for `{kind}` items");
+    };
+
+    Item { name, generics, shape }
+}
+
+/// Parses a `#[...]` attribute group already known to follow a `#`,
+/// updating serde field attrs when it is a `serde(...)` attribute.
+fn apply_attr(group: &proc_macro::Group, attrs: &mut FieldAttrs) {
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    let is_serde = matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+    if !is_serde {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = inner.get(1) else {
+        return;
+    };
+    for tok in args.stream() {
+        if let TokenTree::Ident(id) = tok {
+            match id.to_string().as_str() {
+                "default" => attrs.default = true,
+                "skip" | "skip_serializing" | "skip_deserializing" => attrs.skip = true,
+                other => panic!("unsupported serde attribute `{other}` (stub serde)"),
+            }
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = FieldAttrs::default();
+        // Attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                apply_attr(g, &mut attrs);
+            }
+            i += 2;
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        // `:` then the type, up to a top-level comma.
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant, then the separating comma.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", item.name)
+    } else {
+        format!("impl<{g}> ::serde::{trait_name} for {}<{g}>", item.name, g = item.generics)
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.shape {
+        ItemShape::Struct(fields) => {
+            let mut s = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                s.push_str(&format!(
+                    "__m.insert(\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m)");
+            s
+        }
+        ItemShape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemShape::TupleStruct(n) => {
+            let elems: Vec<String> =
+                (0..*n).map(|k| format!("::serde::Serialize::to_value(&self.{k})")).collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        ItemShape::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemShape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let ty = &item.name;
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!(
+                            "{ty}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{ty}::{vn}({bl}) => {{\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(\"{vn}\".to_string(), {payload});\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            bl = binds.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from("let mut __p = ::serde::Map::new();\n");
+                        for f in fields {
+                            if f.attrs.skip {
+                                continue;
+                            }
+                            inner.push_str(&format!(
+                                "__p.insert(\"{n}\".to_string(), ::serde::Serialize::to_value({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{ty}::{vn} {{ {bl} }} => {{\n{inner}\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(\"{vn}\".to_string(), ::serde::Value::Object(__p));\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            bl = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{header} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n",
+        header = impl_header(item, "Serialize")
+    )
+}
+
+fn gen_named_ctor(path: &str, fields: &[Field], src: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let init = if f.attrs.skip {
+            "::core::default::Default::default()".to_string()
+        } else if f.attrs.default {
+            format!("::serde::__private::de_field_default({src}, \"{}\")?", f.name)
+        } else {
+            format!("::serde::__private::de_field({src}, \"{}\")?", f.name)
+        };
+        inits.push_str(&format!("{n}: {init},\n", n = f.name));
+    }
+    format!("{path} {{\n{inits}}}")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        ItemShape::Struct(fields) => {
+            format!("::core::result::Result::Ok({})", gen_named_ctor(name, fields, "__v"))
+        }
+        ItemShape::TupleStruct(1) => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        ItemShape::TupleStruct(n) => {
+            let elems: Vec<String> =
+                (0..*n).map(|k| format!("::serde::__private::de_elem(__v, {k})?")).collect();
+            format!("::core::result::Result::Ok({name}({}))", elems.join(", "))
+        }
+        ItemShape::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        ItemShape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => return ::core::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let ctor = if *n == 1 {
+                            format!("{name}::{vn}(::serde::Deserialize::from_value(__inner)?)")
+                        } else {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::__private::de_elem(__inner, {k})?"))
+                                .collect();
+                            format!("{name}::{vn}({})", elems.join(", "))
+                        };
+                        data_arms.push_str(&format!(
+                            "if let ::core::option::Option::Some(__inner) = __obj.get(\"{vn}\") {{\n\
+                             return ::core::result::Result::Ok({ctor});\n}}\n"
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let ctor = gen_named_ctor(&format!("{name}::{vn}"), fields, "__inner");
+                        data_arms.push_str(&format!(
+                            "if let ::core::option::Option::Some(__inner) = __obj.get(\"{vn}\") {{\n\
+                             return ::core::result::Result::Ok({ctor});\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::core::option::Option::Some(__s) = __v.as_str() {{\n\
+                 match __s {{\n{unit_arms}_ => {{}}\n}}\n}}\n\
+                 if let ::core::option::Option::Some(__obj) = __v.as_object() {{\n{data_arms}}}\n\
+                 ::core::result::Result::Err(::serde::Error::msg(format!(\
+                 \"no variant of {name} matches {{}}\", __v.kind())))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n{header} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n",
+        header = impl_header(item, "Deserialize")
+    )
+}

@@ -17,7 +17,11 @@ fn main() {
     // empties coalesced — this text rides along in each prompt.
     let snap = s.snapshot();
     let passive = get_texts_passive(&snap, &PassiveConfig::default());
-    println!("passive get_texts ({} items, {} empty coalesced):", passive.items.len(), passive.empty_coalesced);
+    println!(
+        "passive get_texts ({} items, {} empty coalesced):",
+        passive.items.len(),
+        passive.empty_coalesced
+    );
     println!("{}", passive.to_prompt_text());
 
     // Active mode: full content of specific cells by on-screen label.
@@ -48,11 +52,7 @@ fn main() {
         .iter()
         .find(|n| {
             n.name == "Format cells that are"
-                && dmi
-                    .forest
-                    .path_to(n.id)
-                    .iter()
-                    .any(|&a| dmi.forest.nodes[a].name == "Less Than")
+                && dmi.forest.path_to(n.id).iter().any(|&a| dmi.forest.nodes[a].name == "Less Than")
         })
         .unwrap()
         .id;
@@ -62,11 +62,7 @@ fn main() {
         .iter()
         .find(|n| {
             n.name == "Apply Rule"
-                && dmi
-                    .forest
-                    .path_to(n.id)
-                    .iter()
-                    .any(|&a| dmi.forest.nodes[a].name == "Less Than")
+                && dmi.forest.path_to(n.id).iter().any(|&a| dmi.forest.nodes[a].name == "Less Than")
         })
         .unwrap()
         .id;

@@ -90,16 +90,12 @@ fn step_cap_is_respected() {
 fn dmi_prompts_cost_more_tokens_per_call_but_fewer_calls() {
     let gui = run_suite(perfect_profile(), InterfaceMode::GuiOnly, &[0]);
     let dmi = run_suite(perfect_profile(), InterfaceMode::GuiPlusDmi, &[0]);
-    let per_call_gui: f64 = gui
-        .iter()
-        .map(|t| t.prompt_tokens as f64 / t.llm_calls as f64)
-        .sum::<f64>()
-        / gui.len() as f64;
-    let per_call_dmi: f64 = dmi
-        .iter()
-        .map(|t| t.prompt_tokens as f64 / t.llm_calls as f64)
-        .sum::<f64>()
-        / dmi.len() as f64;
+    let per_call_gui: f64 =
+        gui.iter().map(|t| t.prompt_tokens as f64 / t.llm_calls as f64).sum::<f64>()
+            / gui.len() as f64;
+    let per_call_dmi: f64 =
+        dmi.iter().map(|t| t.prompt_tokens as f64 / t.llm_calls as f64).sum::<f64>()
+            / dmi.len() as f64;
     assert!(per_call_dmi > per_call_gui, "forest raises per-call context");
     let calls_gui: usize = gui.iter().map(|t| t.llm_calls).sum();
     let calls_dmi: usize = dmi.iter().map(|t| t.llm_calls).sum();

@@ -46,10 +46,7 @@ fn dmi_uses_fewer_calls_than_gui() {
     let dmi = run_all(InterfaceMode::GuiPlusDmi);
     let gui_total: usize = gui.iter().map(|(_, _, c)| c).sum();
     let dmi_total: usize = dmi.iter().map(|(_, _, c)| c).sum();
-    assert!(
-        dmi_total < gui_total,
-        "DMI should need fewer LLM calls: {dmi_total} vs {gui_total}"
-    );
+    assert!(dmi_total < gui_total, "DMI should need fewer LLM calls: {dmi_total} vs {gui_total}");
 }
 
 #[test]

@@ -1,0 +1,132 @@
+//! The control-identity layer: `ControlKey` stability, indexed resolution
+//! equivalence with the old linear scan, and pinned rip capture counts.
+
+use dmi_apps::AppKind;
+use dmi_core::ripper::{rip, RipConfig};
+use dmi_gui::Session;
+use dmi_uia::{ControlId, ControlKey, Snapshot};
+
+/// The ancestor path computed the pre-index way: walk parents, join names.
+fn walked_path(snap: &Snapshot, idx: usize) -> String {
+    let mut names: Vec<&str> = Vec::new();
+    let mut cur = snap.node(idx).parent;
+    while let Some(p) = cur {
+        let name = &snap.node(p).props.name;
+        names.push(if name.is_empty() { "[Unnamed]" } else { name });
+        cur = snap.node(p).parent;
+    }
+    names.reverse();
+    names.join("/")
+}
+
+/// The resolver this PR replaced: a full arena scan with per-candidate
+/// path recomputation. Kept here as the equivalence oracle.
+fn linear_resolve(snap: &Snapshot, cid: &ControlId) -> Option<usize> {
+    (0..snap.len()).find(|&i| {
+        let props = &snap.node(i).props;
+        props.primary_id() == cid.primary
+            && props.control_type == cid.control_type
+            && walked_path(snap, i) == cid.ancestor_path
+    })
+}
+
+#[test]
+fn indexed_resolve_matches_linear_scan_on_all_small_apps() {
+    for kind in AppKind::ALL {
+        let mut s = Session::new(kind.launch_small());
+        let snap = s.snapshot();
+        for (i, _) in snap.iter() {
+            let cid = snap.control_id(i);
+            assert_eq!(
+                snap.resolve(&cid),
+                linear_resolve(&snap, &cid),
+                "{}: node {i} ({})",
+                kind.name(),
+                cid
+            );
+        }
+        // Identifiers that exist nowhere must miss in both.
+        let ghost = ControlId {
+            primary: "No Such Control".into(),
+            control_type: dmi_uia::ControlType::Button,
+            ancestor_path: "Nowhere/At All".into(),
+        };
+        assert_eq!(snap.resolve(&ghost), None);
+        assert_eq!(linear_resolve(&snap, &ghost), None);
+    }
+}
+
+#[test]
+fn cached_paths_match_walked_paths_on_all_small_apps() {
+    for kind in AppKind::ALL {
+        let mut s = Session::new(kind.launch_small());
+        let snap = s.snapshot();
+        for (i, _) in snap.iter() {
+            assert_eq!(snap.ancestor_path(i), walked_path(&snap, i), "{}: node {i}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn control_keys_stable_across_snapshots_of_same_ui() {
+    let mut s = Session::new(AppKind::Word.launch_small());
+    let a = s.snapshot();
+    let b = s.snapshot();
+    let key_by_runtime = |snap: &Snapshot| {
+        snap.iter()
+            .map(|(i, n)| (n.runtime_id, snap.control_key(i)))
+            .collect::<std::collections::HashMap<_, _>>()
+    };
+    let ka = key_by_runtime(&a);
+    let kb = key_by_runtime(&b);
+    let mut common = 0;
+    for (rt, k) in &ka {
+        if let Some(k2) = kb.get(rt) {
+            assert_eq!(k, k2, "key changed across snapshots for {rt}");
+            common += 1;
+        }
+    }
+    assert!(common > 50, "snapshots should overlap substantially (got {common})");
+
+    // Stability across a restart of the same application build: the same
+    // identifier synthesizes the same key from a fresh widget arena.
+    s.restart();
+    let c = s.snapshot();
+    let kc = key_by_runtime(&c);
+    let mut matched = 0;
+    for (rt, k) in &kc {
+        if let Some(k0) = ka.get(rt) {
+            assert_eq!(k, k0, "key changed across restart for {rt}");
+            matched += 1;
+        }
+    }
+    assert!(matched > 50, "restart rebuilds the same UI (got {matched})");
+}
+
+#[test]
+fn control_key_is_a_pure_function_of_the_identifier() {
+    let mut s = Session::new(AppKind::Excel.launch_small());
+    let snap = s.snapshot();
+    for (i, _) in snap.iter() {
+        let cid = snap.control_id(i);
+        assert_eq!(snap.control_key(i), ControlKey::of_id(&cid), "node {i}");
+    }
+}
+
+/// Regression pin for the Word small-app rip: capture counts must not
+/// drift silently. These values were produced by the string-keyed
+/// implementation and must stay byte-identical under the identity index
+/// (and any future resolution change).
+#[test]
+fn word_small_rip_capture_counts_pinned() {
+    let mut s = Session::new(AppKind::Word.launch_small());
+    let (g, stats) = rip(&mut s, &RipConfig::office("Word"));
+    assert_eq!(g.node_count(), 2411, "UNG node count");
+    assert_eq!(g.edge_count(), 2435, "UNG edge count");
+    assert_eq!(stats.snapshots, 8870, "snapshots captured");
+    assert_eq!(stats.clicks, 6558, "candidate clicks");
+    assert_eq!(stats.restarts, 2312, "state-restoration restarts");
+    assert_eq!(stats.blocklisted, 2, "blocklisted candidates");
+    assert_eq!(stats.replay_failures, 1, "replay failures");
+    assert_eq!(stats.windows_seen, 15, "windows observed opening");
+}

@@ -18,12 +18,8 @@ fn forests_preserve_unique_paths_for_all_apps() {
 fn word_has_shared_subtrees_with_multiple_entries() {
     // The shared Colors dialog is reachable from several color menus.
     let dmi = &dmi_models()["Word"];
-    let multi_entry = dmi
-        .forest
-        .shared_roots
-        .iter()
-        .filter(|&&r| dmi.forest.references_to(r).len() > 1)
-        .count();
+    let multi_entry =
+        dmi.forest.shared_roots.iter().filter(|&&r| dmi.forest.references_to(r).len() > 1).count();
     assert!(multi_entry >= 1, "expected a merge-node dialog with several entries");
 }
 
@@ -59,12 +55,8 @@ fn core_topology_is_cheaper_than_full() {
 fn further_query_recovers_pruned_font_list() {
     let dmi = &dmi_models()["Word"];
     // The font gallery is a large enumeration: pruned from the core.
-    let font_gallery = dmi
-        .forest
-        .nodes
-        .iter()
-        .find(|n| n.name == "Font Name")
-        .expect("font gallery modeled");
+    let font_gallery =
+        dmi.forest.nodes.iter().find(|n| n.name == "Font Name").expect("font gallery modeled");
     let last_font = dmi
         .forest
         .nodes

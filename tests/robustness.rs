@@ -70,16 +70,12 @@ fn dynamic_rename_breaks_exact_match_but_not_everything() {
     // structured ControlNotFound instead of acting on the wrong control.
     let dmi = word_dmi();
     let mut s = Session::new(dmi_apps::AppKind::Word.launch_small());
-    let (find_what, fw_refs) = dmi_agent::dmi_agent::resolve_target(
-        &dmi.forest,
-        &dmi_llm::TargetQuery::name("Find what"),
-    )
-    .unwrap();
-    let (next, next_refs) = dmi_agent::dmi_agent::resolve_target(
-        &dmi.forest,
-        &dmi_llm::TargetQuery::name("Next"),
-    )
-    .unwrap();
+    let (find_what, fw_refs) =
+        dmi_agent::dmi_agent::resolve_target(&dmi.forest, &dmi_llm::TargetQuery::name("Find what"))
+            .unwrap();
+    let (next, next_refs) =
+        dmi_agent::dmi_agent::resolve_target(&dmi.forest, &dmi_llm::TargetQuery::name("Next"))
+            .unwrap();
     let json = format!(
         r#"[{{"id": {find_what}, "entry_ref_id": {fw_refs:?}, "text": "+1"}}, {{"shortcut_key": "Enter"}}, {{"id": {next}, "entry_ref_id": {next_refs:?}}}]"#
     );
@@ -181,13 +177,8 @@ fn enforced_access_clicks_navigation_nodes() {
     // navigation node (e.g. just open the Design tab).
     let dmi = word_dmi();
     let mut s = Session::new(dmi_apps::AppKind::Word.launch_small());
-    let design = dmi
-        .forest
-        .nodes
-        .iter()
-        .find(|n| n.name == "Design" && !n.children.is_empty())
-        .unwrap()
-        .id;
+    let design =
+        dmi.forest.nodes.iter().find(|n| n.name == "Design" && !n.children.is_empty()).unwrap().id;
     // Without enforcement: filtered, nothing happens.
     let out = dmi.visit_json(&mut s, &format!(r#"[{{"id": {design}}}]"#));
     assert!(out.executed.is_empty());
