@@ -8,11 +8,12 @@
 //! dialog shared by several launchers (a merge node).
 
 use crate::model::sheet::{Addr, CondRule, Range, Sheet};
-use crate::office::{self, commands, Chrome};
+use crate::office::{self, commands, Chrome, Pristine};
 use dmi_gui::{
     AppError, Behavior, CommandBinding, GuiApp, UiTree, Widget, WidgetBuilder, WidgetId,
 };
 use dmi_uia::{ControlType as CT, PatternKind};
+use std::sync::Arc;
 
 /// Build-time options for the simulated Excel instance.
 #[derive(Debug, Clone)]
@@ -29,6 +30,19 @@ impl Default for ExcelConfig {
     fn default() -> Self {
         ExcelConfig { rows: 110, cols: 26, viewport_rows: 30 }
     }
+}
+
+/// The mutable model state captured in the pristine launch image: the
+/// workbook plus every session-scoped scalar `dispatch` can change. Kept
+/// as one struct so `reset` restores from the capture instead of
+/// re-listing constructor defaults.
+#[derive(Debug, Clone)]
+struct ExcelState {
+    sheet: Sheet,
+    active: Addr,
+    color_target: String,
+    cond_threshold: f64,
+    cond_fill: String,
 }
 
 /// The simulated Excel application.
@@ -50,6 +64,8 @@ pub struct ExcelApp {
     formula_bar: WidgetId,
     /// Cell widget ids by (row, col).
     cell_widgets: Vec<Vec<WidgetId>>,
+    /// Launch-state image `reset` clones from (no arena reconstruction).
+    pristine: Arc<Pristine<ExcelState>>,
 }
 
 impl ExcelApp {
@@ -66,19 +82,28 @@ impl ExcelApp {
         let chrome = office::build_chrome(&mut tree, "Book1 - Excel");
         office::build_backstage(&mut tree, chrome.main);
         let built = build_ui(&mut tree, &chrome, &config, &sheet);
-        ExcelApp {
-            config,
-            tree,
+        let state = ExcelState {
             sheet,
             active: Addr { row: 0, col: 0 },
             color_target: "fill".into(),
             cond_threshold: 0.0,
             cond_fill: "Red".into(),
+        };
+        let pristine = Pristine::capture(&tree, &state);
+        ExcelApp {
+            config,
+            tree,
+            sheet: state.sheet,
+            active: state.active,
+            color_target: state.color_target,
+            cond_threshold: state.cond_threshold,
+            cond_fill: state.cond_fill,
             chrome,
             grid: built.grid,
             name_box: built.name_box,
             formula_bar: built.formula_bar,
             cell_widgets: built.cell_widgets,
+            pristine,
         }
     }
 
@@ -794,7 +819,14 @@ impl GuiApp for ExcelApp {
     }
 
     fn reset(&mut self) {
-        *self = ExcelApp::with_config(self.config.clone());
+        let pristine = Arc::clone(&self.pristine);
+        self.tree.clone_from(pristine.tree());
+        let state = pristine.doc();
+        self.sheet.clone_from(&state.sheet);
+        self.active = state.active;
+        self.color_target.clone_from(&state.color_target);
+        self.cond_threshold = state.cond_threshold;
+        self.cond_fill.clone_from(&state.cond_fill);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

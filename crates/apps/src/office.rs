@@ -18,6 +18,39 @@
 use crate::model::color;
 use dmi_gui::{Behavior, CommandBinding, CommitKind, UiTree, Widget, WidgetBuilder, WidgetId};
 use dmi_uia::{ControlType as CT, PatternKind};
+use std::sync::Arc;
+
+/// A prebuilt launch-state image of an application: the fully constructed
+/// widget arena plus the document model. `GuiApp::reset` clones from this
+/// instead of re-running widget-tree construction — rebuilding a Word-size
+/// arena runs thousands of `format!`s and builder calls, while restoring
+/// from the pristine copy is a plain deep clone (ROADMAP "Cheap
+/// `GuiApp::reset`"). Held behind an [`Arc`] so the immutable image is
+/// shared, never rebuilt, for the lifetime of the app.
+#[derive(Debug)]
+pub struct Pristine<D: Clone> {
+    tree: UiTree,
+    doc: D,
+}
+
+impl<D: Clone> Pristine<D> {
+    /// Captures the launch state. Call once, at the end of construction.
+    pub fn capture(tree: &UiTree, doc: &D) -> Arc<Pristine<D>> {
+        Arc::new(Pristine { tree: tree.clone(), doc: doc.clone() })
+    }
+
+    /// The captured widget arena. Restore with `clone_from` (today this
+    /// still deep-clones — the derived impls fall back to a full clone;
+    /// see the ROADMAP item on allocation-free pristine resets).
+    pub fn tree(&self) -> &UiTree {
+        &self.tree
+    }
+
+    /// The captured document model.
+    pub fn doc(&self) -> &D {
+        &self.doc
+    }
+}
 
 /// Well-known command names shared across the apps.
 pub mod commands {

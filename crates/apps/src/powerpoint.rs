@@ -9,9 +9,10 @@
 //! UI (rip blocklist candidates).
 
 use crate::model::deck::{Deck, Shape};
-use crate::office::{self, commands, Chrome};
+use crate::office::{self, commands, Chrome, Pristine};
 use dmi_gui::{AppError, Behavior, CommandBinding, GuiApp, UiTree, WidgetBuilder, WidgetId};
 use dmi_uia::ControlType as CT;
+use std::sync::Arc;
 
 /// Build-time options for the simulated PowerPoint instance.
 #[derive(Debug, Clone)]
@@ -30,7 +31,6 @@ impl Default for PowerPointConfig {
 
 /// The simulated PowerPoint application.
 pub struct PowerPointApp {
-    config: PowerPointConfig,
     tree: UiTree,
     /// The deck model.
     pub deck: Deck,
@@ -42,6 +42,20 @@ pub struct PowerPointApp {
     /// Per-slide shape widgets (canvas children), toggled with the
     /// current slide.
     shape_widgets: Vec<Vec<WidgetId>>,
+    /// Launch-state image `reset` clones from (no arena reconstruction).
+    pristine: Arc<Pristine<PptState>>,
+}
+
+/// The model state captured alongside the widget arena for pristine
+/// resets: the deck, the per-slide shape-widget map (inserting shapes at
+/// runtime grows both), and every session-scoped scalar `dispatch` can
+/// change. Kept as one struct so `reset` restores from the capture
+/// instead of re-listing constructor defaults.
+#[derive(Debug, Clone)]
+struct PptState {
+    deck: Deck,
+    shape_widgets: Vec<Vec<WidgetId>>,
+    color_target: String,
 }
 
 impl PowerPointApp {
@@ -61,19 +75,25 @@ impl PowerPointApp {
         let chrome = office::build_chrome(&mut tree, "Presentation1 - PowerPoint");
         office::build_backstage(&mut tree, chrome.main);
         let built = build_ui(&mut tree, &chrome, &config, &deck);
-        let mut app = PowerPointApp {
-            config,
-            tree,
+        apply_slide_visibility(&mut tree, &deck, &built.shape_widgets);
+        apply_selection_context(&mut tree, &deck);
+        let state = PptState {
             deck,
+            shape_widgets: built.shape_widgets,
             color_target: "background".into(),
+        };
+        let pristine = Pristine::capture(&tree, &state);
+        PowerPointApp {
+            tree,
+            deck: state.deck,
+            color_target: state.color_target,
             chrome,
             thumbnails: built.thumbnails,
             canvas: built.canvas,
             notes: built.notes,
-            shape_widgets: built.shape_widgets,
-        };
-        app.show_current_slide();
-        app
+            shape_widgets: state.shape_widgets,
+            pristine,
+        }
     }
 
     /// The slide-thumbnail list widget.
@@ -99,23 +119,33 @@ impl PowerPointApp {
     /// Toggles canvas shape visibility so only the current slide's shapes
     /// show, and syncs selection contexts.
     fn show_current_slide(&mut self) {
-        for (slide, shapes) in self.shape_widgets.iter().enumerate() {
-            for &w in shapes {
-                self.tree.widget_mut(w).visible = slide == self.deck.current;
-            }
-        }
+        apply_slide_visibility(&mut self.tree, &self.deck, &self.shape_widgets);
         self.sync_selection_context();
     }
 
     fn sync_selection_context(&mut self) {
-        let (img, txt) = match self.deck.selected() {
-            Some(s) if s.kind == "image" => (true, false),
-            Some(_) => (false, true),
-            None => (false, false),
-        };
-        self.tree.set_context("image-selected", img);
-        self.tree.set_context("text-selected", txt);
+        apply_selection_context(&mut self.tree, &self.deck);
     }
+}
+
+/// Shows only the current slide's shapes on the canvas.
+fn apply_slide_visibility(tree: &mut UiTree, deck: &Deck, shape_widgets: &[Vec<WidgetId>]) {
+    for (slide, shapes) in shape_widgets.iter().enumerate() {
+        for &w in shapes {
+            tree.widget_mut(w).visible = slide == deck.current;
+        }
+    }
+}
+
+/// Syncs the image/text selection contexts with the deck's selection.
+fn apply_selection_context(tree: &mut UiTree, deck: &Deck) {
+    let (img, txt) = match deck.selected() {
+        Some(s) if s.kind == "image" => (true, false),
+        Some(_) => (false, true),
+        None => (false, false),
+    };
+    tree.set_context("image-selected", img);
+    tree.set_context("text-selected", txt);
 }
 
 impl Default for PowerPointApp {
@@ -739,7 +769,12 @@ impl GuiApp for PowerPointApp {
     }
 
     fn reset(&mut self) {
-        *self = PowerPointApp::with_config(self.config.clone());
+        let pristine = Arc::clone(&self.pristine);
+        self.tree.clone_from(pristine.tree());
+        let state = pristine.doc();
+        self.deck.clone_from(&state.deck);
+        self.shape_widgets.clone_from(&state.shape_widgets);
+        self.color_target.clone_from(&state.color_target);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -8,11 +8,12 @@
 //! and a scrollable document surface with off-screen paragraphs.
 
 use crate::model::word_doc::{Alignment, WordDoc};
-use crate::office::{self, commands, Chrome};
+use crate::office::{self, commands, Chrome, Pristine};
 use dmi_gui::{
     AppError, Behavior, CommandBinding, GuiApp, UiTree, Widget, WidgetBuilder, WidgetId,
 };
 use dmi_uia::ControlType as CT;
+use std::sync::Arc;
 
 /// Build-time options for the simulated Word instance.
 #[derive(Debug, Clone)]
@@ -29,9 +30,21 @@ impl Default for WordConfig {
     }
 }
 
+/// The mutable model state captured in the pristine launch image: the
+/// document plus every session-scoped scalar `dispatch` can change. Kept
+/// as one struct so `reset` restores from the capture instead of
+/// re-listing constructor defaults.
+#[derive(Debug, Clone)]
+struct WordState {
+    doc: WordDoc,
+    color_target: String,
+    find_text: String,
+    replace_text: String,
+    find_subscript: bool,
+}
+
 /// The simulated Word application.
 pub struct WordApp {
-    config: WordConfig,
     tree: UiTree,
     /// The document model (task verifiers inspect this).
     pub doc: WordDoc,
@@ -46,6 +59,8 @@ pub struct WordApp {
     chrome: Chrome,
     doc_surface: WidgetId,
     find_next_button: WidgetId,
+    /// Launch-state image `reset` clones from (no arena reconstruction).
+    pristine: Arc<Pristine<WordState>>,
 }
 
 impl WordApp {
@@ -61,17 +76,25 @@ impl WordApp {
         let chrome = office::build_chrome(&mut tree, "Document1 - Word");
         office::build_backstage(&mut tree, chrome.main);
         let (doc_surface, find_next_button) = build_ui(&mut tree, &chrome, &config, &doc);
-        WordApp {
-            config,
-            tree,
+        let state = WordState {
             doc,
             color_target: "font".into(),
             find_text: String::new(),
             replace_text: String::new(),
             find_subscript: false,
+        };
+        let pristine = Pristine::capture(&tree, &state);
+        WordApp {
+            tree,
+            doc: state.doc,
+            color_target: state.color_target,
+            find_text: state.find_text,
+            replace_text: state.replace_text,
+            find_subscript: state.find_subscript,
             chrome,
             doc_surface,
             find_next_button,
+            pristine,
         }
     }
 
@@ -831,7 +854,14 @@ impl GuiApp for WordApp {
     }
 
     fn reset(&mut self) {
-        *self = WordApp::with_config(self.config.clone());
+        let pristine = Arc::clone(&self.pristine);
+        self.tree.clone_from(pristine.tree());
+        let state = pristine.doc();
+        self.doc.clone_from(&state.doc);
+        self.color_target.clone_from(&state.color_target);
+        self.find_text.clone_from(&state.find_text);
+        self.replace_text.clone_from(&state.replace_text);
+        self.find_subscript = state.find_subscript;
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

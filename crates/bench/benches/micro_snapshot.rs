@@ -181,13 +181,28 @@ fn bench_record_diff(c: &mut Criterion) {
 fn bench_rip(c: &mut Criterion) {
     let mut group = c.benchmark_group("rip");
     group.sample_size(10);
-    group.bench_function("small_word", |b| {
-        b.iter(|| {
-            let mut s = Session::new(AppKind::Word.launch_small());
-            let (g, stats) = rip(&mut s, &RipConfig::office("Word"));
-            black_box((g.node_count(), stats.clicks))
-        })
-    });
+    // Default strategy: Esc-based fast state restoration + pristine-clone
+    // reset (§4.1). The `*/full_restart` variants force the legacy
+    // restart-replay recovery so the end-to-end speedup is measured inside
+    // one binary; both produce byte-identical UNGs (see tests/identity.rs).
+    for kind in AppKind::ALL {
+        group.bench_function(&format!("small_{}", kind.name().to_lowercase()), |b| {
+            b.iter(|| {
+                let mut s = Session::new(kind.launch_small());
+                let (g, stats) = rip(&mut s, &RipConfig::office(kind.name()));
+                black_box((g.node_count(), stats.clicks))
+            })
+        });
+        group.bench_function(&format!("small_{}_full_restart", kind.name().to_lowercase()), |b| {
+            let mut cfg = RipConfig::office(kind.name());
+            cfg.esc_recovery = false;
+            b.iter(|| {
+                let mut s = Session::new(kind.launch_small());
+                let (g, stats) = rip(&mut s, &cfg);
+                black_box((g.node_count(), stats.clicks))
+            })
+        });
+    }
     group.finish();
 }
 

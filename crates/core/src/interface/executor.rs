@@ -195,8 +195,8 @@ fn deepest_visible(
 ) -> Option<usize> {
     let top = snap.top_window()?;
     for (k, &node_id) in clickables.iter().enumerate().rev() {
-        let cid = &forest.nodes[node_id].control;
-        if config.matcher.best_match_filtered(snap, cid, Some(top), true).is_some() {
+        let n = &forest.nodes[node_id];
+        if config.matcher.best_match_prekeyed(snap, n.key, &n.control, Some(top), true).is_some() {
             return Some(k);
         }
     }
@@ -210,8 +210,8 @@ fn resolve_in(
     node_id: usize,
 ) -> Option<usize> {
     let top = snap.top_window()?;
-    let cid = &forest.nodes[node_id].control;
-    config.matcher.best_match_filtered(snap, cid, Some(top), true).map(|m| m.index)
+    let n = &forest.nodes[node_id];
+    config.matcher.best_match_prekeyed(snap, n.key, &n.control, Some(top), true).map(|m| m.index)
 }
 
 /// Closes the topmost window with the OK > Close > Cancel priority,

@@ -8,10 +8,20 @@
 //! re-explores under manually established contexts (e.g. "an image is
 //! selected") to reach context-conditional controls.
 //!
-//! State restoration between branches replays the candidate's click path
-//! from a fresh application start — the simulator makes restarts cheap, so
-//! the paper's Esc-based fast recovery is unnecessary here; the resulting
-//! UNG is identical.
+//! State restoration between branches prefers the paper's §4.1 fast
+//! recovery: the explorer tracks how the current UI state was reached —
+//! the tree's persistent-mutation epoch, the open-popup chain and window
+//! stack depth, and whether any tab was switched — and presses Esc to
+//! collapse transient windows and popups back to a launch-equivalent base
+//! before clicking the next candidate's path forward. Only when Esc
+//! provably cannot reach that base (trapped UI, tree-visible state
+//! mutations, context passes) does it fall back to a full
+//! [`Session::restart`] plus path replay. Pure document-model mutations
+//! are invisible to the epoch — and to snapshots: the UNG only observes
+//! the tree, and any later rendering of document state into widgets goes
+//! through tree writes that do move the epoch. The resulting UNG is
+//! byte-identical either way; the full-restart strategy stays available
+//! behind [`RipConfig::esc_recovery`] as the equivalence oracle.
 
 use crate::graph::{Ung, UngNode, UngNodeId};
 use dmi_gui::Session;
@@ -42,6 +52,11 @@ pub struct RipConfig {
     pub max_clicks: Option<usize>,
     /// Context passes to run after the base pass.
     pub contexts: Vec<ContextSetup>,
+    /// Prefer Esc-based fast state restoration between sibling candidates
+    /// (§4.1) over full restart-replay. Off, every candidate restores
+    /// state by restarting the application — the legacy strategy kept as
+    /// the equivalence oracle: both settings produce byte-identical UNGs.
+    pub esc_recovery: bool,
 }
 
 impl Default for RipConfig {
@@ -66,6 +81,7 @@ impl Default for RipConfig {
             max_depth: 12,
             max_clicks: None,
             contexts: Vec::new(),
+            esc_recovery: true,
         }
     }
 }
@@ -92,8 +108,13 @@ pub struct RipStats {
     pub clicks: u64,
     /// Snapshots captured.
     pub snapshots: u64,
-    /// Application restarts (state restoration).
+    /// Application restarts (state restoration fallback).
     pub restarts: u64,
+    /// Candidates whose prefix state was restored by Esc instead of a
+    /// restart (§4.1 fast recovery).
+    pub esc_recoveries: u64,
+    /// Esc presses spent collapsing transient windows and popups.
+    pub esc_presses: u64,
     /// Candidates skipped by the blocklist.
     pub blocklisted: u64,
     /// Candidates skipped because replay failed.
@@ -113,6 +134,22 @@ struct Explorer<'a> {
     visited: ControlIdSet,
     /// DFS stack of (control, its fingerprint, click path to reveal it).
     stack: Vec<(ControlId, ControlKey, Vec<ControlId>)>,
+    /// The tree's persistent-mutation epoch recorded at the last restart.
+    /// While it holds, the only state accumulated since the restart is
+    /// transient (windows, popups) or tab selection — exactly what Esc
+    /// plus a forward replay can neutralize.
+    base_epoch: u64,
+    /// Whether any main-window tab was clicked since the last restart.
+    /// Tab selection survives Esc; it self-heals only when the next
+    /// forward click is itself a tab (selecting a tab deselects its
+    /// siblings).
+    tab_dirty: bool,
+    /// Whether a tab *inside a dialog* was clicked since the last
+    /// restart. Dialog-internal tab selection survives Esc-closing the
+    /// dialog, and replaying a path re-opens the dialog without
+    /// re-selecting its default tab — nothing heals it, so only a
+    /// restart clears this.
+    dialog_tab_dirty: bool,
 }
 
 /// Rips an application into a UNG.
@@ -124,6 +161,9 @@ pub fn rip(session: &mut Session, config: &RipConfig) -> (Ung, RipStats) {
         stats: RipStats::default(),
         visited: ControlIdSet::new(),
         stack: Vec::new(),
+        base_epoch: 0,
+        tab_dirty: false,
+        dialog_tab_dirty: false,
     };
     ex.base_pass();
     for ctx in &config.contexts {
@@ -141,6 +181,19 @@ impl Explorer<'_> {
     fn restart(&mut self) {
         self.stats.restarts += 1;
         self.session.restart();
+        self.base_epoch = self.session.ui_state_epoch();
+        self.tab_dirty = false;
+        self.dialog_tab_dirty = false;
+    }
+
+    /// Records a successful click on a tab: main-window tabs are
+    /// self-healing, dialog-internal tabs poison recovery until restart.
+    fn note_tab_click(&mut self) {
+        if self.session.window_depth() > 1 {
+            self.dialog_tab_dirty = true;
+        } else {
+            self.tab_dirty = true;
+        }
     }
 
     fn is_blocklisted(&self, name: &str, auto: &str) -> bool {
@@ -229,6 +282,14 @@ impl Explorer<'_> {
     /// Replays a click path from a fresh start; returns false on failure.
     fn replay(&mut self, setup: &[String], path: &[ControlId]) -> bool {
         self.restart();
+        self.walk(setup, path, true)
+    }
+
+    /// Clicks the setup names and path controls forward from the current
+    /// state. `count_failures` controls whether a miss is recorded in the
+    /// stats — a speculative fast-recovery walk retries with a clean
+    /// restart instead of charging a replay failure.
+    fn walk(&mut self, setup: &[String], path: &[ControlId], count_failures: bool) -> bool {
         for name in setup {
             let snap = self.snapshot();
             let Some(idx) = snap.find_by_name(name) else {
@@ -242,17 +303,71 @@ impl Explorer<'_> {
         for cid in path {
             let snap = self.snapshot();
             let Some(idx) = Self::resolve(&snap, cid) else {
-                self.stats.replay_failures += 1;
+                if count_failures {
+                    self.stats.replay_failures += 1;
+                }
                 return false;
             };
             let wid = self.session.widget_of(snap.node(idx).runtime_id);
             self.stats.clicks += 1;
             if self.session.click(wid).is_err() {
-                self.stats.replay_failures += 1;
+                if count_failures {
+                    self.stats.replay_failures += 1;
+                }
                 return false;
+            }
+            if cid.control_type == ControlType::TabItem {
+                self.note_tab_click();
             }
         }
         true
+    }
+
+    /// Whether the candidate's prefix state is reachable by Esc-based fast
+    /// recovery from the current state — the §4.1 planner. Requires the
+    /// base pass (context setups establish state Esc cannot re-create),
+    /// an un-trapped UI, no persistent *tree-visible* mutation since the
+    /// last restart (document-model state the tree never renders is
+    /// outside the epoch, and outside what snapshots — hence the UNG —
+    /// can observe), no surviving dialog-internal tab selection, and
+    /// either untouched main-window tabs or a path that re-selects one
+    /// first.
+    fn can_recover(&self, setup: &[String], cid: &ControlId, path: &[ControlId]) -> bool {
+        if !self.config.esc_recovery || !setup.is_empty() || self.session.is_trapped() {
+            return false;
+        }
+        if self.session.ui_state_epoch() != self.base_epoch || self.dialog_tab_dirty {
+            return false;
+        }
+        if self.tab_dirty {
+            // A path starting with a (main-window) tab deselects whatever
+            // tab is stale; the first path click always happens with only
+            // the main window open, so it can never be a dialog tab.
+            let first = path.first().map_or(cid.control_type, |c| c.control_type);
+            return first == ControlType::TabItem;
+        }
+        true
+    }
+
+    /// Establishes the candidate's prefix state: launch state plus the
+    /// clicks in `path`. Prefers Esc-based fast restoration; falls back to
+    /// a full restart + replay when the planner refuses or the fast walk
+    /// diverges from the modeled path.
+    fn establish(&mut self, setup: &[String], cid: &ControlId, path: &[ControlId]) -> bool {
+        if self.can_recover(setup, cid, path) {
+            let (at_base, presses) = self.session.escape_to_base();
+            self.stats.esc_presses += presses;
+            // A window closed by Esc runs its cancel handler; re-check
+            // the epoch before trusting the collapsed state as base.
+            if at_base
+                && self.session.ui_state_epoch() == self.base_epoch
+                && self.walk(setup, path, false)
+            {
+                self.stats.esc_recoveries += 1;
+                return true;
+            }
+        }
+        self.replay(setup, path)
     }
 
     fn base_pass(&mut self) {
@@ -284,7 +399,7 @@ impl Explorer<'_> {
                     return;
                 }
             }
-            if !self.replay(setup, &path) {
+            if !self.establish(setup, &cid, &path) {
                 continue;
             }
             // A replayed path can leave a stray modal window above the
@@ -305,6 +420,7 @@ impl Explorer<'_> {
                     if self.session.press("Esc").is_err() {
                         break;
                     }
+                    self.stats.esc_presses += 1;
                     pre = self.snapshot();
                     continue;
                 }
@@ -316,6 +432,9 @@ impl Explorer<'_> {
             if !clicked_ok {
                 self.stats.replay_failures += 1;
                 continue;
+            }
+            if cid.control_type == ControlType::TabItem {
+                self.note_tab_click();
             }
             let windows_before = pre.windows().len();
             let post = self.snapshot();
@@ -469,6 +588,166 @@ mod tests {
         // Conditional Formatting -> Highlight Cells Rules -> Greater Than.
         assert!(g.ids().any(|i| g.node(i).name == "Greater Than"));
         assert!(g.ids().any(|i| g.node(i).name == "Freeze Top Row"));
+    }
+
+    /// What a [`MiniApp`] is built with, for recovery-planner unit tests.
+    #[derive(Clone, Copy, PartialEq)]
+    enum MiniShape {
+        /// A popup menu with three items: purely transient UI.
+        MenuOnly,
+        /// The menu plus a toggle button whose click persistently mutates
+        /// widget + document state.
+        WithToggle,
+        /// The menu plus a modal dialog containing its own tab strip
+        /// (like Excel's Format Cells): dialog-internal tab selection
+        /// survives Esc and nothing heals it.
+        WithDialogTabs,
+    }
+
+    struct MiniApp {
+        tree: dmi_gui::UiTree,
+        shape: MiniShape,
+        toggled: u32,
+    }
+
+    impl MiniApp {
+        fn new(shape: MiniShape) -> MiniApp {
+            use dmi_gui::{Behavior, CommandBinding, CommitKind, Widget, WidgetBuilder};
+            let mut t = dmi_gui::UiTree::new();
+            let main = t.add_root(Widget::new("Mini", ControlType::Window));
+            let menu = t.add(
+                main,
+                WidgetBuilder::new("Menu", ControlType::SplitButton)
+                    .popup()
+                    .on_click(Behavior::OpenMenu)
+                    .build(),
+            );
+            for name in ["A", "B", "C"] {
+                t.add(
+                    menu,
+                    WidgetBuilder::new(name, ControlType::ListItem)
+                        .on_click(Behavior::CommandAndDismiss(CommandBinding::new("noop")))
+                        .build(),
+                );
+            }
+            if shape == MiniShape::WithToggle {
+                t.add(
+                    main,
+                    WidgetBuilder::new("Mutate", ControlType::Button)
+                        .toggle_state(false)
+                        .on_click(Behavior::Toggle)
+                        .binding(CommandBinding::new("mutate"))
+                        .build(),
+                );
+            }
+            if shape == MiniShape::WithDialogTabs {
+                let dlg = t.add_root(Widget::new("Box", ControlType::Window));
+                for (tab, item, selected) in [("T1", "B1", true), ("T2", "B2", false)] {
+                    let mut b =
+                        WidgetBuilder::new(tab, ControlType::TabItem).on_click(Behavior::SwitchTab);
+                    if selected {
+                        b = b.selected();
+                    }
+                    let tid = t.add(dlg, b.build());
+                    t.add(
+                        tid,
+                        WidgetBuilder::new(item, ControlType::ListItem)
+                            .on_click(Behavior::CommandAndDismiss(CommandBinding::new("noop")))
+                            .build(),
+                    );
+                }
+                t.add(
+                    dlg,
+                    WidgetBuilder::new("Shut", ControlType::Button)
+                        .on_click(Behavior::CloseWindow(CommitKind::Cancel))
+                        .build(),
+                );
+                t.add(
+                    main,
+                    WidgetBuilder::new("Open Box", ControlType::Button)
+                        .on_click(Behavior::OpenDialog(dlg))
+                        .build(),
+                );
+            }
+            MiniApp { tree: t, shape, toggled: 0 }
+        }
+    }
+
+    impl dmi_gui::GuiApp for MiniApp {
+        fn name(&self) -> &str {
+            "Mini"
+        }
+        fn tree(&self) -> &dmi_gui::UiTree {
+            &self.tree
+        }
+        fn tree_mut(&mut self) -> &mut dmi_gui::UiTree {
+            &mut self.tree
+        }
+        fn dispatch(
+            &mut self,
+            _src: dmi_gui::WidgetId,
+            b: &dmi_gui::CommandBinding,
+        ) -> Result<(), dmi_gui::AppError> {
+            if b.command == "mutate" {
+                self.toggled += 1; // A document mutation.
+            }
+            Ok(())
+        }
+        fn reset(&mut self) {
+            *self = MiniApp::new(self.shape);
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn esc_recovery_skips_restarts_for_transient_ui() {
+        // Menus and their items only open/close popups: after the single
+        // base-pass restart every sibling is reached by Esc recovery.
+        let mut s = Session::new(Box::new(MiniApp::new(MiniShape::MenuOnly)));
+        let (g, stats) = rip(&mut s, &RipConfig::default());
+        assert_eq!(stats.restarts, 1, "only the base-pass restart");
+        assert_eq!(stats.esc_recoveries, 4, "Menu + A, B, C recovered via Esc");
+        assert!(g.ids().any(|i| g.node(i).name == "C"));
+    }
+
+    #[test]
+    fn esc_recovery_refuses_after_document_mutating_click() {
+        // The toggle click flips widget state (which is what moves the
+        // epoch — the accompanying document mutation is tree-invisible
+        // and detected only through its widget write): the planner must
+        // refuse Esc recovery for the next candidate and fall back to a
+        // full restart.
+        let mut s = Session::new(Box::new(MiniApp::new(MiniShape::WithToggle)));
+        let (_, stats) = rip(&mut s, &RipConfig::default());
+        assert_eq!(stats.restarts, 2, "base-pass restart + post-mutation fallback");
+        assert_eq!(stats.esc_recoveries, 4, "toggle + menu items still recover elsewhere");
+    }
+
+    #[test]
+    fn esc_recovery_refuses_after_dialog_tab_click() {
+        // Dialog-internal tab selection survives Esc-closing the dialog
+        // and is not healed by replaying the path (the dialog reopens on
+        // whatever tab was left selected), so any candidate explored
+        // after a dialog tab click must fall back to a restart.
+        let mut s = Session::new(Box::new(MiniApp::new(MiniShape::WithDialogTabs)));
+        let (g_fast, fast) = rip(&mut s, &RipConfig::default());
+        let legacy_cfg = RipConfig { esc_recovery: false, ..RipConfig::default() };
+        let mut s2 = Session::new(Box::new(MiniApp::new(MiniShape::WithDialogTabs)));
+        let (g_slow, slow) = rip(&mut s2, &legacy_cfg);
+        assert_eq!(g_fast.node_count(), g_slow.node_count(), "UNG nodes match the oracle");
+        assert_eq!(g_fast.edge_count(), g_slow.edge_count(), "UNG edges match the oracle");
+        assert_eq!(fast.replay_failures, slow.replay_failures, "no stale-tab resolution misses");
+        assert!(
+            fast.restarts > 1,
+            "candidates after a dialog tab click must restart (got {} restarts)",
+            fast.restarts
+        );
+        assert!(fast.restarts < slow.restarts, "menu/dialog siblings still recover via Esc");
     }
 
     #[test]

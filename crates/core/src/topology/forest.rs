@@ -13,7 +13,7 @@
 
 use crate::graph::{Ung, UngNodeId};
 use crate::topology::decycle::reverse_topo;
-use dmi_uia::{ControlId, ControlType};
+use dmi_uia::{ControlId, ControlKey, ControlType};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -56,6 +56,11 @@ pub struct TopoNode {
     /// Underlying control identifier (reference nodes carry their target
     /// subtree's control id for readability).
     pub control: ControlId,
+    /// Precomputed fingerprint of `control` (ROADMAP "Forest-side key
+    /// interning"): the executor's exact-match pass probes snapshot
+    /// identity indexes with it directly instead of re-hashing the
+    /// identifier on every resolve.
+    pub key: ControlKey,
     /// Display name.
     pub name: String,
     /// Control type.
@@ -274,6 +279,7 @@ pub fn build_forest(g: &Ung, config: &ForestConfig) -> (Forest, ForestStats) {
             id,
             kind,
             control: n.control.clone(),
+            key: ControlKey::of_id(&n.control),
             name: n.name.clone(),
             control_type: n.control_type,
             help_text: n.help_text.clone(),
@@ -300,6 +306,7 @@ pub fn build_forest(g: &Ung, config: &ForestConfig) -> (Forest, ForestStats) {
                         id: rid,
                         kind: TopoKind::Reference { subtree_root: usize::MAX },
                         control: tn.control.clone(),
+                        key: ControlKey::of_id(&tn.control),
                         name: format!("→{}", tn.name),
                         control_type: tn.control_type,
                         help_text: String::new(),

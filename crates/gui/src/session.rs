@@ -106,6 +106,10 @@ pub struct Session {
     query_seq: u64,
     /// Input action counter.
     action_seq: u64,
+    /// Restart counter. Restarts are state restoration, not input: they
+    /// are counted separately so action counts reported by the modeling
+    /// experiments reflect actual user-level input.
+    restart_seq: u64,
     /// Number of jumps to external applications (blocklist hazards).
     external_jumps: u64,
     /// Whether the UI entered an un-exitable state.
@@ -126,6 +130,7 @@ impl Session {
             events: EventLog::new(),
             query_seq: 0,
             action_seq: 0,
+            restart_seq: 0,
             external_jumps: 0,
             trapped: false,
         }
@@ -156,6 +161,11 @@ impl Session {
         self.query_seq
     }
 
+    /// Number of application restarts so far.
+    pub fn restart_count(&self) -> u64 {
+        self.restart_seq
+    }
+
     /// Number of jumps into external applications.
     pub fn external_jumps(&self) -> u64 {
         self.external_jumps
@@ -179,11 +189,56 @@ impl Session {
 
     /// Resets the application and session UI state (like a restart), as
     /// the ripper does between exploration branches when recovery fails.
+    /// Counted as a restart, not an input action.
     pub fn restart(&mut self) {
         self.app.reset();
         self.app.tree_mut().reset_ui_state();
         self.trapped = false;
-        self.action_seq += 1;
+        self.restart_seq += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // State-restoration support (§4.1 Esc-based fast recovery)
+    // ------------------------------------------------------------------
+
+    /// The tree's persistent-mutation epoch (see [`UiTree::state_epoch`]).
+    /// Recovery planners record it at a known-base state; an unchanged
+    /// reading later proves no widget property, arena, selection, focus,
+    /// or context change happened in between, so collapsing transient
+    /// windows and popups with Esc restores that base exactly.
+    pub fn ui_state_epoch(&self) -> u64 {
+        self.app.tree().state_epoch()
+    }
+
+    /// Number of open windows (main window included).
+    pub fn window_depth(&self) -> usize {
+        self.app.tree().open_windows().len()
+    }
+
+    /// Number of open popups (nested menu chain length).
+    pub fn popup_depth(&self) -> usize {
+        self.app.tree().open_popups().len()
+    }
+
+    /// Presses Esc until only the main window remains and every popup is
+    /// collapsed — the paper's standard-command state restoration. Returns
+    /// whether the base was reached, plus the number of presses spent
+    /// (counted even on failure, so effort accounting stays honest when
+    /// Esc stops making progress — trapped UI, a window that refuses to
+    /// close).
+    pub fn escape_to_base(&mut self) -> (bool, u64) {
+        let mut presses = 0u64;
+        while self.window_depth() > 1 || self.popup_depth() > 0 {
+            let before = (self.window_depth(), self.popup_depth());
+            if self.press("Esc").is_err() {
+                return (false, presses);
+            }
+            presses += 1;
+            if (self.window_depth(), self.popup_depth()) == before {
+                return (false, presses);
+            }
+        }
+        (true, presses)
     }
 
     // ------------------------------------------------------------------
@@ -309,12 +364,18 @@ impl Session {
         let Some(f) = self.app.tree().focus() else {
             return Err(AppError::NotInteractable { reason: "no focused edit".into() });
         };
-        let w = self.app.tree_mut().widget_mut(f);
+        let w = self.app.tree().widget(f);
         if !w.patterns.supports(PatternKind::Value) && !w.patterns.supports(PatternKind::Text) {
             let name = w.name.clone();
             return Err(AppError::PatternUnsupported { name, pattern: PatternKind::Value });
         }
-        w.value = text.to_string();
+        if w.value == text {
+            // Typing the text already present changes nothing: no value
+            // write, no event — the logs the robustness and late-load
+            // clocks compare against must not record phantom changes.
+            return Ok(());
+        }
+        self.app.tree_mut().widget_mut(f).value = text.to_string();
         self.events.push(UiaEvent::PropertyChanged {
             control: snapshot::runtime_of(f),
             property: "Value.Value".into(),
@@ -1019,6 +1080,49 @@ mod tests {
         s.restart();
         assert_eq!(counter(&s), 0);
         assert_eq!(s.app().tree().open_windows().len(), 1);
+    }
+
+    #[test]
+    fn restart_is_not_an_input_action() {
+        let (mut s, ids) = session();
+        s.click(ids.bump).unwrap();
+        let actions = s.action_count();
+        s.restart();
+        s.restart();
+        assert_eq!(s.action_count(), actions, "restarts must not skew action counts");
+        assert_eq!(s.restart_count(), 2);
+    }
+
+    #[test]
+    fn type_text_noop_write_is_event_free() {
+        let (mut s, ids) = session();
+        s.click(ids.dlg_open).unwrap();
+        s.click(ids.dlg_edit).unwrap();
+        s.type_text("Report").unwrap();
+        let events_after_first = s.events().all().len();
+        s.type_text("Report").unwrap();
+        assert_eq!(
+            s.events().all().len(),
+            events_after_first,
+            "unchanged text must not log an event"
+        );
+        s.type_text("Report 2").unwrap();
+        assert_eq!(s.events().all().len(), events_after_first + 1, "a real change still logs");
+    }
+
+    #[test]
+    fn escape_to_base_collapses_windows_and_popups() {
+        let (mut s, ids) = session();
+        s.click(ids.dlg_open).unwrap();
+        s.press("Esc").unwrap();
+        s.click(ids.font_menu).unwrap();
+        assert_eq!(s.popup_depth(), 1);
+        let epoch = s.ui_state_epoch();
+        assert_eq!(s.escape_to_base(), (true, 1));
+        assert_eq!((s.window_depth(), s.popup_depth()), (1, 0));
+        assert_eq!(s.ui_state_epoch(), epoch, "popup collapse is transient, not a mutation");
+        // Already at base: nothing to press.
+        assert_eq!(s.escape_to_base(), (true, 0));
     }
 
     #[test]

@@ -42,6 +42,16 @@ pub struct UiTree {
     /// Widgets whose children are still "loading": hidden from snapshots
     /// until the given query sequence number (instability injection).
     pending_children: BTreeMap<WidgetId, u64>,
+    /// Monotonic counter of *persistent* state mutations: widget property
+    /// writes, arena growth, selection, focus, and context changes — the
+    /// state a freshly launched application would not have. Deliberately
+    /// NOT bumped by window/popup open/close (transient UI, undone by Esc)
+    /// or tab selection (self-healing: selecting a tab deselects its
+    /// siblings). The ripper's recovery planner compares epochs to decide
+    /// whether pressing Esc can reach a launch-equivalent state or a full
+    /// restart is required (§4.1 state restoration).
+    #[serde(skip)]
+    state_epoch: u64,
 }
 
 impl UiTree {
@@ -57,6 +67,7 @@ impl UiTree {
         let id = WidgetId(self.widgets.len());
         let mut w = w;
         w.parent = None;
+        self.state_epoch += 1;
         self.widgets.push(w);
         if self.main_root.is_none() {
             self.main_root = Some(id);
@@ -70,6 +81,7 @@ impl UiTree {
         let id = WidgetId(self.widgets.len());
         let mut w = w;
         w.parent = Some(parent);
+        self.state_epoch += 1;
         self.widgets.push(w);
         self.widgets[parent.0].children.push(id);
         id
@@ -90,9 +102,21 @@ impl UiTree {
         &self.widgets[id.0]
     }
 
-    /// Mutably borrows a widget.
+    /// Mutably borrows a widget. Counts as a persistent state mutation
+    /// (see [`UiTree::state_epoch`]): callers hold a write handle, and the
+    /// tree must assume a property changed.
     pub fn widget_mut(&mut self, id: WidgetId) -> &mut Widget {
+        self.state_epoch += 1;
         &mut self.widgets[id.0]
+    }
+
+    /// The persistent-mutation epoch. Two equal readings bracket a span in
+    /// which no widget property, arena, selection, focus, or context
+    /// changed — transient window/popup state and tab selection excluded —
+    /// so pressing Esc back to the base window provably restores a
+    /// launch-equivalent UI.
+    pub fn state_epoch(&self) -> u64 {
+        self.state_epoch
     }
 
     /// Iterates over all widgets with ids.
@@ -127,6 +151,9 @@ impl UiTree {
 
     /// Sets keyboard focus.
     pub fn set_focus(&mut self, id: Option<WidgetId>) {
+        if self.focus != id {
+            self.state_epoch += 1;
+        }
         self.focus = id;
     }
 
@@ -142,10 +169,10 @@ impl UiTree {
 
     /// Activates or deactivates a UI context (e.g. `"image-selected"`).
     pub fn set_context(&mut self, ctx: &str, on: bool) {
-        if on {
-            self.contexts.insert(ctx.to_string());
-        } else {
-            self.contexts.remove(ctx);
+        let changed =
+            if on { self.contexts.insert(ctx.to_string()) } else { self.contexts.remove(ctx) };
+        if changed {
+            self.state_epoch += 1;
         }
     }
 
@@ -313,6 +340,7 @@ impl UiTree {
 
     /// Selects a selection item; when not `additive`, deselects siblings.
     pub fn select_item(&mut self, id: WidgetId, additive: bool) {
+        self.state_epoch += 1;
         if !additive {
             if let Some(p) = self.widgets[id.0].parent {
                 let siblings = self.widgets[p.0].children.clone();
@@ -326,6 +354,7 @@ impl UiTree {
 
     /// Marks a container's children as still loading until `ready_query`.
     pub fn set_pending_children(&mut self, id: WidgetId, ready_query: u64) {
+        self.state_epoch += 1;
         self.pending_children.insert(id, ready_query);
     }
 
@@ -507,6 +536,32 @@ mod tests {
         t.reset_ui_state();
         assert_eq!(t.open_windows().len(), 1);
         assert!(!t.context_active("image-selected"));
+    }
+
+    #[test]
+    fn state_epoch_tracks_persistent_mutations_only() {
+        let (mut t, main, _, home, insert) = tree();
+        let dlg = t.add_root(Widget::new("Dialog", CT::Window));
+        let menu = t.add(main, WidgetBuilder::new("Colors", CT::SplitButton).popup().build());
+        let epoch = t.state_epoch();
+        // Transient UI: windows and popups do not move the epoch.
+        t.open_window(dlg, true);
+        t.close_top_window();
+        t.open_popup(menu);
+        t.collapse_popup(menu);
+        // Tab selection is self-healing (selecting deselects siblings).
+        t.select_tab(insert);
+        t.select_tab(home);
+        assert_eq!(t.state_epoch(), epoch, "transient state must not move the epoch");
+        // Persistent mutations do.
+        t.widget_mut(home).enabled = false;
+        assert!(t.state_epoch() > epoch, "widget writes move the epoch");
+        let epoch = t.state_epoch();
+        t.set_context("image-selected", true);
+        assert!(t.state_epoch() > epoch, "context changes move the epoch");
+        let epoch = t.state_epoch();
+        t.set_context("image-selected", true); // Already active: no change.
+        assert_eq!(t.state_epoch(), epoch);
     }
 
     #[test]

@@ -71,6 +71,25 @@ impl ControlKey {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// Reconstructs a key from its raw digest (deserialization support;
+    /// keys are pure functions of the identifier, so a stored digest stays
+    /// valid as long as the identifier it was computed from is stored too).
+    pub fn from_raw(raw: u64) -> ControlKey {
+        ControlKey(raw)
+    }
+}
+
+impl Serialize for ControlKey {
+    fn to_value(&self) -> serde::Value {
+        self.0.to_value()
+    }
+}
+
+impl Deserialize for ControlKey {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(ControlKey::from_raw(u64::from_value(v)?))
+    }
 }
 
 /// A pass-through hasher for keys that are already high-quality digests
@@ -246,12 +265,29 @@ impl FuzzyMatcher {
         scope: Option<usize>,
         skip_offscreen: bool,
     ) -> Option<MatchScore> {
+        self.best_match_prekeyed(snap, ControlKey::of_id(target), target, scope, skip_offscreen)
+    }
+
+    /// Like [`FuzzyMatcher::best_match_filtered`] with the target's
+    /// fingerprint already in hand. Callers that resolve the same modeled
+    /// controls repeatedly (the `visit` executor walking a forest path)
+    /// precompute the key once at model-build time instead of re-hashing
+    /// the identifier on every resolve.
+    pub fn best_match_prekeyed(
+        &self,
+        snap: &Snapshot,
+        key: ControlKey,
+        target: &ControlId,
+        scope: Option<usize>,
+        skip_offscreen: bool,
+    ) -> Option<MatchScore> {
+        debug_assert_eq!(key, ControlKey::of_id(target));
         // Exact pass: keyed lookup in the snapshot identity index
         // (collision-confirmed), instead of scanning every candidate with
         // per-node path rebuilding. Among duplicate exact matches the
         // earliest arena index wins.
         let ix = snap.index();
-        for i in ix.candidates(crate::ControlKey::of_id(target)) {
+        for i in ix.candidates(key) {
             if !ix.matches(snap, i, target) {
                 continue;
             }

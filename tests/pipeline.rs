@@ -136,3 +136,36 @@ fn offline_model_saves_and_loads_from_disk() {
     assert_eq!(loaded.forest.len(), dmi.forest.len());
     let _ = std::fs::remove_file(&path);
 }
+
+#[test]
+fn forest_keys_are_interned_fingerprints() {
+    // ROADMAP "Forest-side key interning": every forest node carries the
+    // fingerprint of its control id, computed once at build time, so the
+    // executor's exact pass never re-hashes identifiers per resolve.
+    for kind in dmi_apps::AppKind::ALL {
+        let dmi = &dmi_models()[kind.name()];
+        for n in &dmi.forest.nodes {
+            assert_eq!(
+                n.key,
+                dmi_uia::ControlKey::of_id(&n.control),
+                "{kind}: stale key on forest node {}",
+                n.id
+            );
+        }
+    }
+}
+
+#[test]
+fn dmi_build_uses_esc_recovery_by_default() {
+    // The offline phase inherits the ripper's §4.1 fast state restoration:
+    // almost every branch recovers via Esc instead of an app restart.
+    let mut s = dmi_gui::Session::new(dmi_apps::AppKind::Word.launch_small());
+    let (_, stats) = dmi_core::Dmi::build(&mut s, &dmi_core::DmiBuildConfig::office("Word"));
+    assert!(stats.rip.esc_recoveries > 100 * stats.rip.restarts, "{:?}", stats.rip);
+    // Build leaves the session freshly restarted: one beyond the rip's own.
+    assert_eq!(s.restart_count(), stats.rip.restarts + 1, "restarts tracked by the session");
+    assert!(
+        s.action_count() > s.restart_count() * 100,
+        "restarts must not dominate the action count"
+    );
+}
