@@ -33,7 +33,7 @@ pub struct GuiRunResult {
     pub completed: bool,
 }
 
-fn observe(session: &mut Session) -> (Snapshot, LabeledScreen) {
+fn observe(session: &mut Session) -> (std::sync::Arc<Snapshot>, LabeledScreen) {
     let snap = session.snapshot();
     let screen = label_screen(&snap);
     (snap, screen)

@@ -21,12 +21,13 @@ use dmi_uia::{ControlType as CT, PatternKind};
 use std::sync::Arc;
 
 /// A prebuilt launch-state image of an application: the fully constructed
-/// widget arena plus the document model. `GuiApp::reset` clones from this
-/// instead of re-running widget-tree construction — rebuilding a Word-size
-/// arena runs thousands of `format!`s and builder calls, while restoring
-/// from the pristine copy is a plain deep clone (ROADMAP "Cheap
-/// `GuiApp::reset`"). Held behind an [`Arc`] so the immutable image is
-/// shared, never rebuilt, for the lifetime of the app.
+/// widget arena plus the document model. `GuiApp::reset` restores from
+/// this with `clone_from` instead of re-running widget-tree construction —
+/// rebuilding a Word-size arena runs thousands of `format!`s and builder
+/// calls, while the restore recycles the live arena's `String`/`Vec`
+/// buffers widget-by-widget (`UiTree`'s manual `clone_from`), so a reset
+/// allocates nothing for unchanged widgets. Held behind an [`Arc`] so the
+/// immutable image is shared, never rebuilt, for the lifetime of the app.
 #[derive(Debug)]
 pub struct Pristine<D: Clone> {
     tree: UiTree,
@@ -39,9 +40,10 @@ impl<D: Clone> Pristine<D> {
         Arc::new(Pristine { tree: tree.clone(), doc: doc.clone() })
     }
 
-    /// The captured widget arena. Restore with `clone_from` (today this
-    /// still deep-clones — the derived impls fall back to a full clone;
-    /// see the ROADMAP item on allocation-free pristine resets).
+    /// The captured widget arena. Restore with `clone_from`: the manual
+    /// impl recycles the destination's buffers and advances the tree's
+    /// capture epochs past both lineages, so stale cached captures can
+    /// never validate against the restored state.
     pub fn tree(&self) -> &UiTree {
         &self.tree
     }

@@ -9,14 +9,14 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dmi_apps::AppKind;
 use dmi_core::ripper::{rip, RipConfig};
-use dmi_gui::Session;
+use dmi_gui::{CaptureConfig, Session};
 use dmi_uia::{ControlId, Snapshot};
 use std::collections::HashSet;
 use std::hint::black_box;
 use std::sync::OnceLock;
 
 fn word_snapshot() -> &'static Snapshot {
-    static SNAP: OnceLock<Snapshot> = OnceLock::new();
+    static SNAP: OnceLock<std::sync::Arc<Snapshot>> = OnceLock::new();
     SNAP.get_or_init(|| {
         let mut s = Session::new(AppKind::Word.launch());
         s.snapshot()
@@ -178,6 +178,44 @@ fn bench_record_diff(c: &mut Criterion) {
     group.finish();
 }
 
+/// The capture pipeline itself: a cold full build, a pure cache hit, and
+/// a partial rebuild where one (dialog) window is dirty and the big main
+/// window is copied from the previous capture.
+fn bench_snapshot_capture(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snap");
+    group.bench_function("cold", |b| {
+        let mut s = Session::new(AppKind::Word.launch());
+        s.set_capture_config(CaptureConfig::full_rebuild());
+        b.iter(|| black_box(s.snapshot().len()))
+    });
+    group.bench_function("cached", |b| {
+        let mut s = Session::new(AppKind::Word.launch());
+        let warm = s.snapshot();
+        black_box(warm.len());
+        b.iter(|| black_box(s.snapshot().len()))
+    });
+    group.bench_function("dirty_one_window", |b| {
+        let mut s = Session::new(AppKind::Word.launch());
+        // Open the Find and Replace dialog, then dirty only that window
+        // each iteration: the main window's node block is copied forward.
+        let tree = s.app().tree();
+        let launcher = tree
+            .iter()
+            .find(|(i, w)| w.name == "Replace" && tree.is_shown(*i))
+            .map(|(i, _)| i)
+            .expect("Replace launcher");
+        s.click(launcher).unwrap();
+        let find_edit = s.app().tree().find_by_name("Find what").expect("dialog edit");
+        let mut tick = 0u64;
+        b.iter(|| {
+            tick += 1;
+            s.set_value(find_edit, if tick.is_multiple_of(2) { "alpha" } else { "beta" }).unwrap();
+            black_box(s.snapshot().len())
+        })
+    });
+    group.finish();
+}
+
 fn bench_rip(c: &mut Criterion) {
     let mut group = c.benchmark_group("rip");
     group.sample_size(10);
@@ -203,8 +241,25 @@ fn bench_rip(c: &mut Criterion) {
             })
         });
     }
+    // Capture-cache contribution in isolation: same Esc recovery, but every
+    // snapshot eagerly rebuilt (the equivalence-oracle configuration).
+    group.bench_function("small_word_full_rebuild", |b| {
+        b.iter(|| {
+            let mut s = Session::new(AppKind::Word.launch_small());
+            s.set_capture_config(CaptureConfig::full_rebuild());
+            let (g, stats) = rip(&mut s, &RipConfig::office("Word"));
+            black_box((g.node_count(), stats.clicks))
+        })
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_resolve, bench_index_build, bench_record_diff, bench_rip);
+criterion_group!(
+    benches,
+    bench_resolve,
+    bench_index_build,
+    bench_record_diff,
+    bench_snapshot_capture,
+    bench_rip
+);
 criterion_main!(benches);

@@ -26,6 +26,7 @@
 use crate::graph::{Ung, UngNode, UngNodeId};
 use dmi_gui::Session;
 use dmi_uia::{ControlId, ControlIdSet, ControlKey, ControlType, Snapshot};
+use std::sync::Arc;
 
 /// A context the explorer establishes before a dedicated exploration pass
 /// (§4.1 "Context-aware exploration"). The clicks encode app-specific
@@ -173,7 +174,7 @@ pub fn rip(session: &mut Session, config: &RipConfig) -> (Ung, RipStats) {
 }
 
 impl Explorer<'_> {
-    fn snapshot(&mut self) -> Snapshot {
+    fn snapshot(&mut self) -> Arc<Snapshot> {
         self.stats.snapshots += 1;
         self.session.snapshot()
     }

@@ -5,6 +5,15 @@
 //! an interaction) and control names can vary between the modeled topology
 //! and the live UI. This module provides a deterministic, seeded model of
 //! both, so robustness paths are exercised reproducibly.
+//!
+//! Both perturbations compose with the epoch-cached capture pipeline
+//! (`crate::snapshot`) without weakening it: name variation is a pure
+//! function of `(seed, widget)` — identical across rebuilds of the same
+//! state, so cached bytes stay exact — and late loads, the one effect
+//! keyed on the *query* clock rather than tree state, are resolved into
+//! each window's capture key at build time (`UiTree::next_reveal_under`):
+//! a cached window is never served at or past the query sequence where a
+//! pending subtree would have appeared.
 
 use crate::widget::WidgetId;
 

@@ -11,11 +11,19 @@
 //! Children of a scrollable container participate only while inside the
 //! viewport window determined by `scroll_pos`; the rest are marked
 //! off-screen (they stay in the accessibility tree, like real UIA).
+//!
+//! Rows are computed *per window* ([`compute_window`]) and shared through
+//! [`Arc`]s: a [`LayoutCache`] keyed by the window's capture key (root,
+//! stack position, [`UiTree::window_stamp`], popup chain, context epoch)
+//! hands the same row set back until something inside the window actually
+//! moves, so consecutive hit tests and snapshot rebuilds stop paying
+//! O(arena) per query (see `crate::snapshot` for the capture pipeline).
 
 use crate::tree::UiTree;
 use crate::widget::WidgetId;
 use dmi_uia::Rect;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Virtual screen size.
 pub const SCREEN_W: i32 = 1280;
@@ -28,31 +36,74 @@ pub const DIALOG_W: i32 = 640;
 /// Dialog height.
 pub const DIALOG_H: i32 = 480;
 
-/// Layout result: rectangle and off-screen flag per shown widget.
+/// The rows of one open window: rectangle and off-screen flag per shown
+/// widget under that window's root (root included).
+///
+/// A window's rows depend only on its stack position (the window rect
+/// cascade) and its own subtree — never on other windows — so they are
+/// shared via [`Arc`] between a [`Layout`] and the [`LayoutCache`], and
+/// reused wholesale while the window's capture key is unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct WindowLayout {
+    entries: HashMap<WidgetId, (Rect, bool)>,
+}
+
+impl WindowLayout {
+    /// The rect assigned to a widget, if it was laid out in this window.
+    pub fn rect(&self, id: WidgetId) -> Option<Rect> {
+        self.entries.get(&id).map(|(r, _)| *r)
+    }
+
+    /// Whether the widget was laid out here but is off-screen.
+    pub fn offscreen(&self, id: WidgetId) -> bool {
+        self.entries.get(&id).map(|(_, o)| *o).unwrap_or(false)
+    }
+
+    /// Number of laid-out widgets in this window.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the window laid out nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Layout result: one [`WindowLayout`] per open window, bottom to top.
+///
+/// Widgets belong to exactly one arena root, so the per-window maps are
+/// disjoint and lookups simply probe each window in turn (there are at
+/// most a handful of open windows).
 #[derive(Debug, Clone, Default)]
 pub struct Layout {
-    entries: HashMap<WidgetId, (Rect, bool)>,
+    windows: Vec<Arc<WindowLayout>>,
 }
 
 impl Layout {
     /// The rect assigned to a widget, if it was laid out.
     pub fn rect(&self, id: WidgetId) -> Option<Rect> {
-        self.entries.get(&id).map(|(r, _)| *r)
+        self.windows.iter().find_map(|w| w.rect(id))
     }
 
     /// Whether the widget was laid out but is off-screen.
     pub fn offscreen(&self, id: WidgetId) -> bool {
-        self.entries.get(&id).map(|(_, o)| *o).unwrap_or(false)
+        self.windows.iter().any(|w| w.offscreen(id))
     }
 
     /// Number of laid-out widgets.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.windows.iter().map(|w| w.len()).sum()
     }
 
     /// Whether nothing was laid out.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.windows.iter().all(|w| w.is_empty())
+    }
+
+    /// The per-window layouts, bottom to top.
+    pub fn windows(&self) -> &[Arc<WindowLayout>] {
+        &self.windows
     }
 }
 
@@ -71,16 +122,87 @@ pub fn window_rect(i: usize) -> Rect {
     }
 }
 
+/// Computes the rows of the window rooted at `root` sitting at stack
+/// position `wi`.
+pub fn compute_window(tree: &UiTree, root: WidgetId, wi: usize) -> WindowLayout {
+    let mut wl = WindowLayout::default();
+    let wrect = window_rect(wi);
+    wl.entries.insert(root, (wrect, false));
+    let mut row = 1i32; // row 0 is the window chrome
+    place_children(tree, root, wrect, &mut row, 1, &mut wl, false);
+    wl
+}
+
 /// Computes the layout for every widget shown in an open window.
 pub fn compute(tree: &UiTree) -> Layout {
-    let mut layout = Layout::default();
-    for (wi, win) in tree.open_windows().iter().enumerate() {
-        let wrect = window_rect(wi);
-        layout.entries.insert(win.root, (wrect, false));
-        let mut row = 1i32; // row 0 is the window chrome
-        place_children(tree, win.root, wrect, &mut row, 1, &mut layout, false);
+    Layout {
+        windows: tree
+            .open_windows()
+            .iter()
+            .enumerate()
+            .map(|(wi, win)| Arc::new(compute_window(tree, win.root, wi)))
+            .collect(),
     }
-    layout
+}
+
+/// Reuses per-window rows across consecutive layouts while a window's
+/// capture key — root, stack position, [`UiTree::window_stamp`], the popup
+/// chain under the root, and the context epoch — is unchanged. One cache
+/// serves both the input paths (hit testing, drags, wheel) and the
+/// snapshot builder's dirty-window rebuilds.
+#[derive(Debug, Default)]
+pub struct LayoutCache {
+    slots: Vec<Option<LayoutSlot>>,
+    context_epoch: u64,
+}
+
+#[derive(Debug)]
+struct LayoutSlot {
+    root: WidgetId,
+    stamp: u64,
+    popups: Vec<WidgetId>,
+    rows: Arc<WindowLayout>,
+}
+
+impl LayoutCache {
+    /// Drops every cached row set (restart, lineage change).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+
+    /// The rows of the window rooted at `root` at stack position `wi`,
+    /// reused from the cache when the window's key is unchanged.
+    pub fn window(&mut self, tree: &UiTree, root: WidgetId, wi: usize) -> Arc<WindowLayout> {
+        if self.context_epoch != tree.context_epoch() {
+            self.slots.clear();
+            self.context_epoch = tree.context_epoch();
+        }
+        let stamp = tree.window_stamp(root);
+        let popups = tree.popups_under(root);
+        if let Some(Some(slot)) = self.slots.get(wi) {
+            if slot.root == root && slot.stamp == stamp && slot.popups == popups {
+                return Arc::clone(&slot.rows);
+            }
+        }
+        let rows = Arc::new(compute_window(tree, root, wi));
+        if self.slots.len() <= wi {
+            self.slots.resize_with(wi + 1, || None);
+        }
+        self.slots[wi] = Some(LayoutSlot { root, stamp, popups, rows: Arc::clone(&rows) });
+        rows
+    }
+
+    /// Computes the full layout, reusing unchanged windows.
+    pub fn compute(&mut self, tree: &UiTree) -> Layout {
+        let windows = tree
+            .open_windows()
+            .iter()
+            .enumerate()
+            .map(|(wi, win)| self.window(tree, win.root, wi))
+            .collect();
+        self.slots.truncate(tree.open_windows().len());
+        Layout { windows }
+    }
 }
 
 /// Recursively places the shown children of `parent`.
@@ -91,7 +213,7 @@ fn place_children(
     wrect: Rect,
     row: &mut i32,
     depth: i32,
-    layout: &mut Layout,
+    layout: &mut WindowLayout,
     forced_off: bool,
 ) {
     let pw = tree.widget(parent);

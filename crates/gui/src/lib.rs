@@ -13,7 +13,8 @@
 //! - [`Behavior`]: what a click on a widget does (open a menu, switch a tab,
 //!   open a dialog, run an application command, ...),
 //! - [`GuiApp`]: the trait applications implement (see `dmi-apps`),
-//! - [`Session`]: the event loop — input in, snapshots and UIA events out,
+//! - [`Session`]: the event loop — input in, epoch-cached shared snapshots
+//!   ([`Capture`], `Arc<Snapshot>`) and UIA events out,
 //! - [`InstabilityModel`]: injectable UI instability (late-loading controls,
 //!   name variation) exercising DMI's robustness mechanisms (§3.4).
 
@@ -27,6 +28,7 @@ pub mod widget;
 
 pub use behavior::{Behavior, CommandBinding, CommitKind, ShortcutAction};
 pub use instability::InstabilityModel;
-pub use session::{AppError, GuiApp, Session};
+pub use session::{AppError, Capture, CaptureConfig, GuiApp, Session};
+pub use snapshot::CaptureStats;
 pub use tree::{OpenWindow, UiTree};
 pub use widget::{Widget, WidgetBuilder, WidgetId};

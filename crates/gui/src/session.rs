@@ -11,11 +11,12 @@
 use crate::behavior::{Behavior, CommandBinding, CommitKind, ShortcutAction};
 use crate::instability::InstabilityModel;
 use crate::layout;
-use crate::snapshot;
+use crate::snapshot::{self, CaptureCache, CaptureStats};
 use crate::tree::UiTree;
 use crate::widget::WidgetId;
 use dmi_uia::event::EventLog;
 use dmi_uia::{ControlType, PatternKind, Snapshot, ToggleState, UiaEvent};
+use std::sync::Arc;
 
 /// Errors surfaced by application command dispatch or input handling.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,11 +98,83 @@ pub trait GuiApp {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 }
 
+/// How [`Session::capture`] builds snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaptureConfig {
+    /// Serve epoch-keyed cached captures (the default). Off, every capture
+    /// is an eager full rebuild — the equivalence oracle: both settings
+    /// are observably identical (byte-identical snapshots and UNGs).
+    pub cached: bool,
+    /// How many recent captures the MRU cache retains. The rip loop keeps
+    /// alternating between a base state and a handful of transient states,
+    /// so a short history converts most captures into O(1) hits.
+    pub depth: usize,
+}
+
+impl Default for CaptureConfig {
+    fn default() -> Self {
+        CaptureConfig { cached: true, depth: 4 }
+    }
+}
+
+impl CaptureConfig {
+    /// Forces an eager full rebuild on every capture (the oracle setting).
+    pub fn full_rebuild() -> Self {
+        CaptureConfig { cached: false, ..CaptureConfig::default() }
+    }
+}
+
+/// A lightweight handle to one capture: the shared snapshot plus the
+/// query sequence it was taken at and whether the cache served it.
+#[derive(Debug, Clone)]
+pub struct Capture {
+    snap: Arc<Snapshot>,
+    query_seq: u64,
+    cache_hit: bool,
+}
+
+impl Capture {
+    /// The shared snapshot.
+    pub fn snap(&self) -> &Arc<Snapshot> {
+        &self.snap
+    }
+
+    /// Consumes the handle, returning the shared snapshot.
+    pub fn into_snap(self) -> Arc<Snapshot> {
+        self.snap
+    }
+
+    /// The query sequence number this capture was taken at.
+    pub fn query_seq(&self) -> u64 {
+        self.query_seq
+    }
+
+    /// Whether the capture was served in O(1) from the cache (same `Arc`,
+    /// same already-built identity index).
+    pub fn is_cache_hit(&self) -> bool {
+        self.cache_hit
+    }
+}
+
+impl std::ops::Deref for Capture {
+    type Target = Snapshot;
+
+    fn deref(&self) -> &Snapshot {
+        &self.snap
+    }
+}
+
 /// An interactive session over one application.
 pub struct Session {
     app: Box<dyn GuiApp>,
     inst: InstabilityModel,
     events: EventLog,
+    /// Capture pipeline configuration.
+    capture_cfg: CaptureConfig,
+    /// Recent captures + per-window layout rows (see [`CaptureCache`]).
+    cache: CaptureCache,
+    /// Cache-effectiveness counters.
+    capture_stats: CaptureStats,
     /// Snapshot counter (late-load clocks compare against this).
     query_seq: u64,
     /// Input action counter.
@@ -128,12 +201,31 @@ impl Session {
             app,
             inst,
             events: EventLog::new(),
+            capture_cfg: CaptureConfig::default(),
+            cache: CaptureCache::default(),
+            capture_stats: CaptureStats::default(),
             query_seq: 0,
             action_seq: 0,
             restart_seq: 0,
             external_jumps: 0,
             trapped: false,
         }
+    }
+
+    /// Replaces the capture configuration (drops any cached captures).
+    pub fn set_capture_config(&mut self, cfg: CaptureConfig) {
+        self.capture_cfg = cfg;
+        self.cache.clear();
+    }
+
+    /// The capture configuration in effect.
+    pub fn capture_config(&self) -> CaptureConfig {
+        self.capture_cfg
+    }
+
+    /// Capture-cache effectiveness counters.
+    pub fn capture_stats(&self) -> CaptureStats {
+        self.capture_stats
     }
 
     /// The application.
@@ -177,9 +269,45 @@ impl Session {
     }
 
     /// Takes an accessibility snapshot (increments the query clock).
-    pub fn snapshot(&mut self) -> Snapshot {
+    ///
+    /// The snapshot is shared: while the UI is unchanged since a recent
+    /// capture — same per-window mutation stamps, popup chain, window
+    /// stack, contexts, and no late-load reveal crossing — the same
+    /// [`Arc`] is returned in O(1), identity index included. See
+    /// [`Session::capture`] for the handle carrying cache metadata and
+    /// [`CaptureConfig::full_rebuild`] for the eager oracle path.
+    pub fn snapshot(&mut self) -> Arc<Snapshot> {
+        self.capture().into_snap()
+    }
+
+    /// Takes an accessibility snapshot, returning the full [`Capture`]
+    /// handle (query sequence, cache-hit flag).
+    pub fn capture(&mut self) -> Capture {
         self.query_seq += 1;
-        snapshot::build(self.app.tree(), &self.inst, self.query_seq)
+        self.capture_stats.captures += 1;
+        if !self.capture_cfg.cached {
+            let snap = Arc::new(snapshot::build(self.app.tree(), &self.inst, self.query_seq));
+            return Capture { snap, query_seq: self.query_seq, cache_hit: false };
+        }
+        let (snap, cache_hit) = snapshot::build_cached(
+            self.app.tree(),
+            &self.inst,
+            self.query_seq,
+            self.capture_cfg.depth,
+            &mut self.cache,
+            &mut self.capture_stats,
+        );
+        Capture { snap, query_seq: self.query_seq, cache_hit }
+    }
+
+    /// The current layout, served from the per-window layout cache when
+    /// enabled (input paths: hit testing, drags, wheel).
+    fn layout(&mut self) -> layout::Layout {
+        if self.capture_cfg.cached {
+            self.cache.layout(self.app.tree())
+        } else {
+            layout::compute(self.app.tree())
+        }
     }
 
     /// Maps a snapshot runtime id to the provider widget.
@@ -195,6 +323,9 @@ impl Session {
         self.app.tree_mut().reset_ui_state();
         self.trapped = false;
         self.restart_seq += 1;
+        // An application `reset` may swap its tree wholesale (breaking
+        // stamp lineage), so cached captures cannot be trusted across it.
+        self.cache.clear();
     }
 
     // ------------------------------------------------------------------
@@ -256,7 +387,7 @@ impl Session {
 
     /// Clicks at screen coordinates (hit-tests the current layout).
     pub fn click_at(&mut self, x: i32, y: i32) -> Result<(), AppError> {
-        let lay = layout::compute(self.app.tree());
+        let lay = self.layout();
         let target = self.hit_test(&lay, x, y);
         match target {
             Some(id) => self.click(id),
@@ -274,7 +405,7 @@ impl Session {
         if self.trapped {
             return Err(AppError::NotInteractable { reason: "UI trapped".into() });
         }
-        let lay = layout::compute(self.app.tree());
+        let lay = self.layout();
         let Some(hit) = self.hit_test(&lay, from.0, from.1) else {
             return Err(AppError::NotInteractable { reason: "drag source empty".into() });
         };
@@ -329,7 +460,7 @@ impl Session {
     /// Scrolls the wheel over a point.
     pub fn wheel(&mut self, x: i32, y: i32, delta_percent: f64) -> Result<(), AppError> {
         self.action_seq += 1;
-        let lay = layout::compute(self.app.tree());
+        let lay = self.layout();
         let Some(mut cur) = self.hit_test(&lay, x, y) else {
             return Err(AppError::NotInteractable { reason: "nothing under wheel".into() });
         };
@@ -1158,5 +1289,138 @@ mod tests {
         assert!(first.find_by_name("Blue").is_none(), "children should lag one query");
         let second = s.snapshot();
         assert!(second.find_by_name("Blue").is_some());
+    }
+
+    // ------------------------------------------------------------------
+    // Epoch-cached capture semantics
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn transient_popup_open_close_returns_to_a_cache_hit() {
+        let (mut s, ids) = session();
+        let base = s.capture();
+        assert!(!base.is_cache_hit(), "first capture is a cold build");
+        s.click(ids.font_menu).unwrap();
+        let open = s.capture();
+        assert!(!open.is_cache_hit(), "popup open changes the visible tree");
+        assert!(open.find_by_name("Blue").is_some());
+        s.press("Esc").unwrap();
+        let back = s.capture();
+        assert!(back.is_cache_hit(), "popup close returns to the cached base");
+        assert!(Arc::ptr_eq(base.snap(), back.snap()), "same shared snapshot, index included");
+    }
+
+    #[test]
+    fn transient_dialog_open_close_returns_to_a_cache_hit() {
+        let (mut s, ids) = session();
+        let base = s.capture();
+        s.click(ids.dlg_open).unwrap();
+        let dlg = s.capture();
+        assert!(!dlg.is_cache_hit());
+        assert_eq!(dlg.windows().len(), 2);
+        s.press("Esc").unwrap();
+        let back = s.capture();
+        assert!(back.is_cache_hit(), "dialog close restores the cached base");
+        assert!(Arc::ptr_eq(base.snap(), back.snap()));
+        // Reopening also hits: the open-dialog state is still in the MRU.
+        s.click(ids.dlg_open).unwrap();
+        let again = s.capture();
+        assert!(again.is_cache_hit(), "reopened dialog state is still cached");
+        assert!(Arc::ptr_eq(dlg.snap(), again.snap()));
+    }
+
+    #[test]
+    fn widget_write_invalidates_exactly_the_owning_window() {
+        let (mut s, ids) = session();
+        s.click(ids.dlg_open).unwrap();
+        let _warm = s.capture();
+        let before = s.capture_stats();
+        // Write inside the dialog window only.
+        s.set_value(ids.dlg_edit, "Quarterly").unwrap();
+        let snap = s.capture();
+        assert!(!snap.is_cache_hit());
+        let after = s.capture_stats();
+        assert_eq!(after.windows_reused - before.windows_reused, 1, "main window copied");
+        assert_eq!(after.windows_rebuilt - before.windows_rebuilt, 1, "dialog re-walked");
+        let edit = snap.find_by_name("Name").unwrap();
+        assert_eq!(snap.node(edit).props.value, "Quarterly");
+        // And the main window write invalidates only the main window.
+        let before = s.capture_stats();
+        s.press("Esc").unwrap(); // back to main only
+        s.scroll_to(ids.doc, 40.0).unwrap();
+        let _snap = s.capture();
+        let after = s.capture_stats();
+        assert_eq!(after.windows_rebuilt - before.windows_rebuilt, 1, "main re-walked");
+    }
+
+    #[test]
+    fn late_load_reveals_on_the_correct_query_under_caching() {
+        let (app, ids) = build();
+        let mut s = Session::with_instability(Box::new(app), InstabilityModel::new(5, 1.0, 0.0));
+        let (app2, ids2) = build();
+        let mut oracle =
+            Session::with_instability(Box::new(app2), InstabilityModel::new(5, 1.0, 0.0));
+        oracle.set_capture_config(CaptureConfig::full_rebuild());
+        assert_eq!(ids.font_menu, ids2.font_menu);
+        s.click(ids.font_menu).unwrap();
+        oracle.click(ids2.font_menu).unwrap();
+        // The lagging capture misses the children; a repeat before the
+        // reveal is a cache hit with the children still hidden; the reveal
+        // query itself must rebuild and match the eager oracle.
+        let lag = s.capture();
+        assert!(!lag.is_cache_hit());
+        assert!(lag.find_by_name("Blue").is_none());
+        assert_eq!(*lag.snap().as_ref(), *oracle.snapshot(), "lagging capture matches oracle");
+        let revealed = s.capture();
+        assert!(!revealed.is_cache_hit(), "the reveal query must not be served from cache");
+        assert!(revealed.find_by_name("Blue").is_some());
+        assert_eq!(*revealed.snap().as_ref(), *oracle.snapshot(), "reveal matches oracle");
+        let warm = s.capture();
+        assert!(warm.is_cache_hit(), "post-reveal state is stable and cacheable");
+        assert_eq!(*warm.snap().as_ref(), *oracle.snapshot());
+    }
+
+    #[test]
+    fn cached_and_full_rebuild_captures_are_byte_identical() {
+        // A scripted action mix — popups, dialogs, edits, toggles, scroll,
+        // tab-free clicks — must produce identical snapshots either way.
+        let (app_a, ids) = build();
+        let (app_b, _) = build();
+        let mut cached = Session::new(Box::new(app_a));
+        let mut eager = Session::new(Box::new(app_b));
+        eager.set_capture_config(CaptureConfig::full_rebuild());
+        type Step = Box<dyn Fn(&mut Session) -> Result<(), AppError>>;
+        let script: Vec<Step> = vec![
+            Box::new(move |s| s.click(ids.bump)),
+            Box::new(move |s| s.click(ids.font_menu)),
+            Box::new(move |s| s.click(ids.blue_font)),
+            Box::new(move |s| s.click(ids.dlg_open)),
+            Box::new(move |s| s.click(ids.dlg_edit)),
+            Box::new(move |s| s.type_text("Report")),
+            Box::new(move |s| s.press("Esc")),
+            Box::new(move |s| s.scroll_to(ids.doc, 60.0)),
+            Box::new(move |s| s.click(ids.outline_menu)),
+            Box::new(move |s| s.press("Esc")),
+        ];
+        assert_eq!(*cached.snapshot(), *eager.snapshot());
+        for step in &script {
+            step(&mut cached).unwrap();
+            step(&mut eager).unwrap();
+            assert_eq!(*cached.snapshot(), *eager.snapshot());
+            // Double-capture: the repeat is a hit and still identical.
+            assert_eq!(*cached.snapshot(), *eager.snapshot());
+        }
+        assert!(cached.capture_stats().full_hits > 0, "the cache did serve hits");
+    }
+
+    #[test]
+    fn restart_drops_cached_captures() {
+        let (mut s, ids) = session();
+        let base = s.capture();
+        s.click(ids.bump).unwrap();
+        s.restart();
+        let fresh = s.capture();
+        assert!(!fresh.is_cache_hit(), "restart must invalidate the cache");
+        assert!(!Arc::ptr_eq(base.snap(), fresh.snap()));
     }
 }

@@ -1,34 +1,269 @@
-//! Builds [`dmi_uia::Snapshot`]s from a live [`UiTree`].
+//! The cached capture pipeline: epoch-keyed [`dmi_uia::Snapshot`]s built
+//! from a live [`UiTree`] and shared behind [`Arc`]s.
 //!
 //! The snapshot is the *client view*: only revealed widgets appear (closed
 //! menus contribute nothing, mirroring lazy UIA providers), instability
 //! perturbations (late loads, name variation) are applied here, and layout
 //! rectangles and off-screen flags come from [`crate::layout`].
+//!
+//! # Why a cache
+//!
+//! With restart-replay gone (PR 2), snapshot construction dominates rip
+//! cost: ~8.9k captures on the small Word app, each re-walking the full
+//! arena, recomputing layout, and discarding the previous snapshot's
+//! lazily built `SnapIndex`. Most of those captures see a UI that is
+//! byte-identical to one captured moments earlier — the ripper's hot loop
+//! (escape to base → walk → pre-click capture → click → post-click
+//! capture) keeps returning to the same handful of states.
+//!
+//! # How validity is decided
+//!
+//! A capture is fully determined by per-window keys plus two global
+//! components:
+//!
+//! - **per window**: the arena root, its modality and stack position, the
+//!   root's [`UiTree::window_stamp`] (bumped by every snapshot-visible
+//!   mutation under that root), and the open-popup chain under the root
+//!   (popup expansion is keyed *structurally* instead of stamped, so a
+//!   transient open+close compares equal again — the same reasoning as
+//!   PR 2's Esc recovery);
+//! - **globally**: [`UiTree::context_epoch`] (contexts gate `visible_when`
+//!   widgets in any window) and the query clock's position relative to
+//!   each window's *next reveal* — the earliest pending-children schedule
+//!   still hidden at build time ([`UiTree::next_reveal_under`]). Late-load
+//!   instability is thereby resolved into the key at build time: a cached
+//!   window is served only while an eager rebuild would produce the same
+//!   bytes, and the reveal query itself always misses and rebuilds.
+//!
+//! [`CaptureCache`] keeps a short MRU list of past captures. A capture
+//! whose every component matches is returned in O(1) as the same
+//! [`Arc<Snapshot>`] — including its already-materialized `SnapIndex`
+//! (cached ancestor paths, key multimap, runtime-id table), which the
+//! eager path rebuilt per query. On a miss, each clean window's node
+//! block is copied wholesale from the best donor capture
+//! ([`Snapshot::append_window_from`]) and only dirty windows are
+//! re-walked, with their layout rows served by the shared
+//! [`layout::LayoutCache`].
+//!
+//! The eager [`build`] stays as the uncached oracle;
+//! `CaptureConfig::full_rebuild` (see [`crate::session`]) routes every
+//! capture through it, and the release-gated equivalence tests assert
+//! byte-identical UNGs either way.
 
 use crate::instability::InstabilityModel;
-use crate::layout;
+use crate::layout::{self, LayoutCache, WindowLayout};
 use crate::tree::UiTree;
 use crate::widget::WidgetId;
 use dmi_uia::{ControlProps, RuntimeId, Snapshot};
+use std::sync::Arc;
 
-/// Builds a snapshot of every open window.
+/// Builds a snapshot of every open window (eager, uncached).
 ///
 /// `query_seq` is the monotonically increasing snapshot counter maintained
 /// by the session; late-loading subtrees compare against it.
 pub fn build(tree: &UiTree, inst: &InstabilityModel, query_seq: u64) -> Snapshot {
-    let lay = layout::compute(tree);
     let mut snap = Snapshot::new();
     for (wi, win) in tree.open_windows().iter().enumerate() {
-        let root_idx = add_subtree(tree, inst, query_seq, win.root, None, wi, &lay, &mut snap);
-        if let Some(r) = root_idx {
-            if win.modal {
-                snap.push_modal_window_root(r);
-            } else {
-                snap.push_window_root(r);
-            }
-        }
+        let lay = layout::compute_window(tree, win.root, wi);
+        push_window(tree, inst, query_seq, win.root, win.modal, wi, &lay, &mut snap);
     }
     snap
+}
+
+/// Walks one window into `snap`, registering its root in z-order.
+#[allow(clippy::too_many_arguments)]
+fn push_window(
+    tree: &UiTree,
+    inst: &InstabilityModel,
+    query_seq: u64,
+    root: WidgetId,
+    modal: bool,
+    wi: usize,
+    lay: &WindowLayout,
+    snap: &mut Snapshot,
+) {
+    let root_idx = add_subtree(tree, inst, query_seq, root, None, wi, lay, snap);
+    if let Some(r) = root_idx {
+        if modal {
+            snap.push_modal_window_root(r);
+        } else {
+            snap.push_window_root(r);
+        }
+    }
+}
+
+/// The capture key of one open window, read off the live tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct WindowKey {
+    root: WidgetId,
+    modal: bool,
+    stamp: u64,
+    popups: Vec<WidgetId>,
+}
+
+impl WindowKey {
+    fn of(tree: &UiTree, root: WidgetId, modal: bool) -> WindowKey {
+        WindowKey { root, modal, stamp: tree.window_stamp(root), popups: tree.popups_under(root) }
+    }
+}
+
+/// Per-window record of a cached capture.
+#[derive(Debug, Clone)]
+struct WindowMeta {
+    key: WindowKey,
+    /// Node range `[start, end)` this window occupies in the snapshot
+    /// arena (`start == end` when the window root was hidden).
+    start: usize,
+    end: usize,
+    /// Whether a window root was registered for this range.
+    rooted: bool,
+    /// First query sequence at which a pending-children schedule under
+    /// this root reveals a subtree hidden at build time (`u64::MAX` when
+    /// none): the cached bytes are valid strictly before it.
+    next_reveal: u64,
+}
+
+impl WindowMeta {
+    fn valid_for(&self, key: &WindowKey, query_seq: u64) -> bool {
+        self.key == *key && query_seq < self.next_reveal
+    }
+}
+
+/// One cached capture: the shared snapshot plus the keys it was built
+/// under.
+#[derive(Debug, Clone)]
+struct CachedCapture {
+    snap: Arc<Snapshot>,
+    context_epoch: u64,
+    windows: Vec<WindowMeta>,
+}
+
+impl CachedCapture {
+    fn matches(&self, keys: &[WindowKey], context_epoch: u64, query_seq: u64) -> bool {
+        self.context_epoch == context_epoch
+            && self.windows.len() == keys.len()
+            && self.windows.iter().zip(keys).all(|(m, k)| m.valid_for(k, query_seq))
+    }
+}
+
+/// MRU cache of recent captures plus the shared per-window layout cache.
+/// Owned by `Session`; cleared on restart (an application `reset` may
+/// swap the tree wholesale, which would break stamp lineage).
+#[derive(Debug, Default)]
+pub struct CaptureCache {
+    entries: Vec<CachedCapture>,
+    layout: LayoutCache,
+}
+
+/// Counters for capture-cache effectiveness (see `Session::capture_stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaptureStats {
+    /// Captures taken (cache hits included).
+    pub captures: u64,
+    /// Captures served in O(1) as a shared `Arc` to a previous build.
+    pub full_hits: u64,
+    /// Windows whose node block was copied from a donor capture during a
+    /// partial rebuild.
+    pub windows_reused: u64,
+    /// Windows re-walked from the widget tree.
+    pub windows_rebuilt: u64,
+}
+
+impl CaptureCache {
+    /// Drops every cached capture and layout row set.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.layout.clear();
+    }
+
+    /// The shared layout for the current tree state, reusing unchanged
+    /// windows (used by the session's input paths).
+    pub fn layout(&mut self, tree: &UiTree) -> layout::Layout {
+        self.layout.compute(tree)
+    }
+}
+
+/// Builds (or serves) the capture for the current tree state. Returns the
+/// shared snapshot and whether it was a full cache hit.
+pub fn build_cached(
+    tree: &UiTree,
+    inst: &InstabilityModel,
+    query_seq: u64,
+    depth: usize,
+    cache: &mut CaptureCache,
+    stats: &mut CaptureStats,
+) -> (Arc<Snapshot>, bool) {
+    let context_epoch = tree.context_epoch();
+    let keys: Vec<WindowKey> =
+        tree.open_windows().iter().map(|win| WindowKey::of(tree, win.root, win.modal)).collect();
+
+    // O(1) path: any recent capture whose every key component matches is
+    // byte-identical to what an eager rebuild would produce.
+    if let Some(pos) = cache.entries.iter().position(|e| e.matches(&keys, context_epoch, query_seq))
+    {
+        let entry = cache.entries.remove(pos);
+        let snap = Arc::clone(&entry.snap);
+        cache.entries.insert(0, entry);
+        stats.full_hits += 1;
+        return (snap, true);
+    }
+
+    // Partial rebuild: copy clean windows from the best donor, re-walk
+    // dirty ones.
+    let mut snap = Snapshot::new();
+    let mut metas = Vec::with_capacity(keys.len());
+    for (wi, key) in keys.iter().enumerate() {
+        let donor = cache.entries.iter().find_map(|e| {
+            if e.context_epoch != context_epoch {
+                return None;
+            }
+            let m = e.windows.get(wi)?;
+            m.valid_for(key, query_seq).then(|| (Arc::clone(&e.snap), m.clone()))
+        });
+        let meta = match donor {
+            Some((donor_snap, m)) => {
+                let start = snap.append_window_from(&donor_snap, m.start, m.end, wi);
+                let end = snap.len();
+                if m.rooted {
+                    if key.modal {
+                        snap.push_modal_window_root(start);
+                    } else {
+                        snap.push_window_root(start);
+                    }
+                }
+                stats.windows_reused += 1;
+                WindowMeta {
+                    key: key.clone(),
+                    start,
+                    end,
+                    rooted: m.rooted,
+                    next_reveal: m.next_reveal,
+                }
+            }
+            None => {
+                let lay = cache.layout.window(tree, key.root, wi);
+                let start = snap.len();
+                push_window(tree, inst, query_seq, key.root, key.modal, wi, &lay, &mut snap);
+                let end = snap.len();
+                stats.windows_rebuilt += 1;
+                WindowMeta {
+                    key: key.clone(),
+                    start,
+                    end,
+                    rooted: end > start,
+                    next_reveal: tree.next_reveal_under(key.root, query_seq),
+                }
+            }
+        };
+        metas.push(meta);
+    }
+
+    let snap = Arc::new(snap);
+    cache
+        .entries
+        .insert(0, CachedCapture { snap: Arc::clone(&snap), context_epoch, windows: metas });
+    cache.entries.truncate(depth.max(1));
+    (snap, false)
 }
 
 /// Maps a snapshot runtime id back to the widget it was built from.
@@ -53,7 +288,7 @@ fn add_subtree(
     id: WidgetId,
     parent: Option<usize>,
     window: usize,
-    lay: &layout::Layout,
+    lay: &WindowLayout,
     snap: &mut Snapshot,
 ) -> Option<usize> {
     if !tree.is_shown(id) {

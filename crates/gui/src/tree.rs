@@ -24,7 +24,7 @@ pub struct OpenWindow {
 }
 
 /// The provider-side control tree and its runtime UI state.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct UiTree {
     widgets: Vec<Widget>,
     /// Arena root of the main application window.
@@ -52,12 +52,116 @@ pub struct UiTree {
     /// restart is required (§4.1 state restoration).
     #[serde(skip)]
     state_epoch: u64,
+    /// Monotonic clock issuing per-window mutation stamps (see
+    /// [`UiTree::window_stamp`]). Shared across roots so stamps are
+    /// totally ordered within one tree lineage.
+    #[serde(skip)]
+    view_clock: u64,
+    /// Stamp of the last *snapshot-visible* mutation per arena root:
+    /// widget property writes, arena growth, tab/item selection, and
+    /// pending-children schedules under that root. Popup expansion and
+    /// the window stack are deliberately NOT stamped — they are keyed
+    /// structurally (open-popup chain, open-window stack) by the capture
+    /// cache, so transient open+close sequences return to a cache hit.
+    #[serde(skip)]
+    window_stamps: BTreeMap<WidgetId, u64>,
+    /// Floor value reported for roots with no stamp on record. Advanced
+    /// past every issued stamp on `clone_from` (a wholesale restore), so
+    /// capture keys recorded before a reset can never validate after it.
+    #[serde(skip)]
+    stamp_floor: u64,
+    /// Bumped whenever the active-context set changes. Contexts gate
+    /// `visible_when` widgets in *any* window, so this is a global key
+    /// component rather than a per-root stamp.
+    #[serde(skip)]
+    context_epoch: u64,
+}
+
+impl Clone for UiTree {
+    fn clone(&self) -> UiTree {
+        UiTree {
+            widgets: self.widgets.clone(),
+            main_root: self.main_root,
+            open_windows: self.open_windows.clone(),
+            open_popups: self.open_popups.clone(),
+            focus: self.focus,
+            contexts: self.contexts.clone(),
+            shortcuts: self.shortcuts.clone(),
+            pending_children: self.pending_children.clone(),
+            state_epoch: self.state_epoch,
+            view_clock: self.view_clock,
+            window_stamps: self.window_stamps.clone(),
+            stamp_floor: self.stamp_floor,
+            context_epoch: self.context_epoch,
+        }
+    }
+
+    /// Allocation-recycling restore: reuses the destination arena's
+    /// `String`/`Vec` buffers widget-by-widget (see [`Widget`]'s manual
+    /// `clone_from`), so an `office::Pristine` reset is O(live mutations)
+    /// in allocations instead of re-allocating every widget name.
+    ///
+    /// The epochs are NOT copied from the source: a wholesale restore is
+    /// one big mutation, so every counter advances monotonically past both
+    /// trees. Capture keys recorded against the old state (or against the
+    /// pristine image's own counters) can therefore never validate against
+    /// the restored tree.
+    // The source is destructured exhaustively so adding a field without
+    // deciding its restore semantics is a compile error.
+    fn clone_from(&mut self, src: &UiTree) {
+        let UiTree {
+            widgets,
+            main_root,
+            open_windows,
+            open_popups,
+            focus,
+            contexts,
+            shortcuts,
+            pending_children,
+            state_epoch,
+            view_clock,
+            window_stamps: _, // Superseded: every stamp re-floors below.
+            stamp_floor: _,
+            context_epoch,
+        } = src;
+        self.widgets.clone_from(widgets);
+        self.main_root = *main_root;
+        self.open_windows.clone_from(open_windows);
+        self.open_popups.clone_from(open_popups);
+        self.focus = *focus;
+        // Equality pre-checks: these maps are almost always identical to
+        // the pristine image (shortcuts never change at runtime), and the
+        // compare is allocation-free where a blind clone is not.
+        if self.contexts != *contexts {
+            self.contexts = contexts.clone();
+        }
+        if self.shortcuts != *shortcuts {
+            self.shortcuts = shortcuts.clone();
+        }
+        if self.pending_children != *pending_children {
+            self.pending_children = pending_children.clone();
+        }
+        self.state_epoch = self.state_epoch.max(*state_epoch) + 1;
+        self.view_clock = self.view_clock.max(*view_clock) + 1;
+        self.stamp_floor = self.view_clock;
+        self.window_stamps.clear();
+        self.context_epoch = self.context_epoch.max(*context_epoch) + 1;
+    }
 }
 
 impl UiTree {
     /// Creates an empty tree.
     pub fn new() -> Self {
         UiTree::default()
+    }
+
+    /// Stamps the window (arena root) containing `id` with a fresh view
+    /// tick: any snapshot or layout of that window cached against an
+    /// earlier stamp is stale.
+    fn stamp(&mut self, id: WidgetId) {
+        let root = self.root_of(id);
+        self.view_clock += 1;
+        self.window_stamps.insert(root, self.view_clock);
     }
 
     /// Adds a root widget (no parent). The first root added becomes the
@@ -69,6 +173,7 @@ impl UiTree {
         w.parent = None;
         self.state_epoch += 1;
         self.widgets.push(w);
+        self.stamp(id);
         if self.main_root.is_none() {
             self.main_root = Some(id);
             self.open_windows.push(OpenWindow { root: id, modal: false });
@@ -84,6 +189,7 @@ impl UiTree {
         self.state_epoch += 1;
         self.widgets.push(w);
         self.widgets[parent.0].children.push(id);
+        self.stamp(parent);
         id
     }
 
@@ -107,6 +213,7 @@ impl UiTree {
     /// tree must assume a property changed.
     pub fn widget_mut(&mut self, id: WidgetId) -> &mut Widget {
         self.state_epoch += 1;
+        self.stamp(id);
         &mut self.widgets[id.0]
     }
 
@@ -117,6 +224,45 @@ impl UiTree {
     /// launch-equivalent UI.
     pub fn state_epoch(&self) -> u64 {
         self.state_epoch
+    }
+
+    /// The stamp of the last snapshot-visible mutation inside the window
+    /// rooted at `root` (widget writes, arena growth, tab/item selection,
+    /// pending-children schedules). Popup expansion and the window stack
+    /// move no stamp — capture caches key them structurally, so transient
+    /// open+close sequences compare equal again. Two equal readings (with
+    /// equal popup chains and context epoch) prove the window's snapshot
+    /// subtree and layout rows are byte-identical.
+    pub fn window_stamp(&self, root: WidgetId) -> u64 {
+        self.window_stamps.get(&root).copied().unwrap_or(self.stamp_floor)
+    }
+
+    /// The active-context epoch: bumped whenever the context set changes
+    /// (contexts gate `visible_when` widgets in any window).
+    pub fn context_epoch(&self) -> u64 {
+        self.context_epoch
+    }
+
+    /// The open popups whose subtrees live under `root`, in chain order.
+    /// Part of every per-window capture key: expansion state is kept in
+    /// lockstep with the chain by [`UiTree::open_popup`] and
+    /// [`UiTree::collapse_popup`].
+    pub fn popups_under(&self, root: WidgetId) -> Vec<WidgetId> {
+        self.open_popups.iter().copied().filter(|&p| self.root_of(p) == root).collect()
+    }
+
+    /// The earliest query sequence at which a pending-children schedule
+    /// under `root` will reveal a subtree that is hidden at `query_seq`
+    /// (`u64::MAX` when none is outstanding). A snapshot of this window
+    /// built at `query_seq` stays observably identical to an eager rebuild
+    /// for every query strictly before the returned value.
+    pub fn next_reveal_under(&self, root: WidgetId, query_seq: u64) -> u64 {
+        self.pending_children
+            .iter()
+            .filter(|&(&id, &ready)| ready > query_seq && self.root_of(id) == root)
+            .map(|(_, &ready)| ready)
+            .min()
+            .unwrap_or(u64::MAX)
     }
 
     /// Iterates over all widgets with ids.
@@ -173,6 +319,7 @@ impl UiTree {
             if on { self.contexts.insert(ctx.to_string()) } else { self.contexts.remove(ctx) };
         if changed {
             self.state_epoch += 1;
+            self.context_epoch += 1;
         }
     }
 
@@ -322,6 +469,7 @@ impl UiTree {
 
     /// Selects a tab item, deselecting its sibling tab items.
     pub fn select_tab(&mut self, id: WidgetId) {
+        self.stamp(id);
         let parent = self.widgets[id.0].parent;
         if let Some(p) = parent {
             let siblings: Vec<WidgetId> = self.widgets[p.0]
@@ -341,6 +489,7 @@ impl UiTree {
     /// Selects a selection item; when not `additive`, deselects siblings.
     pub fn select_item(&mut self, id: WidgetId, additive: bool) {
         self.state_epoch += 1;
+        self.stamp(id);
         if !additive {
             if let Some(p) = self.widgets[id.0].parent {
                 let siblings = self.widgets[p.0].children.clone();
@@ -355,6 +504,7 @@ impl UiTree {
     /// Marks a container's children as still loading until `ready_query`.
     pub fn set_pending_children(&mut self, id: WidgetId, ready_query: u64) {
         self.state_epoch += 1;
+        self.stamp(id);
         self.pending_children.insert(id, ready_query);
     }
 
@@ -406,8 +556,20 @@ impl UiTree {
             self.open_windows.pop();
         }
         self.focus = None;
-        self.contexts.clear();
-        self.pending_children.clear();
+        if !self.contexts.is_empty() {
+            self.contexts.clear();
+            self.context_epoch += 1;
+        }
+        if !self.pending_children.is_empty() {
+            // Dropping a schedule re-reveals hidden subtrees: stamp every
+            // window that had one outstanding.
+            let roots: Vec<WidgetId> =
+                self.pending_children.keys().map(|&id| self.root_of(id)).collect();
+            self.pending_children.clear();
+            for root in roots {
+                self.stamp(root);
+            }
+        }
     }
 }
 
@@ -562,6 +724,81 @@ mod tests {
         let epoch = t.state_epoch();
         t.set_context("image-selected", true); // Already active: no change.
         assert_eq!(t.state_epoch(), epoch);
+    }
+
+    #[test]
+    fn window_stamps_track_visible_mutations_per_root() {
+        let (mut t, main, _, home, insert) = tree();
+        let dlg = t.add_root(Widget::new("Dialog", CT::Window));
+        let btn = t.add(dlg, Widget::new("OK", CT::Button));
+        let menu = t.add(main, WidgetBuilder::new("Colors", CT::SplitButton).popup().build());
+        let (m0, d0) = (t.window_stamp(main), t.window_stamp(dlg));
+        // Transient structure: popups and the window stack move no stamp
+        // (capture caches key them structurally).
+        t.open_window(dlg, true);
+        t.open_popup(menu);
+        t.collapse_popup(menu);
+        t.close_top_window();
+        assert_eq!((t.window_stamp(main), t.window_stamp(dlg)), (m0, d0));
+        // A widget write stamps exactly its owning window.
+        t.widget_mut(btn).enabled = false;
+        assert_eq!(t.window_stamp(main), m0, "main window untouched");
+        assert!(t.window_stamp(dlg) > d0, "dialog window stamped");
+        // Tab selection stamps the window but not the persistent epoch.
+        let epoch = t.state_epoch();
+        t.select_tab(insert);
+        t.select_tab(home);
+        assert_eq!(t.state_epoch(), epoch, "tab selection stays transient for recovery");
+        assert!(t.window_stamp(main) > m0, "tab selection is snapshot-visible");
+    }
+
+    #[test]
+    fn context_epoch_moves_only_on_actual_changes() {
+        let (mut t, ..) = tree();
+        let c0 = t.context_epoch();
+        t.set_context("image-selected", true);
+        assert!(t.context_epoch() > c0);
+        let c1 = t.context_epoch();
+        t.set_context("image-selected", true); // Already active.
+        assert_eq!(t.context_epoch(), c1);
+        t.set_context("image-selected", false);
+        assert!(t.context_epoch() > c1);
+    }
+
+    #[test]
+    fn clone_from_recycles_buffers_and_advances_epochs() {
+        let (mut t, main, ..) = tree();
+        let label = t.add(main, Widget::new("A label with a long name", CT::Text));
+        let pristine = t.clone();
+        // Mutate, then restore.
+        t.widget_mut(label).name.push_str(" (edited)");
+        t.widget_mut(label).enabled = false;
+        let ptr_before = t.widget(label).name.as_ptr();
+        let (e0, s0, c0) = (t.state_epoch(), t.window_stamp(main), t.context_epoch());
+        t.clone_from(&pristine);
+        assert_eq!(t.widget(label).name, "A label with a long name");
+        assert!(t.widget(label).enabled);
+        assert_eq!(
+            t.widget(label).name.as_ptr(),
+            ptr_before,
+            "restore must reuse the existing string buffer"
+        );
+        // Every epoch advanced past both trees: no capture key recorded
+        // before the restore can validate after it.
+        assert!(t.state_epoch() > e0.max(pristine.state_epoch()));
+        assert!(t.window_stamp(main) > s0);
+        assert!(t.context_epoch() > c0.max(pristine.context_epoch()));
+    }
+
+    #[test]
+    fn next_reveal_under_scopes_to_the_owning_root() {
+        let (mut t, main, ..) = tree();
+        let dlg = t.add_root(Widget::new("Dialog", CT::Window));
+        let menu = t.add(main, WidgetBuilder::new("Colors", CT::SplitButton).popup().build());
+        t.set_pending_children(menu, 7);
+        assert_eq!(t.next_reveal_under(main, 3), 7);
+        assert_eq!(t.next_reveal_under(main, 7), u64::MAX, "already revealed");
+        assert_eq!(t.next_reveal_under(dlg, 3), u64::MAX, "other windows unaffected");
     }
 
     #[test]

@@ -71,6 +71,44 @@ impl Snapshot {
         idx
     }
 
+    /// Appends a copy of the node range `start..end` from another snapshot,
+    /// remapping parent/child indices and retagging the nodes with the
+    /// given top-level `window` ordinal. Returns the arena index of the
+    /// first copied node (the subtree root when the range is one window's
+    /// contiguous DFS block).
+    ///
+    /// Providers that rebuild snapshots incrementally use this to carry an
+    /// unchanged window's subtree — rectangles, runtime ids, and all —
+    /// from the previous capture instead of re-walking the widget tree.
+    /// The range must be self-contained: every in-range node's parent is
+    /// either in range or `None`, as is the case for the contiguous block
+    /// a window's DFS emits.
+    pub fn append_window_from(
+        &mut self,
+        src: &Snapshot,
+        start: usize,
+        end: usize,
+        window: usize,
+    ) -> usize {
+        self.index.take();
+        let base = self.nodes.len();
+        for i in start..end {
+            let n = &src.nodes[i];
+            debug_assert!(
+                n.parent.is_none_or(|p| (start..end).contains(&p)),
+                "copied window range must be self-contained"
+            );
+            self.nodes.push(Node {
+                runtime_id: n.runtime_id,
+                props: n.props.clone(),
+                parent: n.parent.map(|p| p - start + base),
+                children: n.children.iter().map(|&c| c - start + base).collect(),
+                window,
+            });
+        }
+        base
+    }
+
     /// Registers a node as a top-level window root (z-order append).
     pub fn push_window_root(&mut self, idx: usize) {
         self.windows.push(idx);

@@ -3,7 +3,7 @@
 
 use dmi_apps::AppKind;
 use dmi_core::ripper::{rip, RipConfig};
-use dmi_gui::Session;
+use dmi_gui::{CaptureConfig, Session};
 use dmi_uia::{ControlId, ControlKey, Snapshot};
 
 /// The ancestor path computed the pre-index way: walk parents, join names.
@@ -153,6 +153,43 @@ fn word_small_rip_legacy_full_restart_counts_unchanged() {
     assert_eq!(stats.blocklisted, 2, "blocklisted candidates");
     assert_eq!(stats.replay_failures, 1, "replay failures");
     assert_eq!(stats.windows_seen, 15, "windows observed opening");
+}
+
+/// Capture-cache equivalence oracle: ripping with the default epoch-cached
+/// capture pipeline must produce a UNG byte-identical (nodes, names,
+/// types, edges, in order) to a session whose [`CaptureConfig`] forces an
+/// eager full rebuild on every capture — for every app — with identical
+/// rip statistics, while serving a substantial share of captures in O(1).
+#[test]
+#[ignore = "rip-heavy: CI runs these in release via `-- --ignored`"]
+fn cached_capture_ung_is_byte_identical_to_full_rebuild_oracle() {
+    for kind in AppKind::ALL {
+        let cfg = RipConfig::office(kind.name());
+        let mut s = Session::new(kind.launch_small());
+        assert!(s.capture_config().cached, "epoch-cached capture is the default");
+        let (g_cached, st_cached) = rip(&mut s, &cfg);
+
+        let mut s2 = Session::new(kind.launch_small());
+        s2.set_capture_config(CaptureConfig::full_rebuild());
+        let (g_full, st_full) = rip(&mut s2, &cfg);
+
+        assert_eq!(g_cached.node_count(), g_full.node_count(), "{kind}: node count");
+        assert_eq!(g_cached.edge_count(), g_full.edge_count(), "{kind}: edge count");
+        for id in g_cached.ids() {
+            assert_eq!(g_cached.node(id), g_full.node(id), "{kind}: node {id}");
+            assert_eq!(g_cached.successors(id), g_full.successors(id), "{kind}: edges of {id}");
+        }
+        assert_eq!(st_cached, st_full, "{kind}: every rip statistic matches the oracle");
+        let stats = s.capture_stats();
+        assert_eq!(stats.captures, st_cached.snapshots, "{kind}: every capture was counted");
+        assert!(
+            stats.full_hits * 2 > stats.captures,
+            "{kind}: most captures should be O(1) hits ({} of {})",
+            stats.full_hits,
+            stats.captures
+        );
+        assert_eq!(s2.capture_stats().full_hits, 0, "{kind}: the oracle never serves a hit");
+    }
 }
 
 /// §4.1 equivalence: ripping with Esc-based fast state restoration must
