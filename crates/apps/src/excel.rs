@@ -829,6 +829,35 @@ impl GuiApp for ExcelApp {
         self.cond_fill.clone_from(&state.cond_fill);
     }
 
+    fn fork(&self) -> Option<Box<dyn GuiApp>> {
+        // A launch-state twin off the shared pristine image: no
+        // `build_ui` re-run; widget handles are stable arena indices.
+        let pristine = Arc::clone(&self.pristine);
+        let state = pristine.doc().clone();
+        Some(Box::new(ExcelApp {
+            config: self.config.clone(),
+            tree: pristine.tree().clone(),
+            sheet: state.sheet,
+            active: state.active,
+            color_target: state.color_target,
+            cond_threshold: state.cond_threshold,
+            cond_fill: state.cond_fill,
+            chrome: self.chrome,
+            grid: self.grid,
+            name_box: self.name_box,
+            formula_bar: self.formula_bar,
+            cell_widgets: self.cell_widgets.clone(),
+            pristine,
+        }))
+    }
+
+    fn pristine_token(&self) -> Option<u64> {
+        // `reset` restores exactly this image, so its address identifies
+        // the post-restart state for the lifetime of the app (and of all
+        // of its forks, which share the `Arc`).
+        Some(Arc::as_ptr(&self.pristine) as u64)
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

@@ -777,6 +777,31 @@ impl GuiApp for PowerPointApp {
         self.color_target.clone_from(&state.color_target);
     }
 
+    fn fork(&self) -> Option<Box<dyn GuiApp>> {
+        // A launch-state twin off the shared pristine image: no
+        // `build_ui` re-run; widget handles are stable arena indices.
+        let pristine = Arc::clone(&self.pristine);
+        let state = pristine.doc().clone();
+        Some(Box::new(PowerPointApp {
+            tree: pristine.tree().clone(),
+            deck: state.deck,
+            color_target: state.color_target,
+            chrome: self.chrome,
+            thumbnails: self.thumbnails,
+            canvas: self.canvas,
+            notes: self.notes,
+            shape_widgets: state.shape_widgets,
+            pristine,
+        }))
+    }
+
+    fn pristine_token(&self) -> Option<u64> {
+        // `reset` restores exactly this image, so its address identifies
+        // the post-restart state for the lifetime of the app (and of all
+        // of its forks, which share the `Arc`).
+        Some(Arc::as_ptr(&self.pristine) as u64)
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

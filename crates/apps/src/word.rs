@@ -864,6 +864,32 @@ impl GuiApp for WordApp {
         self.find_subscript = state.find_subscript;
     }
 
+    fn fork(&self) -> Option<Box<dyn GuiApp>> {
+        // A launch-state twin off the shared pristine image: no
+        // `build_ui` re-run; widget handles are stable arena indices.
+        let pristine = Arc::clone(&self.pristine);
+        let state = pristine.doc().clone();
+        Some(Box::new(WordApp {
+            tree: pristine.tree().clone(),
+            doc: state.doc,
+            color_target: state.color_target,
+            find_text: state.find_text,
+            replace_text: state.replace_text,
+            find_subscript: state.find_subscript,
+            chrome: self.chrome,
+            doc_surface: self.doc_surface,
+            find_next_button: self.find_next_button,
+            pristine,
+        }))
+    }
+
+    fn pristine_token(&self) -> Option<u64> {
+        // `reset` restores exactly this image, so its address identifies
+        // the post-restart state for the lifetime of the app (and of all
+        // of its forks, which share the `Arc`).
+        Some(Arc::as_ptr(&self.pristine) as u64)
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }

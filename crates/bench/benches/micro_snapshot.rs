@@ -8,6 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dmi_apps::AppKind;
+use dmi_core::parallel::{rip_parallel, ParRipConfig};
 use dmi_core::ripper::{rip, RipConfig};
 use dmi_gui::{CaptureConfig, Session};
 use dmi_uia::{ControlId, Snapshot};
@@ -254,12 +255,44 @@ fn bench_rip(c: &mut Criterion) {
     group.finish();
 }
 
+/// The parallel sharded rip engine vs the sequential `rip/*` baselines.
+/// `rip_par/small_word` (4 worker shards) is the canonical comparison
+/// point against `rip/small_word`; the `_wN` variants trace the scaling
+/// curve. Every variant produces a byte-identical UNG (release-gated in
+/// tests/identity.rs), so the comparison is pure engine overhead/speedup.
+/// Scaling with shard count requires physical cores: on a single-CPU
+/// container the variants measure scheduling overhead only.
+fn bench_rip_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rip_par");
+    group.sample_size(10);
+    for workers in [2usize, 4, 8] {
+        let par = ParRipConfig { workers, speculation: 2 };
+        group.bench_function(&format!("small_word_w{workers}"), |b| {
+            b.iter(|| {
+                let mut s = Session::new(AppKind::Word.launch_small());
+                let (g, stats) = rip_parallel(&mut s, &RipConfig::office("Word"), &par);
+                black_box((g.node_count(), stats.clicks))
+            })
+        });
+    }
+    let par = ParRipConfig { workers: 4, speculation: 2 };
+    group.bench_function("small_word", |b| {
+        b.iter(|| {
+            let mut s = Session::new(AppKind::Word.launch_small());
+            let (g, stats) = rip_parallel(&mut s, &RipConfig::office("Word"), &par);
+            black_box((g.node_count(), stats.clicks))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_resolve,
     bench_index_build,
     bench_record_diff,
     bench_snapshot_capture,
-    bench_rip
+    bench_rip,
+    bench_rip_parallel
 );
 criterion_main!(benches);

@@ -317,4 +317,71 @@ mod tests {
         assert_eq!(g2.node_count(), g.node_count());
         assert_eq!(g2.find(&g.node(1).control), Some(1));
     }
+
+    #[test]
+    fn serde_round_trip_restores_adjacency_and_dedup_exactly() {
+        // A graph with a merge node (two predecessors) and a cycle, so
+        // both adjacency directions carry real structure.
+        let mut g = ung_from_parts(
+            &[("A", CT::Button), ("B", CT::Button), ("C", CT::Button)],
+            &[(0, 2), (1, 2), (2, 0)],
+        );
+        let r = g.root();
+        g.add_edge(r, 2);
+        let json = serde_json::to_string(&g).unwrap();
+        let mut g2: Ung = serde_json::from_str(&json).unwrap();
+        g2.rebuild_index();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        for id in g.ids() {
+            assert_eq!(g2.node(id), g.node(id), "node {id}");
+            assert_eq!(g2.successors(id), g.successors(id), "succ of {id}");
+            assert_eq!(g2.predecessors(id), g.predecessors(id), "pred of {id}");
+            // The rebuilt dedup index resolves every stored control.
+            assert_eq!(g2.find(&g.node(id).control), Some(id), "find {id}");
+        }
+        assert_eq!(g2.merge_nodes(), g.merge_nodes());
+        // Dedup still works against rebuilt state: re-adding an existing
+        // control returns its id, a new control gets a fresh one.
+        let existing = g.node(1).control.clone();
+        let n = g2.node_count();
+        assert_eq!(
+            g2.add_node(UngNode {
+                control: existing,
+                name: "A".into(),
+                control_type: CT::Button,
+                help_text: String::new(),
+            }),
+            1
+        );
+        assert_eq!(g2.node_count(), n, "re-add must dedup, not grow");
+    }
+
+    #[test]
+    fn merge_dedup_confirms_on_forced_key_collision() {
+        // Two distinct controls deliberately filed under one fingerprint:
+        // the hash+confirm dedup the parallel merge relies on must keep
+        // them apart (a collision costs a comparison, never a wrong
+        // merge) while still deduplicating true re-insertions.
+        let shared = ControlKey::of_parts("Bold", CT::Button, "W/Home/Font");
+        let mk = |primary: &str| UngNode {
+            control: ControlId {
+                primary: primary.into(),
+                control_type: CT::Button,
+                ancestor_path: "W/Home/Font".into(),
+            },
+            name: primary.into(),
+            control_type: CT::Button,
+            help_text: String::new(),
+        };
+        let mut g = Ung::new();
+        let a = g.insert(mk("Bold"), shared);
+        let b = g.insert(mk("Italic"), shared);
+        assert_ne!(a, b, "colliding keys must not conflate distinct controls");
+        assert_eq!(g.insert(mk("Bold"), shared), a, "true duplicate dedups");
+        assert_eq!(g.insert(mk("Italic"), shared), b);
+        assert_eq!(g.node_count(), 3); // root + Bold + Italic
+        assert_eq!(g.find_with_key(&mk("Bold").control, shared), Some(a));
+        assert_eq!(g.find_with_key(&mk("Italic").control, shared), Some(b));
+    }
 }

@@ -144,13 +144,26 @@ pub fn access(
     // Forward navigation: click from the deepest visible element through
     // the target (re-clicking idempotent navigation controls is harmless
     // and re-establishes state). Each element is retried with a fresh
-    // snapshot to tolerate late-loading controls (§3.4).
+    // snapshot to tolerate late-loading controls (§3.4). Retries are
+    // capture-aware: a retry capture served from the cache as the *same*
+    // snapshot that just failed to resolve is provably identical — the
+    // fuzzy re-resolve is skipped, while the capture itself still runs so
+    // the query clock advances toward any pending late-load reveal
+    // (reveals always invalidate the cache, so they are never skipped).
     for (step, &node_id) in clickables.iter().enumerate().skip(start) {
         let is_target = step == clickables.len() - 1;
         let mut clicked = false;
+        let mut last_miss: Option<std::sync::Arc<Snapshot>> = None;
         for _attempt in 0..=config.retries {
-            let snap = session.snapshot();
+            let cap = session.capture();
+            if cap.is_cache_hit()
+                && last_miss.as_ref().is_some_and(|prev| std::sync::Arc::ptr_eq(prev, cap.snap()))
+            {
+                continue; // Identical bytes: the resolve would fail again.
+            }
+            let snap = cap.into_snap();
             let Some(idx) = resolve_in(&snap, forest, config, node_id) else {
+                last_miss = Some(snap);
                 continue;
             };
             let node = snap.node(idx);
@@ -334,6 +347,73 @@ mod tests {
         let err =
             access(&mut s, &forest, &ExecutorConfig::default(), paste, &[], None).unwrap_err();
         assert!(matches!(err, DmiError::ControlDisabled { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn capture_aware_retries_preserve_late_load_and_not_found_semantics() {
+        use dmi_gui::{CaptureConfig, InstabilityModel};
+        // Late loads force the retry loop through lagging captures; the
+        // cached session may skip provably identical re-resolves but must
+        // reach the same outcomes as the eager-capture oracle.
+        let forest = crate::testutil::small_forest(AppKind::Word).clone();
+        let bold = find_leaf(&forest, "Bold");
+        let run = |cfg: CaptureConfig| {
+            let mut s = Session::with_instability(
+                AppKind::Word.launch_small(),
+                InstabilityModel::new(5, 1.0, 0.0),
+            );
+            s.set_capture_config(cfg);
+            access(&mut s, &forest, &ExecutorConfig::default(), bold, &[], None)
+        };
+        assert!(run(CaptureConfig::default()).is_ok(), "cached retries tolerate late loads");
+        assert!(run(CaptureConfig::full_rebuild()).is_ok(), "oracle agrees");
+
+        // A control that never resolves (the live UI renamed "Next" to
+        // "Go To", which fuzzy matching rejects): retries on a static UI
+        // are all O(1) cache hits with the resolve skipped, and the
+        // structured error is unchanged.
+        let next = forest
+            .nodes
+            .iter()
+            .find(|n| n.name == "Next" && forest.is_functional_leaf(n.id))
+            .expect("modeled Next button")
+            .id;
+        // The Find & Replace dialog is a shared subtree (two launchers):
+        // disambiguate with the first entry reference when needed.
+        let entries: Vec<u64> = forest
+            .in_shared_subtree(next)
+            .map(|root| forest.references_to(root).first().map(|&r| r as u64).into_iter().collect())
+            .unwrap_or_default();
+        let next = next as u64;
+        let run_missing = |cfg: CaptureConfig| {
+            let mut s = Session::new(AppKind::Word.launch_small());
+            s.set_capture_config(cfg);
+            // Rename the live button before navigating to it.
+            let tree = s.app().tree();
+            let launcher = tree
+                .iter()
+                .find(|(i, w)| w.name == "Replace" && tree.is_shown(*i))
+                .map(|(i, _)| i)
+                .unwrap();
+            s.click(launcher).unwrap();
+            let edit = s.app().tree().find_by_name("Find what").unwrap();
+            s.click(edit).unwrap();
+            s.type_text("+1").unwrap();
+            s.press("Enter").unwrap();
+            let before = s.query_count();
+            let err = access(&mut s, &forest, &ExecutorConfig::default(), next, &entries, None)
+                .unwrap_err();
+            (err, s.query_count() - before)
+        };
+        let (cached_err, cached_queries) = run_missing(CaptureConfig::default());
+        let (eager_err, eager_queries) = run_missing(CaptureConfig::full_rebuild());
+        assert!(matches!(cached_err, DmiError::ControlNotFound { .. }), "got {cached_err:?}");
+        assert_eq!(
+            format!("{cached_err:?}"),
+            format!("{eager_err:?}"),
+            "skipping identical re-resolves must not change the outcome"
+        );
+        assert_eq!(cached_queries, eager_queries, "every retry still advances the query clock");
     }
 
     #[test]

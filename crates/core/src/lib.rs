@@ -26,6 +26,7 @@ pub mod dmi;
 pub mod error;
 pub mod graph;
 pub mod interface;
+pub mod parallel;
 pub mod ripper;
 pub mod screen;
 pub mod tokens;
@@ -36,6 +37,7 @@ pub use dmi::{Dmi, DmiBuildConfig, DmiBuildStats, VisitOutcome};
 pub use error::{DmiError, DmiResult};
 pub use graph::{Ung, UngNode};
 pub use interface::{ExecutorConfig, VisitCommand};
+pub use parallel::{rip_parallel, ParRipConfig, ShardPlan};
 pub use ripper::{ContextSetup, RipConfig, RipStats};
 pub use screen::{label_screen, LabeledScreen};
 pub use topology::{Forest, ForestConfig};

@@ -1,0 +1,193 @@
+//! Parallel sharded GUI ripping with a deterministic UNG merge.
+//!
+//! The paper's offline UNG construction (§4.1) is embarrassingly parallel
+//! in principle: exploring one candidate — establish its prefix state,
+//! click it, diff the pre/post captures — is a pure function of `(setup,
+//! path, candidate)` on a deterministic application, because state is
+//! always re-established from a provably launch-equivalent base (Esc
+//! recovery or restart + replay; see [`crate::ripper`]). This module
+//! exploits that: worker shards explore candidates concurrently while a
+//! scheduler merges their outcomes into one UNG **byte-identical** to the
+//! sequential rip.
+//!
+//! # Architecture
+//!
+//! - **[`ShardPlan`]** resolves a [`ParRipConfig`] into the execution
+//!   shape: how many worker shards run and how deep the speculative
+//!   dispatch window is.
+//! - **Worker shards** ([`worker`]) each own a private `Session` forked
+//!   from the application's shared `Arc`-held pristine launch image
+//!   (`Session::fork_from_pristine`) — construction reuses the prebuilt
+//!   widget arena, no `build_ui` re-run. Each shard is a plain
+//!   `ExploreUnit`: the same §4.1 recovery planner the sequential ripper
+//!   uses, so between tasks it presses Esc back to base instead of
+//!   restarting whenever that is provably safe. Shards pull tasks from a
+//!   shared queue; a skewed subtree therefore never idles the other
+//!   workers — the queue *is* the work-stealing mechanism.
+//! - **The scheduler** ([`scheduler::RipScheduler`]) replays the exact
+//!   sequential DFS on the main thread: it pops the same stack, applies
+//!   the same visited-set gating, and commits outcomes in the same order
+//!   — but the expensive exploration behind each commit ran on a worker.
+//!   Candidates below the stack top are dispatched *speculatively*; a
+//!   speculative result whose candidate turns out visited by commit time
+//!   is discarded (bounded waste, never wrong).
+//!
+//! # Determinism argument
+//!
+//! The sequential ripper's UNG is a fold over an ordered list of commit
+//! records: `seed(snapshot)` for each pass, then `commit(candidate,
+//! post, fresh)` per explored candidate, where the DFS stack and visited
+//! set — and hence *which* candidate is committed next — are themselves
+//! functions of the previous commits only. Each outcome `(post, fresh)`
+//! is a pure function of `(setup, path, candidate)` (deterministic app,
+//! state re-established from base), so it does not matter *where* or
+//! *when* it was computed. The scheduler performs the identical fold with
+//! identical inputs in identical order; node ids (insertion order), edge
+//! lists (insertion order, deduplicated), and the `ControlKey`
+//! hash+confirm dedup decisions therefore come out byte-for-byte the
+//! same. The release-gated oracle in `tests/identity.rs` asserts this
+//! end-to-end for all three Office apps via serialized-graph equality.
+//!
+//! # Merge ordering
+//!
+//! Out-of-order worker results are buffered and merged strictly in stack
+//! (pop) order — *canonical node ordering* is sequential-DFS discovery
+//! order, not arrival order. Merging goes through the same
+//! `Frontier::commit` the sequential ripper uses: every fresh control is
+//! dedup-inserted via the [`dmi_uia::ControlKey`] fingerprint with
+//! full-identifier confirmation, so hash collisions cost a comparison,
+//! never a wrong merge (collision safety is unit-tested in
+//! `crate::graph`).
+//!
+//! # What is *not* identical
+//!
+//! [`RipStats`] effort counters (clicks, snapshots, restarts) include
+//! speculative work that the sequential rip never performs, and each
+//! worker restarts at least once; only the UNG — and the commit-derived
+//! counters `blocklisted` and `windows_seen` — match the sequential rip
+//! exactly. `RipConfig::max_clicks` gates on a global click counter that
+//! has no parallel equivalent, so configurations using it (a debug aid)
+//! fall back to the sequential engine, as do applications that cannot
+//! fork.
+
+mod plan;
+mod scheduler;
+mod worker;
+
+pub use plan::{ParRipConfig, ShardPlan};
+pub use scheduler::rip_parallel;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ripper::{rip, RipConfig};
+    use dmi_apps::AppKind;
+    use dmi_gui::Session;
+
+    /// The parallel engine must produce the same UNG bytes as the
+    /// sequential reference (PowerPoint exercises the context pass too).
+    #[test]
+    fn parallel_rip_matches_sequential_for_powerpoint() {
+        let cfg = RipConfig::office("PowerPoint");
+        let mut seq = Session::new(AppKind::PowerPoint.launch_small());
+        let (g_seq, st_seq) = rip(&mut seq, &cfg);
+
+        let mut par = Session::new(AppKind::PowerPoint.launch_small());
+        let plan = ParRipConfig { workers: 2, speculation: 2 };
+        let (g_par, st_par) = rip_parallel(&mut par, &cfg, &plan);
+
+        assert_eq!(
+            serde_json::to_string(&g_par).unwrap(),
+            serde_json::to_string(&g_seq).unwrap(),
+            "merged UNG must be byte-identical to the sequential rip"
+        );
+        assert_eq!(g_par.node_count(), g_seq.node_count());
+        assert_eq!(g_par.edge_count(), g_seq.edge_count());
+        assert_eq!(st_par.windows_seen, st_seq.windows_seen, "commit-derived counter");
+        assert_eq!(st_par.blocklisted, st_seq.blocklisted, "commit-derived counter");
+        assert!(st_par.clicks >= st_seq.clicks, "speculation only adds effort");
+    }
+
+    /// Applications without a pristine fork fall back to the sequential
+    /// engine transparently.
+    #[test]
+    fn unforkable_apps_fall_back_to_sequential() {
+        use dmi_gui::{Behavior, CommandBinding, GuiApp, UiTree, Widget, WidgetBuilder};
+        use dmi_uia::ControlType as CT;
+
+        struct Tiny {
+            tree: UiTree,
+        }
+        impl Tiny {
+            fn new() -> Tiny {
+                let mut t = UiTree::new();
+                let main = t.add_root(Widget::new("Tiny", CT::Window));
+                let menu = t.add(
+                    main,
+                    WidgetBuilder::new("Menu", CT::SplitButton)
+                        .popup()
+                        .on_click(Behavior::OpenMenu)
+                        .build(),
+                );
+                for name in ["A", "B"] {
+                    t.add(
+                        menu,
+                        WidgetBuilder::new(name, CT::ListItem)
+                            .on_click(Behavior::CommandAndDismiss(CommandBinding::new("noop")))
+                            .build(),
+                    );
+                }
+                Tiny { tree: t }
+            }
+        }
+        impl GuiApp for Tiny {
+            fn name(&self) -> &str {
+                "Tiny"
+            }
+            fn tree(&self) -> &UiTree {
+                &self.tree
+            }
+            fn tree_mut(&mut self) -> &mut UiTree {
+                &mut self.tree
+            }
+            fn dispatch(
+                &mut self,
+                _src: dmi_gui::WidgetId,
+                _b: &CommandBinding,
+            ) -> Result<(), dmi_gui::AppError> {
+                Ok(())
+            }
+            fn reset(&mut self) {
+                *self = Tiny::new();
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+
+        let cfg = RipConfig::default();
+        let mut seq = Session::new(Box::new(Tiny::new()));
+        let (g_seq, st_seq) = rip(&mut seq, &cfg);
+        let mut par = Session::new(Box::new(Tiny::new()));
+        let (g_par, st_par) =
+            rip_parallel(&mut par, &cfg, &ParRipConfig { workers: 4, speculation: 2 });
+        assert_eq!(g_par.node_count(), g_seq.node_count());
+        assert_eq!(g_par.edge_count(), g_seq.edge_count());
+        assert_eq!(st_par, st_seq, "fallback is the sequential engine itself");
+    }
+
+    #[test]
+    fn shard_plan_resolves_defaults() {
+        let plan = ShardPlan::resolve(&ParRipConfig::default());
+        assert!(plan.workers >= 1);
+        assert!(plan.max_in_flight >= plan.workers);
+        let fixed = ShardPlan::resolve(&ParRipConfig { workers: 3, speculation: 4 });
+        assert_eq!(fixed, ShardPlan { workers: 3, max_in_flight: 12 });
+        // Speculation never drops below one task per worker.
+        let min = ShardPlan::resolve(&ParRipConfig { workers: 2, speculation: 0 });
+        assert_eq!(min.max_in_flight, 2);
+    }
+}

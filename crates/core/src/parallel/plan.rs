@@ -1,0 +1,42 @@
+//! Shard planning: resolving a configuration into an execution shape.
+
+/// Configuration for the parallel sharded rip.
+#[derive(Debug, Clone)]
+pub struct ParRipConfig {
+    /// Worker shards (threads) exploring candidates. `0` resolves to the
+    /// machine's available parallelism.
+    pub workers: usize,
+    /// Speculative dispatch depth: how many tasks are kept in flight per
+    /// worker. `1` means workers only ever run the task the scheduler is
+    /// about to commit (no speculation, maximum stalls); higher values
+    /// trade a little wasted exploration for pipeline overlap.
+    pub speculation: usize,
+}
+
+impl Default for ParRipConfig {
+    fn default() -> Self {
+        ParRipConfig { workers: 0, speculation: 2 }
+    }
+}
+
+/// The resolved execution shape of one parallel rip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Worker shards that will be spawned.
+    pub workers: usize,
+    /// Maximum outstanding (dispatched, uncommitted) tasks across all
+    /// shards.
+    pub max_in_flight: usize,
+}
+
+impl ShardPlan {
+    /// Resolves a configuration against the current machine.
+    pub fn resolve(cfg: &ParRipConfig) -> ShardPlan {
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            cfg.workers
+        };
+        ShardPlan { workers, max_in_flight: workers.saturating_mul(cfg.speculation.max(1)) }
+    }
+}

@@ -1,0 +1,247 @@
+//! The deterministic rip scheduler: sequential commit order, parallel
+//! exploration.
+//!
+//! The scheduler is the sequential explorer's control loop with the
+//! `explore` call outsourced: it owns the [`Frontier`] (UNG, visited set,
+//! DFS stack), pops candidates in exactly the sequential order, and
+//! blocks on each candidate's outcome — which a worker shard usually
+//! computed long ago, speculatively. See the module docs
+//! ([`crate::parallel`]) for the determinism argument.
+
+use super::plan::{ParRipConfig, ShardPlan};
+use super::worker::{worker_loop, Outcome, Reply, Shared, Task};
+use crate::graph::Ung;
+use crate::ripper::{rip, Candidate, ContextSetup, ExploreUnit, Frontier, RipConfig, RipStats};
+use dmi_gui::Session;
+use std::collections::{HashMap, HashSet};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::Arc;
+use std::thread;
+
+/// Rips an application into a UNG using worker shards, producing a graph
+/// byte-identical to the sequential [`rip`].
+///
+/// Falls back to the sequential engine when the plan resolves to a single
+/// worker, when the application cannot fork from a pristine image, or
+/// when `config.max_clicks` is set (its global click gate has no
+/// order-independent parallel equivalent).
+pub fn rip_parallel(
+    session: &mut Session,
+    config: &RipConfig,
+    par: &ParRipConfig,
+) -> (Ung, RipStats) {
+    let plan = ShardPlan::resolve(par);
+    if plan.workers <= 1 || config.max_clicks.is_some() {
+        return rip(session, config);
+    }
+    let mut forks = Vec::with_capacity(plan.workers);
+    for _ in 0..plan.workers {
+        match session.fork_from_pristine() {
+            Some(s) => forks.push(s),
+            None => return rip(session, config),
+        }
+    }
+
+    let shared = Shared::new();
+    let (tx, rx) = channel();
+    let handles: Vec<thread::JoinHandle<RipStats>> = forks
+        .into_iter()
+        .map(|worker_session| {
+            let shared = Arc::clone(&shared);
+            let tx = tx.clone();
+            let cfg = config.clone();
+            thread::spawn(move || worker_loop(worker_session, cfg, shared, tx))
+        })
+        .collect();
+    drop(tx); // Workers hold the only senders now.
+
+    // Shut the queue down even if the scheduler unwinds (a re-raised
+    // worker panic, a poisoned expect): without this, surviving workers
+    // would block in the condvar wait forever. Idempotent with the
+    // explicit shutdown on the normal path below.
+    struct ShutdownOnDrop(Arc<Shared>);
+    impl Drop for ShutdownOnDrop {
+        fn drop(&mut self) {
+            self.0.shutdown();
+        }
+    }
+    let _shutdown_guard = ShutdownOnDrop(Arc::clone(&shared));
+
+    let mut sched = RipScheduler {
+        unit: ExploreUnit::new(session, config),
+        frontier: Frontier::new(),
+        plan,
+        shared: Arc::clone(&shared),
+        rx,
+        pending: HashMap::new(),
+        discarded: HashSet::new(),
+        in_flight: 0,
+    };
+    sched.base_pass();
+    for ctx in &config.contexts {
+        sched.context_pass(ctx);
+    }
+    let RipScheduler { unit, frontier, .. } = sched;
+    let mut stats = unit.stats;
+    shared.shutdown();
+    for h in handles {
+        stats.absorb(&h.join().expect("worker shard panicked"));
+    }
+    (frontier.g, stats)
+}
+
+/// Re-raises a worker shard's panic on the scheduler thread: a shard
+/// that dies mid-task reports it through the channel (unwind guard in
+/// `worker_loop`), because silently losing the result would strand
+/// `await_outcome` in `recv` while the remaining shards keep the channel
+/// open.
+fn unwrap_reply(reply: Reply) -> Option<Outcome> {
+    match reply {
+        Reply::Done(o) => o,
+        Reply::Panicked => panic!("worker shard panicked while exploring a candidate"),
+    }
+}
+
+/// The commit-side half of the parallel rip (lives on the caller's
+/// thread; the caller's session is only used for pass seeding, exactly
+/// like the sequential explorer's).
+struct RipScheduler<'a> {
+    unit: ExploreUnit<'a>,
+    frontier: Frontier,
+    plan: ShardPlan,
+    shared: Arc<Shared>,
+    rx: Receiver<(u64, Reply)>,
+    /// Results that arrived before their candidate was popped.
+    pending: HashMap<u64, Option<Outcome>>,
+    /// Dispatched entries whose candidate was popped as already-visited:
+    /// their results are dropped on arrival.
+    discarded: HashSet<u64>,
+    /// Dispatched tasks whose results have not arrived yet.
+    in_flight: usize,
+}
+
+impl RipScheduler<'_> {
+    fn base_pass(&mut self) {
+        self.unit.restart();
+        let snap = self.unit.snapshot();
+        self.frontier.seed(&snap, &[], self.unit.config(), &mut self.unit.stats);
+        self.drain(Arc::from(Vec::new()));
+    }
+
+    fn context_pass(&mut self, ctx: &ContextSetup) {
+        if !self.unit.replay(&ctx.clicks, &[]) {
+            return;
+        }
+        let snap = self.unit.snapshot();
+        // Attach context-revealed controls under the virtual root, then
+        // explore within the context (same as the sequential pass).
+        self.frontier.seed(&snap, &[], self.unit.config(), &mut self.unit.stats);
+        self.drain(Arc::from(ctx.clicks.clone()));
+    }
+
+    /// The sequential drain loop with exploration outsourced to shards.
+    fn drain(&mut self, setup: Arc<[String]>) {
+        loop {
+            self.harvest();
+            self.top_up(&setup);
+            let Some(c) = self.frontier.pop() else { break };
+            if !self.frontier.visit(&c) {
+                if c.dispatched {
+                    self.note_discarded(c.seq);
+                }
+                continue;
+            }
+            let Some(o) = self.await_outcome(&c, &setup) else { continue };
+            if o.window_opened {
+                self.unit.stats.windows_seen += 1;
+            }
+            self.frontier.commit(
+                &c.cid,
+                &o.post,
+                &o.fresh,
+                &c.path,
+                self.unit.config(),
+                &mut self.unit.stats,
+            );
+        }
+    }
+
+    /// Blocks until the candidate's outcome is available, dispatching it
+    /// at the front of the queue first if no shard has it yet.
+    fn await_outcome(&mut self, c: &Candidate, setup: &Arc<[String]>) -> Option<Outcome> {
+        if !c.dispatched {
+            self.shared.push_front(Task {
+                seq: c.seq,
+                setup: Arc::clone(setup),
+                cid: c.cid.clone(),
+                path: c.path.clone(),
+            });
+            self.in_flight += 1;
+        }
+        if let Some(o) = self.pending.remove(&c.seq) {
+            return o;
+        }
+        loop {
+            let (seq, reply) = self.rx.recv().expect("a live shard holds the dispatched task");
+            let o = unwrap_reply(reply);
+            self.in_flight -= 1;
+            if seq == c.seq {
+                return o;
+            }
+            if !self.discarded.remove(&seq) {
+                self.pending.insert(seq, o);
+            }
+        }
+    }
+
+    /// Drains already-delivered results without blocking.
+    fn harvest(&mut self) {
+        while let Ok((seq, reply)) = self.rx.try_recv() {
+            let o = unwrap_reply(reply);
+            self.in_flight -= 1;
+            if !self.discarded.remove(&seq) {
+                self.pending.insert(seq, o);
+            }
+        }
+    }
+
+    /// Marks a dispatched-but-skipped entry so its result is dropped.
+    fn note_discarded(&mut self, seq: u64) {
+        if self.pending.remove(&seq).is_none() {
+            self.discarded.insert(seq);
+        }
+    }
+
+    /// Speculatively dispatches candidates from the top of the stack (the
+    /// next pops) until the in-flight window is full. Entries already
+    /// visited are left for the pop loop to skip.
+    fn top_up(&mut self, setup: &Arc<[String]>) {
+        if self.in_flight >= self.plan.max_in_flight {
+            return;
+        }
+        let mut budget = self.plan.max_in_flight - self.in_flight;
+        let mut picks: Vec<usize> = Vec::new();
+        for (i, c) in self.frontier.stack.iter().enumerate().rev() {
+            if budget == 0 {
+                break;
+            }
+            if c.dispatched || self.frontier.is_visited(c) {
+                continue;
+            }
+            picks.push(i);
+            budget -= 1;
+        }
+        for i in picks {
+            let c = &mut self.frontier.stack[i];
+            c.dispatched = true;
+            let task = Task {
+                seq: c.seq,
+                setup: Arc::clone(setup),
+                cid: c.cid.clone(),
+                path: c.path.clone(),
+            };
+            self.shared.push_back(task);
+            self.in_flight += 1;
+        }
+    }
+}

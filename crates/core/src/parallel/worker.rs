@@ -1,0 +1,152 @@
+//! Worker shards: private sessions exploring candidates off a shared
+//! queue.
+//!
+//! Each worker owns a `Session` forked from the application's pristine
+//! launch image and runs one [`ExploreUnit`] for its whole life, so the
+//! §4.1 Esc-based recovery planner amortizes across tasks exactly as it
+//! does in the sequential DFS. The shared queue doubles as the
+//! work-stealing mechanism: whichever shard goes idle first pulls the
+//! next task, so a skewed subtree (one deep dialog chain) cannot starve
+//! the fleet.
+
+use crate::ripper::{diff_fresh, ExploreUnit, RipConfig, RipStats};
+use dmi_gui::Session;
+use dmi_uia::{ControlId, Snapshot};
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One unit of speculative work: explore `cid` after establishing
+/// `setup` + `path`.
+pub(super) struct Task {
+    /// The scheduler-side stack-entry id this result answers.
+    pub seq: u64,
+    /// Context-setup clicks (shared per pass).
+    pub setup: Arc<[String]>,
+    /// The candidate control to click.
+    pub cid: ControlId,
+    /// The click path revealing the candidate.
+    pub path: Vec<ControlId>,
+}
+
+/// A completed exploration, ready to merge: the post-click capture plus
+/// the precomputed fresh-control diff (the pure half of differential
+/// capture, computed on the worker).
+pub(super) struct Outcome {
+    /// The post-click snapshot (its identity index already materialized
+    /// by the diff).
+    pub post: Arc<Snapshot>,
+    /// Post-snapshot indices newly available after the click.
+    pub fresh: Vec<u32>,
+    /// Whether the click opened a new window.
+    pub window_opened: bool,
+}
+
+/// One worker answer. `Panicked` is sent from an unwind guard so a dying
+/// shard can never strand the scheduler in `recv` (the other shards'
+/// senders keep the channel open, so a plain drop would block it
+/// forever); the scheduler re-raises on receipt.
+pub(super) enum Reply {
+    Done(Option<Outcome>),
+    Panicked,
+}
+
+/// Sends `Reply::Panicked` for the in-flight task when dropped during an
+/// unwind.
+struct ReplyGuard<'a> {
+    seq: u64,
+    results: &'a Sender<(u64, Reply)>,
+    armed: bool,
+}
+
+impl Drop for ReplyGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = self.results.send((self.seq, Reply::Panicked));
+        }
+    }
+}
+
+struct Queue {
+    tasks: VecDeque<Task>,
+    shutdown: bool,
+}
+
+/// The shared dispatch queue (mutex + condvar; tasks are popped from the
+/// front, so the scheduler controls priority by choosing the end it
+/// pushes to).
+pub(super) struct Shared {
+    queue: Mutex<Queue>,
+    cond: Condvar,
+}
+
+impl Shared {
+    pub fn new() -> Arc<Shared> {
+        Arc::new(Shared {
+            queue: Mutex::new(Queue { tasks: VecDeque::new(), shutdown: false }),
+            cond: Condvar::new(),
+        })
+    }
+
+    /// Enqueues a must-run-next task (the scheduler is about to block on
+    /// it).
+    pub fn push_front(&self, t: Task) {
+        let mut q = self.queue.lock().unwrap();
+        q.tasks.push_front(t);
+        drop(q);
+        self.cond.notify_one();
+    }
+
+    /// Enqueues a speculative task behind everything already dispatched.
+    pub fn push_back(&self, t: Task) {
+        let mut q = self.queue.lock().unwrap();
+        q.tasks.push_back(t);
+        drop(q);
+        self.cond.notify_one();
+    }
+
+    /// Wakes every worker and makes further pops return `None`.
+    pub fn shutdown(&self) {
+        self.queue.lock().unwrap().shutdown = true;
+        self.cond.notify_all();
+    }
+
+    fn pop(&self) -> Option<Task> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            // Shutdown wins over queued work: leftover speculative tasks
+            // at rip end are dropped, not explored into the void.
+            if q.shutdown {
+                return None;
+            }
+            if let Some(t) = q.tasks.pop_front() {
+                return Some(t);
+            }
+            q = self.cond.wait(q).unwrap();
+        }
+    }
+}
+
+/// The worker-shard main loop: pull, explore, diff, send — until
+/// shutdown. Returns the shard's effort counters for aggregation.
+pub(super) fn worker_loop(
+    mut session: Session,
+    config: RipConfig,
+    shared: Arc<Shared>,
+    results: Sender<(u64, Reply)>,
+) -> RipStats {
+    let mut unit = ExploreUnit::new(&mut session, &config);
+    while let Some(task) = shared.pop() {
+        let mut guard = ReplyGuard { seq: task.seq, results: &results, armed: true };
+        let out = unit.explore(&task.setup, &task.cid, &task.path).map(|ex| Outcome {
+            window_opened: ex.post.windows().len() > ex.pre.windows().len(),
+            fresh: diff_fresh(&ex.pre, &ex.post),
+            post: ex.post,
+        });
+        guard.armed = false;
+        if results.send((task.seq, Reply::Done(out))).is_err() {
+            break; // Scheduler gone (it only drops the receiver on exit).
+        }
+    }
+    unit.stats
+}

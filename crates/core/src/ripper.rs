@@ -22,6 +22,20 @@
 //! through tree writes that do move the epoch. The resulting UNG is
 //! byte-identical either way; the full-restart strategy stays available
 //! behind [`RipConfig::esc_recovery`] as the equivalence oracle.
+//!
+//! # Shard-reusable exploration units
+//!
+//! Exploring one candidate — establish its prefix state, click it,
+//! capture the pre/post pair — is a pure function of `(setup, path,
+//! candidate)` on a deterministic application: `establish` either reaches
+//! the provably launch-equivalent base (Esc recovery) or restarts and
+//! replays, so the resulting snapshots never depend on what was explored
+//! before. The machinery is therefore factored into an [`ExploreUnit`]
+//! (one session plus the recovery-planner state) and a [`Frontier`] (the
+//! UNG under construction, the visited set, and the DFS stack), connected
+//! by the pure [`diff_fresh`] differential. The sequential ripper composes
+//! them in a loop; [`crate::parallel`] runs many `ExploreUnit`s on worker
+//! threads against one `Frontier` — producing byte-identical UNGs.
 
 use crate::graph::{Ung, UngNode, UngNodeId};
 use dmi_gui::Session;
@@ -124,17 +138,51 @@ pub struct RipStats {
     pub windows_seen: u64,
 }
 
-struct Explorer<'a> {
+impl RipStats {
+    /// Element-wise accumulation: the parallel engine aggregates the
+    /// scheduler's counters with every worker shard's.
+    pub fn absorb(&mut self, other: &RipStats) {
+        self.clicks += other.clicks;
+        self.snapshots += other.snapshots;
+        self.restarts += other.restarts;
+        self.esc_recoveries += other.esc_recoveries;
+        self.esc_presses += other.esc_presses;
+        self.blocklisted += other.blocklisted;
+        self.replay_failures += other.replay_failures;
+        self.windows_seen += other.windows_seen;
+    }
+}
+
+/// One candidate awaiting exploration: the control, its fingerprint, the
+/// click path that reveals it, and scheduler bookkeeping (`seq` uniquely
+/// identifies the stack entry; `dispatched` marks entries the parallel
+/// engine has already handed to a worker — the sequential ripper ignores
+/// both).
+#[derive(Debug, Clone)]
+pub(crate) struct Candidate {
+    pub cid: ControlId,
+    pub key: ControlKey,
+    pub path: Vec<ControlId>,
+    pub seq: u64,
+    pub dispatched: bool,
+}
+
+/// The pre/post capture pair produced by exploring one candidate.
+pub(crate) struct Explored {
+    pub pre: Arc<Snapshot>,
+    pub post: Arc<Snapshot>,
+}
+
+/// A shard-reusable exploration unit: one session plus the §4.1 recovery
+/// planner. [`ExploreUnit::explore`] is a pure function of `(setup, path,
+/// candidate)` — state is always (re-)established from a provably
+/// launch-equivalent base first — so units can run in any order, on any
+/// thread, and produce the same capture pairs the sequential DFS would.
+pub(crate) struct ExploreUnit<'a> {
     session: &'a mut Session,
     config: &'a RipConfig,
-    g: Ung,
-    stats: RipStats,
-    /// Controls already explored (or blocklisted), keyed by
-    /// [`ControlKey`] with full-id confirmation — no per-probe string
-    /// encoding or hashing.
-    visited: ControlIdSet,
-    /// DFS stack of (control, its fingerprint, click path to reveal it).
-    stack: Vec<(ControlId, ControlKey, Vec<ControlId>)>,
+    /// Effort counters accumulated by this unit.
+    pub stats: RipStats,
     /// The tree's persistent-mutation epoch recorded at the last restart.
     /// While it holds, the only state accumulated since the restart is
     /// transient (windows, popups) or tab selection — exactly what Esc
@@ -153,33 +201,41 @@ struct Explorer<'a> {
     dialog_tab_dirty: bool,
 }
 
-/// Rips an application into a UNG.
+/// Rips an application into a UNG (sequential reference implementation;
+/// see [`crate::parallel::rip_parallel`] for the sharded engine, which is
+/// byte-identical by construction).
 pub fn rip(session: &mut Session, config: &RipConfig) -> (Ung, RipStats) {
-    let mut ex = Explorer {
-        session,
-        config,
-        g: Ung::new(),
-        stats: RipStats::default(),
-        visited: ControlIdSet::new(),
-        stack: Vec::new(),
-        base_epoch: 0,
-        tab_dirty: false,
-        dialog_tab_dirty: false,
-    };
+    let mut ex = Explorer { unit: ExploreUnit::new(session, config), frontier: Frontier::new() };
     ex.base_pass();
     for ctx in &config.contexts {
         ex.context_pass(ctx);
     }
-    (ex.g, ex.stats)
+    (ex.frontier.g, ex.unit.stats)
 }
 
-impl Explorer<'_> {
-    fn snapshot(&mut self) -> Arc<Snapshot> {
+impl<'a> ExploreUnit<'a> {
+    pub fn new(session: &'a mut Session, config: &'a RipConfig) -> ExploreUnit<'a> {
+        ExploreUnit {
+            session,
+            config,
+            stats: RipStats::default(),
+            base_epoch: 0,
+            tab_dirty: false,
+            dialog_tab_dirty: false,
+        }
+    }
+
+    /// The rip configuration this unit explores under.
+    pub fn config(&self) -> &'a RipConfig {
+        self.config
+    }
+
+    pub fn snapshot(&mut self) -> Arc<Snapshot> {
         self.stats.snapshots += 1;
         self.session.snapshot()
     }
 
-    fn restart(&mut self) {
+    pub fn restart(&mut self) {
         self.stats.restarts += 1;
         self.session.restart();
         self.base_epoch = self.session.ui_state_epoch();
@@ -197,82 +253,6 @@ impl Explorer<'_> {
         }
     }
 
-    fn is_blocklisted(&self, name: &str, auto: &str) -> bool {
-        self.config.blocklist.iter().any(|b| b == name || (!auto.is_empty() && b == auto))
-    }
-
-    fn is_candidate_type(&self, ct: ControlType) -> bool {
-        self.config.candidate_types.contains(&ct)
-    }
-
-    /// Seeds the UNG from an initial snapshot: hierarchy edges for every
-    /// visible control, window roots under the virtual root. Returns newly
-    /// seen candidates.
-    fn seed(&mut self, snap: &Snapshot, path: &[ControlId]) {
-        let root = self.g.root();
-        let index = snap.index();
-        let mut ids: Vec<Option<UngNodeId>> = vec![None; snap.len()];
-        for (idx, node) in snap.iter() {
-            let cid = index.control_id(snap, idx);
-            let key = index.key(idx);
-            self.maybe_enqueue(
-                &cid,
-                key,
-                node.props.control_type,
-                &node.props.name,
-                &node.props.automation_id,
-                path,
-            );
-            // `cid` is consumed by the UNG node — no per-node clone.
-            let gid = self.g.add_node_with_key(
-                UngNode {
-                    control: cid,
-                    name: node.props.name.clone(),
-                    control_type: node.props.control_type,
-                    help_text: node.props.help_text.clone(),
-                },
-                key,
-            );
-            ids[idx] = Some(gid);
-            match node.parent {
-                Some(p) => {
-                    if let Some(pg) = ids[p] {
-                        self.g.add_edge(pg, gid);
-                    }
-                }
-                None => {
-                    self.g.add_edge(root, gid);
-                }
-            }
-        }
-    }
-
-    fn maybe_enqueue(
-        &mut self,
-        cid: &ControlId,
-        key: ControlKey,
-        ct: ControlType,
-        name: &str,
-        auto: &str,
-        path: &[ControlId],
-    ) {
-        if !self.is_candidate_type(ct) {
-            return;
-        }
-        if self.visited.contains(key, cid) {
-            return;
-        }
-        if self.is_blocklisted(name, auto) {
-            self.visited.insert(key, cid);
-            self.stats.blocklisted += 1;
-            return;
-        }
-        if path.len() >= self.config.max_depth {
-            return;
-        }
-        self.stack.push((cid.clone(), key, path.to_vec()));
-    }
-
     /// Resolves a modeled control id in a snapshot by exact match — O(1)
     /// through the snapshot identity index (arena-order tie-break, exactly
     /// like the linear scan it replaces).
@@ -281,7 +261,7 @@ impl Explorer<'_> {
     }
 
     /// Replays a click path from a fresh start; returns false on failure.
-    fn replay(&mut self, setup: &[String], path: &[ControlId]) -> bool {
+    pub fn replay(&mut self, setup: &[String], path: &[ControlId]) -> bool {
         self.restart();
         self.walk(setup, path, true)
     }
@@ -371,103 +351,235 @@ impl Explorer<'_> {
         self.replay(setup, path)
     }
 
-    fn base_pass(&mut self) {
-        self.restart();
-        let snap = self.snapshot();
-        self.seed(&snap, &[]);
-        self.drain(&[]);
-    }
-
-    fn context_pass(&mut self, ctx: &ContextSetup) {
-        if !self.replay(&ctx.clicks, &[]) {
-            return;
+    /// Explores one candidate: establishes its prefix state, clicks it
+    /// (recovering from stray modal windows with Esc), and captures the
+    /// pre/post snapshot pair. `None` when the state could not be
+    /// established or the click failed (counted as a replay failure,
+    /// exactly like the sequential DFS).
+    pub fn explore(
+        &mut self,
+        setup: &[String],
+        cid: &ControlId,
+        path: &[ControlId],
+    ) -> Option<Explored> {
+        if !self.establish(setup, cid, path) {
+            return None;
         }
-        let snap = self.snapshot();
-        // Attach context-revealed controls under the virtual root (they
-        // appeared because of the context, not a modeled click), then
-        // explore within the context.
-        self.seed(&snap, &[]);
-        self.drain(&ctx.clicks);
-    }
-
-    fn drain(&mut self, setup: &[String]) {
-        while let Some((cid, key, path)) = self.stack.pop() {
-            if !self.visited.insert(key, &cid) {
-                continue;
-            }
-            if let Some(cap) = self.config.max_clicks {
-                if self.stats.clicks >= cap as u64 {
-                    return;
-                }
-            }
-            if !self.establish(setup, &cid, &path) {
-                continue;
-            }
-            // A replayed path can leave a stray modal window above the
-            // candidate (e.g. a picture-insert dialog whose side effect
-            // revealed the candidate). Recover with Esc, like the paper's
-            // standard-command state restoration.
-            let mut pre = self.snapshot();
-            let mut clicked_ok = false;
-            for _attempt in 0..3 {
-                let Some(idx) = Self::resolve(&pre, &cid) else {
-                    break;
-                };
-                let node = pre.node(idx);
-                if !node.props.enabled {
-                    break;
-                }
-                if !pre.is_available(idx) {
-                    if self.session.press("Esc").is_err() {
-                        break;
-                    }
-                    self.stats.esc_presses += 1;
-                    pre = self.snapshot();
-                    continue;
-                }
-                let wid = self.session.widget_of(node.runtime_id);
-                self.stats.clicks += 1;
-                clicked_ok = self.session.click(wid).is_ok();
+        // A replayed path can leave a stray modal window above the
+        // candidate (e.g. a picture-insert dialog whose side effect
+        // revealed the candidate). Recover with Esc, like the paper's
+        // standard-command state restoration.
+        let mut pre = self.snapshot();
+        let mut clicked_ok = false;
+        for _attempt in 0..3 {
+            let Some(idx) = Self::resolve(&pre, cid) else {
+                break;
+            };
+            let node = pre.node(idx);
+            if !node.props.enabled {
                 break;
             }
-            if !clicked_ok {
-                self.stats.replay_failures += 1;
+            if !pre.is_available(idx) {
+                if self.session.press("Esc").is_err() {
+                    break;
+                }
+                self.stats.esc_presses += 1;
+                pre = self.snapshot();
                 continue;
             }
-            if cid.control_type == ControlType::TabItem {
-                self.note_tab_click();
+            let wid = self.session.widget_of(node.runtime_id);
+            self.stats.clicks += 1;
+            clicked_ok = self.session.click(wid).is_ok();
+            break;
+        }
+        if !clicked_ok {
+            self.stats.replay_failures += 1;
+            return None;
+        }
+        if cid.control_type == ControlType::TabItem {
+            self.note_tab_click();
+        }
+        let post = self.snapshot();
+        Some(Explored { pre, post })
+    }
+}
+
+/// The pure half of differential capture (§4.1): post-snapshot arena
+/// indices of controls *available* after the click but not before.
+/// Availability (not mere tree presence) is the right diff domain: a
+/// modal dialog removes the main window's controls from the available
+/// set, so its OK/Cancel buttons gain back-edges to the re-revealed
+/// window — the cycles §3.2 decycles away.
+///
+/// The "present before?" test runs against the pre-snapshot's identity
+/// index: each post node's [`ControlKey`] probes the pre key-multimap and
+/// collision-confirms component-wise. Depends only on the two snapshots —
+/// the parallel engine computes it on worker threads.
+pub(crate) fn diff_fresh(pre: &Snapshot, post: &Snapshot) -> Vec<u32> {
+    let pre_ix = pre.index();
+    let post_ix = post.index();
+    // One probe per post node follows: amortize the multimap.
+    pre_ix.key_multimap();
+    let mut fresh = Vec::new();
+    for (idx, node) in post.iter() {
+        if !post.is_available(idx) {
+            continue;
+        }
+        let key = post_ix.key(idx);
+        // Identical control available before the click? (Identity is
+        // compared component-wise: primary id, type, cached path.)
+        let existed_before = pre_ix.candidates(key).any(|i| {
+            let pn = &pre.node(i).props;
+            pre.is_available(i)
+                && pn.control_type == node.props.control_type
+                && pn.primary_id() == node.props.primary_id()
+                && pre_ix.path(i) == post_ix.path(idx)
+        });
+        if !existed_before {
+            fresh.push(idx as u32);
+        }
+    }
+    fresh
+}
+
+/// The UNG under construction plus the exploration frontier: the visited
+/// set and the DFS stack. All graph mutation goes through [`Frontier::seed`]
+/// and [`Frontier::commit`]; committing outcomes in the same order always
+/// produces the same graph bytes, which is what lets the parallel engine
+/// interleave *exploration* freely while keeping *commits* sequential.
+pub(crate) struct Frontier {
+    pub g: Ung,
+    /// Controls already explored (or blocklisted), keyed by
+    /// [`ControlKey`] with full-id confirmation — no per-probe string
+    /// encoding or hashing.
+    visited: ControlIdSet,
+    /// DFS stack of candidates (top = next to explore).
+    pub stack: Vec<Candidate>,
+    /// Sequence counter assigning stack entries unique ids.
+    next_seq: u64,
+}
+
+impl Frontier {
+    pub fn new() -> Frontier {
+        Frontier { g: Ung::new(), visited: ControlIdSet::new(), stack: Vec::new(), next_seq: 0 }
+    }
+
+    /// Pops the next candidate (LIFO — depth-first).
+    pub fn pop(&mut self) -> Option<Candidate> {
+        self.stack.pop()
+    }
+
+    /// Marks a candidate visited; false when it already was (skip it).
+    pub fn visit(&mut self, c: &Candidate) -> bool {
+        self.visited.insert(c.key, &c.cid)
+    }
+
+    /// Whether a candidate is already visited (without marking).
+    pub fn is_visited(&self, c: &Candidate) -> bool {
+        self.visited.contains(c.key, &c.cid)
+    }
+
+    /// Seeds the UNG from an initial snapshot: hierarchy edges for every
+    /// visible control, window roots under the virtual root; newly seen
+    /// candidates are pushed onto the stack.
+    pub fn seed(
+        &mut self,
+        snap: &Snapshot,
+        path: &[ControlId],
+        config: &RipConfig,
+        stats: &mut RipStats,
+    ) {
+        let root = self.g.root();
+        let index = snap.index();
+        let mut ids: Vec<Option<UngNodeId>> = vec![None; snap.len()];
+        for (idx, node) in snap.iter() {
+            let cid = index.control_id(snap, idx);
+            let key = index.key(idx);
+            self.maybe_enqueue(
+                &cid,
+                key,
+                node.props.control_type,
+                &node.props.name,
+                &node.props.automation_id,
+                path,
+                config,
+                stats,
+            );
+            // `cid` is consumed by the UNG node — no per-node clone.
+            let gid = self.g.add_node_with_key(
+                UngNode {
+                    control: cid,
+                    name: node.props.name.clone(),
+                    control_type: node.props.control_type,
+                    help_text: node.props.help_text.clone(),
+                },
+                key,
+            );
+            ids[idx] = Some(gid);
+            match node.parent {
+                Some(p) => {
+                    if let Some(pg) = ids[p] {
+                        self.g.add_edge(pg, gid);
+                    }
+                }
+                None => {
+                    self.g.add_edge(root, gid);
+                }
             }
-            let windows_before = pre.windows().len();
-            let post = self.snapshot();
-            if post.windows().len() > windows_before {
-                self.stats.windows_seen += 1;
-            }
-            self.record_diff(&cid, &pre, &post, &path);
         }
     }
 
-    /// Differential capture: controls *available* after the click but not
-    /// before define navigation edges. Availability (not mere tree
-    /// presence) is the right diff domain: a modal dialog removes the main
-    /// window's controls from the available set, so its OK/Cancel buttons
-    /// gain back-edges to the re-revealed window — the cycles §3.2
-    /// decycles away.
-    ///
-    /// The "present before?" test runs against the pre-snapshot's identity
-    /// index: each post node's [`ControlKey`] probes the pre key-multimap
-    /// and collision-confirms component-wise. No per-click encoded-string
-    /// set is materialized for either snapshot.
-    fn record_diff(
+    #[allow(clippy::too_many_arguments)]
+    fn maybe_enqueue(
+        &mut self,
+        cid: &ControlId,
+        key: ControlKey,
+        ct: ControlType,
+        name: &str,
+        auto: &str,
+        path: &[ControlId],
+        config: &RipConfig,
+        stats: &mut RipStats,
+    ) {
+        if !config.candidate_types.contains(&ct) {
+            return;
+        }
+        if self.visited.contains(key, cid) {
+            return;
+        }
+        if config.blocklist.iter().any(|b| b == name || (!auto.is_empty() && b == auto)) {
+            self.visited.insert(key, cid);
+            stats.blocklisted += 1;
+            return;
+        }
+        if path.len() >= config.max_depth {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stack.push(Candidate {
+            cid: cid.clone(),
+            key,
+            path: path.to_vec(),
+            seq,
+            dispatched: false,
+        });
+    }
+
+    /// Merges one exploration outcome into the UNG: every fresh control
+    /// (see [`diff_fresh`]) is dedup-inserted through the [`ControlKey`]
+    /// hash+confirm index, gains an edge from its revealer, and — when
+    /// genuinely new — is enqueued for its own exploration.
+    pub fn commit(
         &mut self,
         clicked: &ControlId,
-        pre: &Snapshot,
         post: &Snapshot,
+        fresh: &[u32],
         path: &[ControlId],
+        config: &RipConfig,
+        stats: &mut RipStats,
     ) {
-        let pre_ix = pre.index();
         let post_ix = post.index();
-        // One post-click probe per node follows: amortize the multimap.
-        pre_ix.key_multimap();
         let clicked_gid = self.g.find(clicked).expect("clicked control must already be a UNG node");
         let mut new_gid: Vec<Option<UngNodeId>> = vec![None; post.len()];
         let child_path: Vec<ControlId> = {
@@ -475,23 +587,10 @@ impl Explorer<'_> {
             p.push(clicked.clone());
             p
         };
-        for (idx, node) in post.iter() {
-            if !post.is_available(idx) {
-                continue;
-            }
+        for &idx in fresh {
+            let idx = idx as usize;
+            let node = post.node(idx);
             let key = post_ix.key(idx);
-            // Identical control available before the click? (Identity is
-            // compared component-wise: primary id, type, cached path.)
-            let existed_before = pre_ix.candidates(key).any(|i| {
-                let pn = &pre.node(i).props;
-                pre.is_available(i)
-                    && pn.control_type == node.props.control_type
-                    && pn.primary_id() == node.props.primary_id()
-                    && pre_ix.path(i) == post_ix.path(idx)
-            });
-            if existed_before {
-                continue;
-            }
             let cid = post_ix.control_id(post, idx);
             let existed = self.g.find_with_key(&cid, key).is_some();
             if !existed {
@@ -502,6 +601,8 @@ impl Explorer<'_> {
                     &node.props.name,
                     &node.props.automation_id,
                     &child_path,
+                    config,
+                    stats,
                 );
             }
             let gid = self.g.add_node_with_key(
@@ -518,6 +619,61 @@ impl Explorer<'_> {
             // hierarchy), else the clicked control.
             let src = node.parent.and_then(|p| new_gid[p]).unwrap_or(clicked_gid);
             self.g.add_edge(src, gid);
+        }
+    }
+}
+
+/// The sequential explorer: one [`ExploreUnit`] driving one [`Frontier`].
+struct Explorer<'a> {
+    unit: ExploreUnit<'a>,
+    frontier: Frontier,
+}
+
+impl Explorer<'_> {
+    fn base_pass(&mut self) {
+        self.unit.restart();
+        let snap = self.unit.snapshot();
+        self.frontier.seed(&snap, &[], self.unit.config, &mut self.unit.stats);
+        self.drain(&[]);
+    }
+
+    fn context_pass(&mut self, ctx: &ContextSetup) {
+        if !self.unit.replay(&ctx.clicks, &[]) {
+            return;
+        }
+        let snap = self.unit.snapshot();
+        // Attach context-revealed controls under the virtual root (they
+        // appeared because of the context, not a modeled click), then
+        // explore within the context.
+        self.frontier.seed(&snap, &[], self.unit.config, &mut self.unit.stats);
+        self.drain(&ctx.clicks);
+    }
+
+    fn drain(&mut self, setup: &[String]) {
+        while let Some(c) = self.frontier.pop() {
+            if !self.frontier.visit(&c) {
+                continue;
+            }
+            if let Some(cap) = self.unit.config.max_clicks {
+                if self.unit.stats.clicks >= cap as u64 {
+                    return;
+                }
+            }
+            let Some(ex) = self.unit.explore(setup, &c.cid, &c.path) else {
+                continue;
+            };
+            if ex.post.windows().len() > ex.pre.windows().len() {
+                self.unit.stats.windows_seen += 1;
+            }
+            let fresh = diff_fresh(&ex.pre, &ex.post);
+            self.frontier.commit(
+                &c.cid,
+                &ex.post,
+                &fresh,
+                &c.path,
+                self.unit.config,
+                &mut self.unit.stats,
+            );
         }
     }
 }

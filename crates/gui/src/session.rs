@@ -65,7 +65,12 @@ impl std::fmt::Display for AppError {
 impl std::error::Error for AppError {}
 
 /// The trait simulated applications implement (see `dmi-apps`).
-pub trait GuiApp {
+///
+/// `Send` is a supertrait: simulated applications are plain data (a widget
+/// arena plus a document model), and the parallel ripping engine moves
+/// forked instances onto worker threads — mirroring real UIA, where every
+/// provider lives in its own process anyway.
+pub trait GuiApp: Send {
     /// Application display name (window title).
     fn name(&self) -> &str;
 
@@ -90,6 +95,26 @@ pub trait GuiApp {
 
     /// Restores the application to its launch state (document and UI).
     fn reset(&mut self);
+
+    /// Forks a fresh launch-state instance of this application, sharing
+    /// the immutable pristine launch image (no widget-tree
+    /// reconstruction). Deterministic simulations make a fork equivalent
+    /// to launching another copy of the same build, so forks can explore
+    /// independently on other threads. Returns `None` when the app keeps
+    /// no shareable launch image (the default).
+    fn fork(&self) -> Option<Box<dyn GuiApp>> {
+        None
+    }
+
+    /// An identity token for the pristine launch image [`GuiApp::reset`]
+    /// restores, if — and only if — every reset restores that one fixed
+    /// image bit-for-bit (tree and document). The token keys restart-
+    /// surviving capture reuse: two restarts reporting the same token
+    /// provably reach byte-identical UI states. Apps whose reset is
+    /// partial or stateful must return `None` (the default).
+    fn pristine_token(&self) -> Option<u64> {
+        None
+    }
 
     /// Downcast support (task verifiers inspect concrete app models).
     fn as_any(&self) -> &dyn std::any::Any;
@@ -187,6 +212,28 @@ pub struct Session {
     external_jumps: u64,
     /// Whether the UI entered an un-exitable state.
     trapped: bool,
+    /// Restart-surviving capture stash: the snapshot of the pristine
+    /// launch state, keyed by [`GuiApp::pristine_token`]. Unlike the MRU
+    /// cache (whose stamp lineage a reset breaks), this survives
+    /// [`Session::restart`]: a restart back to an unchanged pristine image
+    /// is an O(1) snapshot hit instead of a cold rebuild.
+    pristine_snap: Option<(u64, Arc<Snapshot>)>,
+    /// Proof obligations recorded at the last restart under which the
+    /// current UI state still equals the pristine launch image.
+    pristine_mark: Option<PristineMark>,
+}
+
+/// Everything that must still hold for the session state to equal the
+/// pristine image captured at the last restart. All components are O(1)
+/// reads: any input action, snapshot-visible main-window mutation, context
+/// change, or transient window/popup invalidates the mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PristineMark {
+    token: u64,
+    action_seq: u64,
+    state_epoch: u64,
+    context_epoch: u64,
+    main_stamp: u64,
 }
 
 impl Session {
@@ -209,13 +256,33 @@ impl Session {
             restart_seq: 0,
             external_jumps: 0,
             trapped: false,
+            pristine_snap: None,
+            pristine_mark: None,
         }
     }
 
-    /// Replaces the capture configuration (drops any cached captures).
+    /// Forks a fresh worker session off the application's shared pristine
+    /// launch image (see [`GuiApp::fork`]): a launch-state app instance,
+    /// the same instability model and capture configuration, and fresh
+    /// event log, caches, and counters. Deterministic simulations make the
+    /// fork behaviorally equivalent to launching another instance of the
+    /// same build, so forks can explore independently — the parallel
+    /// ripping engine runs one per worker thread. `None` when the
+    /// application does not support forking.
+    pub fn fork_from_pristine(&self) -> Option<Session> {
+        let app = self.app.fork()?;
+        let mut s = Session::with_instability(app, self.inst.clone());
+        s.capture_cfg = self.capture_cfg;
+        Some(s)
+    }
+
+    /// Replaces the capture configuration (drops any cached captures,
+    /// the pristine stash included).
     pub fn set_capture_config(&mut self, cfg: CaptureConfig) {
         self.capture_cfg = cfg;
         self.cache.clear();
+        self.pristine_snap = None;
+        self.pristine_mark = None;
     }
 
     /// The capture configuration in effect.
@@ -289,6 +356,40 @@ impl Session {
             let snap = Arc::new(snapshot::build(self.app.tree(), &self.inst, self.query_seq));
             return Capture { snap, query_seq: self.query_seq, cache_hit: false };
         }
+        // Restart-surviving fast path: while the pristine mark holds, the
+        // state is byte-for-byte the launch image, so the stashed snapshot
+        // of a *previous* restart is exact — the MRU cache cannot help
+        // here because a reset re-floors every window stamp.
+        if let Some(token) = self.pristine_mark_holds() {
+            if let Some((t, snap)) = &self.pristine_snap {
+                if *t == token {
+                    let snap = Arc::clone(snap);
+                    self.capture_stats.full_hits += 1;
+                    self.capture_stats.pristine_hits += 1;
+                    // Re-key the stash against the current tree so the
+                    // next (post-click) capture can copy clean windows
+                    // from it instead of re-walking everything.
+                    snapshot::adopt(
+                        &mut self.cache,
+                        self.app.tree(),
+                        &snap,
+                        self.query_seq,
+                        self.capture_cfg.depth,
+                    );
+                    return Capture { snap, query_seq: self.query_seq, cache_hit: true };
+                }
+            }
+            let (snap, cache_hit) = snapshot::build_cached(
+                self.app.tree(),
+                &self.inst,
+                self.query_seq,
+                self.capture_cfg.depth,
+                &mut self.cache,
+                &mut self.capture_stats,
+            );
+            self.pristine_snap = Some((token, Arc::clone(&snap)));
+            return Capture { snap, query_seq: self.query_seq, cache_hit };
+        }
         let (snap, cache_hit) = snapshot::build_cached(
             self.app.tree(),
             &self.inst,
@@ -298,6 +399,25 @@ impl Session {
             &mut self.capture_stats,
         );
         Capture { snap, query_seq: self.query_seq, cache_hit }
+    }
+
+    /// Whether the UI state still equals the pristine image captured at
+    /// the last restart; returns the image token when it does. Sound
+    /// because every snapshot-visible divergence trips a component: input
+    /// actions bump `action_seq` (even failed ones), main-window widget
+    /// mutations move its stamp, contexts move the context epoch, and
+    /// extra windows or popups fail the structural checks.
+    fn pristine_mark_holds(&self) -> Option<u64> {
+        let m = self.pristine_mark?;
+        let t = self.app.tree();
+        (self.app.pristine_token() == Some(m.token)
+            && self.action_seq == m.action_seq
+            && t.open_windows().len() == 1
+            && t.open_popups().is_empty()
+            && t.state_epoch() == m.state_epoch
+            && t.context_epoch() == m.context_epoch
+            && t.window_stamp(t.main_root()) == m.main_stamp)
+            .then_some(m.token)
     }
 
     /// The current layout, served from the per-window layout cache when
@@ -325,7 +445,20 @@ impl Session {
         self.restart_seq += 1;
         // An application `reset` may swap its tree wholesale (breaking
         // stamp lineage), so cached captures cannot be trusted across it.
+        // The pristine stash survives instead: when the app attests (via
+        // `pristine_token`) that resets restore one fixed launch image,
+        // the post-restart capture is served from the stash in O(1).
         self.cache.clear();
+        self.pristine_mark = self.app.pristine_token().map(|token| {
+            let t = self.app.tree();
+            PristineMark {
+                token,
+                action_seq: self.action_seq,
+                state_epoch: t.state_epoch(),
+                context_epoch: t.context_epoch(),
+                main_stamp: t.window_stamp(t.main_root()),
+            }
+        });
     }
 
     // ------------------------------------------------------------------
@@ -1422,5 +1555,194 @@ mod tests {
         let fresh = s.capture();
         assert!(!fresh.is_cache_hit(), "restart must invalidate the cache");
         assert!(!Arc::ptr_eq(base.snap(), fresh.snap()));
+    }
+
+    // ------------------------------------------------------------------
+    // Pristine-image forks and restart-surviving capture reuse
+    // ------------------------------------------------------------------
+
+    /// A pristine-image app in the `office::Pristine` mold: reset clones
+    /// one fixed launch image, so it can attest a pristine token and
+    /// fork.
+    struct ImageApp {
+        tree: UiTree,
+        counter: u32,
+        pristine: Arc<(UiTree, u32)>,
+    }
+
+    struct ImageIds {
+        bump: WidgetId,
+        menu: WidgetId,
+        label: WidgetId,
+    }
+
+    fn image_app() -> (ImageApp, ImageIds) {
+        let mut t = UiTree::new();
+        let main = t.add_root(Widget::new("Image", CT::Window));
+        let bump = t.add(
+            main,
+            WidgetBuilder::new("Bump", CT::Button)
+                .on_click(Behavior::Command(CommandBinding::new("bump")))
+                .build(),
+        );
+        let menu = t.add(
+            main,
+            WidgetBuilder::new("Menu", CT::SplitButton)
+                .popup()
+                .on_click(Behavior::OpenMenu)
+                .build(),
+        );
+        t.add(menu, Widget::new("Item", CT::ListItem));
+        let label = t.add(main, Widget::new("Label", CT::Text));
+        let pristine = Arc::new((t.clone(), 0));
+        (ImageApp { tree: t, counter: 0, pristine }, ImageIds { bump, menu, label })
+    }
+
+    impl GuiApp for ImageApp {
+        fn name(&self) -> &str {
+            "Image"
+        }
+        fn tree(&self) -> &UiTree {
+            &self.tree
+        }
+        fn tree_mut(&mut self) -> &mut UiTree {
+            &mut self.tree
+        }
+        fn dispatch(&mut self, _src: WidgetId, b: &CommandBinding) -> Result<(), AppError> {
+            if b.command == "bump" {
+                self.counter += 1;
+            }
+            Ok(())
+        }
+        fn reset(&mut self) {
+            let pristine = Arc::clone(&self.pristine);
+            self.tree.clone_from(&pristine.0);
+            self.counter = pristine.1;
+        }
+        fn fork(&self) -> Option<Box<dyn GuiApp>> {
+            let pristine = Arc::clone(&self.pristine);
+            Some(Box::new(ImageApp { tree: pristine.0.clone(), counter: pristine.1, pristine }))
+        }
+        fn pristine_token(&self) -> Option<u64> {
+            Some(Arc::as_ptr(&self.pristine) as u64)
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn restart_to_unchanged_pristine_image_is_a_snapshot_hit() {
+        let (app, ids) = image_app();
+        let mut s = Session::new(Box::new(app));
+        s.restart();
+        let first = s.capture();
+        assert!(!first.is_cache_hit(), "first post-restart capture builds and stashes");
+        s.click(ids.bump).unwrap();
+        s.restart();
+        let again = s.capture();
+        assert!(again.is_cache_hit(), "restart back to the pristine image is O(1)");
+        assert!(Arc::ptr_eq(first.snap(), again.snap()), "same stashed snapshot");
+        assert!(s.capture_stats().pristine_hits >= 1);
+        // The stash matches an eager rebuild byte-for-byte.
+        let mut oracle = Session::new(Box::new(image_app().0));
+        oracle.set_capture_config(CaptureConfig::full_rebuild());
+        oracle.restart();
+        assert_eq!(*again.snap().as_ref(), *oracle.snapshot());
+    }
+
+    #[test]
+    fn pristine_stash_seeds_partial_rebuilds_after_a_click() {
+        let (app, ids) = image_app();
+        let mut s = Session::new(Box::new(app));
+        s.restart();
+        let _stash = s.capture();
+        s.restart();
+        let hit = s.capture();
+        assert!(hit.is_cache_hit());
+        // The adopted stash acts as a donor: opening a popup dirties only
+        // the main window, but the snapshot after closing it again is the
+        // stash itself (structural popup keying).
+        s.click(ids.menu).unwrap();
+        let open = s.capture();
+        assert!(!open.is_cache_hit());
+        assert!(open.find_by_name("Item").is_some());
+        s.press("Esc").unwrap();
+        let back = s.capture();
+        assert!(back.is_cache_hit(), "collapse returns to the adopted stash");
+        assert!(Arc::ptr_eq(hit.snap(), back.snap()));
+    }
+
+    #[test]
+    fn pristine_mark_invalidates_on_any_divergence() {
+        let (app, ids) = image_app();
+        let mut s = Session::new(Box::new(app));
+        s.restart();
+        let _stash = s.capture();
+        // Input action after restart: no pristine hit.
+        s.restart();
+        s.click(ids.bump).unwrap();
+        assert!(!s.capture().is_cache_hit());
+        // Direct tree mutation (no input action): the main-window stamp
+        // moves, so the mark cannot hold.
+        s.restart();
+        s.app_mut().tree_mut().widget_mut(ids.label).name.push('!');
+        let diverged = s.capture();
+        assert!(!diverged.is_cache_hit());
+        assert_eq!(diverged.find_by_name("Label!").map(|_| ()), Some(()));
+        // The oracle configuration never serves the stash.
+        s.set_capture_config(CaptureConfig::full_rebuild());
+        s.restart();
+        s.restart();
+        assert!(!s.capture().is_cache_hit());
+    }
+
+    #[test]
+    fn fork_from_pristine_is_an_independent_launch_state_session() {
+        let (app, ids) = image_app();
+        let mut s = Session::new(Box::new(app));
+        s.click(ids.bump).unwrap();
+        s.click(ids.menu).unwrap();
+        let mut fork = s.fork_from_pristine().expect("image app forks");
+        // The fork is at launch state, unaffected by the parent's drift.
+        assert_eq!(fork.app().as_any().downcast_ref::<ImageApp>().unwrap().counter, 0);
+        assert_eq!(fork.popup_depth(), 0);
+        assert_eq!(fork.action_count(), 0);
+        // Same pristine token: fork restarts share the parent's identity.
+        assert_eq!(fork.app().pristine_token(), s.app().pristine_token());
+        // Mutating the fork leaves the parent untouched (and vice versa).
+        fork.click(ids.bump).unwrap();
+        fork.click(ids.bump).unwrap();
+        assert_eq!(fork.app().as_any().downcast_ref::<ImageApp>().unwrap().counter, 2);
+        assert_eq!(s.app().as_any().downcast_ref::<ImageApp>().unwrap().counter, 1);
+        assert_eq!(s.popup_depth(), 1, "parent popup state untouched by the fork");
+        // Forks produce byte-identical snapshots to a fresh launch.
+        fork.restart();
+        let mut fresh = Session::new(Box::new(image_app().0));
+        fresh.restart();
+        assert_eq!(*fork.snapshot(), *fresh.snapshot());
+        // Sessions (and their forks) are Send: workers move them across
+        // threads.
+        fn assert_send<T: Send>(_: &T) {}
+        assert_send(&fork);
+    }
+
+    #[test]
+    fn partial_reset_apps_never_serve_pristine_hits() {
+        // TestApp's reset is partial (tree values persist), so it
+        // correctly attests no pristine token and restarts always rebuild.
+        let (mut s, _) = session();
+        assert_eq!(s.app().pristine_token(), None);
+        assert!(s.fork_from_pristine().is_none());
+        s.restart();
+        let a = s.capture();
+        s.restart();
+        let b = s.capture();
+        assert!(!b.is_cache_hit());
+        assert!(!Arc::ptr_eq(a.snap(), b.snap()));
+        assert_eq!(s.capture_stats().pristine_hits, 0);
     }
 }

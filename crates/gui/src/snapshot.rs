@@ -162,6 +162,9 @@ pub struct CaptureStats {
     pub captures: u64,
     /// Captures served in O(1) as a shared `Arc` to a previous build.
     pub full_hits: u64,
+    /// Subset of `full_hits` served from the restart-surviving pristine
+    /// stash (post-restart captures of an unchanged launch image).
+    pub pristine_hits: u64,
     /// Windows whose node block was copied from a donor capture during a
     /// partial rebuild.
     pub windows_reused: u64,
@@ -264,6 +267,57 @@ pub fn build_cached(
         .insert(0, CachedCapture { snap: Arc::clone(&snap), context_epoch, windows: metas });
     cache.entries.truncate(depth.max(1));
     (snap, false)
+}
+
+/// Re-keys a restart-surviving pristine capture against the *current*
+/// tree (whose stamps a reset re-floored) and inserts it at the MRU head,
+/// so the next (post-click) partial rebuild can copy clean windows from
+/// it as a donor. The caller guarantees the snapshot is byte-identical to
+/// what an eager build of the current tree would produce (the pristine
+/// mark held when it was served).
+///
+/// Window blocks are recovered from the snapshot's window-root indices
+/// (each open window's DFS emits one contiguous block starting at its
+/// root); adoption is skipped when the shapes cannot be aligned (a hidden
+/// window root contributed no block).
+pub(crate) fn adopt(
+    cache: &mut CaptureCache,
+    tree: &UiTree,
+    snap: &Arc<Snapshot>,
+    query_seq: u64,
+    depth: usize,
+) {
+    let open = tree.open_windows();
+    if snap.windows().len() != open.len() {
+        return;
+    }
+    // Drop a stale entry for the same snapshot (its keys pre-date the
+    // reset and can never validate again) before re-inserting fresh.
+    cache.entries.retain(|e| !Arc::ptr_eq(&e.snap, snap));
+    let mut metas = Vec::with_capacity(open.len());
+    for (wi, win) in open.iter().enumerate() {
+        let start = snap.windows()[wi];
+        let end = snap.windows().get(wi + 1).copied().unwrap_or(snap.len());
+        if start > end {
+            return;
+        }
+        metas.push(WindowMeta {
+            key: WindowKey::of(tree, win.root, win.modal),
+            start,
+            end,
+            rooted: true,
+            next_reveal: tree.next_reveal_under(win.root, query_seq),
+        });
+    }
+    cache.entries.insert(
+        0,
+        CachedCapture {
+            snap: Arc::clone(snap),
+            context_epoch: tree.context_epoch(),
+            windows: metas,
+        },
+    );
+    cache.entries.truncate(depth.max(1));
 }
 
 /// Maps a snapshot runtime id back to the widget it was built from.

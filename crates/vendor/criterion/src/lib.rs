@@ -87,11 +87,18 @@ fn report(name: &str, samples: &mut [f64]) {
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
+    /// Substring filters from the command line (`cargo bench -- <name>`),
+    /// matching the real crate's positional-filter behavior. Empty = run
+    /// everything. Flag-like arguments (cargo passes `--bench`) are
+    /// ignored.
+    filters: Vec<String>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 30, measurement_time: Duration::from_secs(2) }
+        let filters =
+            std::env::args().skip(1).filter(|a| !a.starts_with('-') && !a.is_empty()).collect();
+        Criterion { sample_size: 30, measurement_time: Duration::from_secs(2), filters }
     }
 }
 
@@ -108,8 +115,16 @@ impl Criterion {
         self
     }
 
+    /// Whether a benchmark's full name passes the CLI filters.
+    fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
     /// Runs one named benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if !self.matches(name) {
+            return self;
+        }
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
@@ -122,12 +137,14 @@ impl Criterion {
 
     /// Opens a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        println!("group: {name}");
+        if self.filters.is_empty() {
+            println!("group: {name}");
+        }
         BenchmarkGroup {
             prefix: name.to_string(),
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
-            _parent: self,
+            parent: self,
         }
     }
 }
@@ -137,7 +154,7 @@ pub struct BenchmarkGroup<'a> {
     prefix: String,
     sample_size: usize,
     measurement_time: Duration,
-    _parent: &'a mut Criterion,
+    parent: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
@@ -155,13 +172,17 @@ impl BenchmarkGroup<'_> {
 
     /// Runs one named benchmark within the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.prefix);
+        if !self.parent.matches(&full) {
+            return self;
+        }
         let mut b = Bencher {
             samples: Vec::new(),
             sample_size: self.sample_size,
             measurement_time: self.measurement_time,
         };
         f(&mut b);
-        report(&format!("{}/{name}", self.prefix), &mut b.samples);
+        report(&full, &mut b.samples);
         self
     }
 

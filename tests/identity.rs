@@ -2,6 +2,7 @@
 //! equivalence with the old linear scan, and pinned rip capture counts.
 
 use dmi_apps::AppKind;
+use dmi_core::parallel::{rip_parallel, ParRipConfig};
 use dmi_core::ripper::{rip, RipConfig};
 use dmi_gui::{CaptureConfig, Session};
 use dmi_uia::{ControlId, ControlKey, Snapshot};
@@ -189,6 +190,43 @@ fn cached_capture_ung_is_byte_identical_to_full_rebuild_oracle() {
             stats.captures
         );
         assert_eq!(s2.capture_stats().full_hits, 0, "{kind}: the oracle never serves a hit");
+    }
+}
+
+/// Parallel-engine equivalence oracle: the sharded rip (worker sessions
+/// forked from the shared pristine image, speculative exploration,
+/// deterministic in-order merge) must produce a UNG **byte-identical** —
+/// as serialized bytes, node ids, names, types, and ordered edge lists —
+/// to the sequential ripper for every app, at 4 worker shards. The
+/// commit-derived counters must also match; pure effort counters may only
+/// grow (speculation explores candidates the sequential DFS skips).
+#[test]
+#[ignore = "rip-heavy: CI runs these in release via `-- --ignored`"]
+fn parallel_rip_ung_is_byte_identical_to_sequential() {
+    for kind in AppKind::ALL {
+        let cfg = RipConfig::office(kind.name());
+        let mut s = Session::new(kind.launch_small());
+        let (g_seq, st_seq) = rip(&mut s, &cfg);
+
+        let mut s2 = Session::new(kind.launch_small());
+        let par = ParRipConfig { workers: 4, speculation: 2 };
+        let (g_par, st_par) = rip_parallel(&mut s2, &cfg, &par);
+
+        assert_eq!(
+            serde_json::to_string(&g_par).unwrap(),
+            serde_json::to_string(&g_seq).unwrap(),
+            "{kind}: merged UNG must serialize byte-identically"
+        );
+        assert_eq!(g_par.node_count(), g_seq.node_count(), "{kind}: node count");
+        assert_eq!(g_par.edge_count(), g_seq.edge_count(), "{kind}: edge count");
+        assert_eq!(st_par.windows_seen, st_seq.windows_seen, "{kind}: windows seen");
+        assert_eq!(st_par.blocklisted, st_seq.blocklisted, "{kind}: blocklist hits");
+        assert!(
+            st_par.clicks >= st_seq.clicks,
+            "{kind}: speculation only adds effort ({} vs {})",
+            st_par.clicks,
+            st_seq.clicks
+        );
     }
 }
 
