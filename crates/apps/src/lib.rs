@@ -16,6 +16,8 @@ pub mod excel;
 pub mod model;
 pub mod office;
 pub mod powerpoint;
+#[doc(hidden)]
+pub mod testkit;
 pub mod word;
 
 pub use excel::{ExcelApp, ExcelConfig};
@@ -54,15 +56,27 @@ impl AppKind {
 
     /// Instantiates the app with a small configuration (fast tests).
     pub fn launch_small(self) -> Box<dyn dmi_gui::GuiApp> {
+        self.launch_small_version(0)
+    }
+
+    /// Instantiates "version `v`" of the app with a small configuration:
+    /// same build, progressively larger documents — a stand-in for the
+    /// fleet-ripping scenario of serving several versions of one
+    /// application concurrently (their UNGs genuinely differ, so each
+    /// version needs its own rip). Version 0 is [`AppKind::launch_small`].
+    pub fn launch_small_version(self, v: usize) -> Box<dyn dmi_gui::GuiApp> {
         match self {
-            AppKind::Word => {
-                Box::new(WordApp::with_config(WordConfig { paragraphs: 12, viewport_rows: 6 }))
-            }
-            AppKind::Excel => {
-                Box::new(ExcelApp::with_config(ExcelConfig { rows: 12, cols: 8, viewport_rows: 6 }))
-            }
+            AppKind::Word => Box::new(WordApp::with_config(WordConfig {
+                paragraphs: 12 + 3 * v,
+                viewport_rows: 6,
+            })),
+            AppKind::Excel => Box::new(ExcelApp::with_config(ExcelConfig {
+                rows: 12 + 3 * v,
+                cols: 8,
+                viewport_rows: 6,
+            })),
             AppKind::PowerPoint => Box::new(PowerPointApp::with_config(PowerPointConfig {
-                slides: 5,
+                slides: 5 + v,
                 viewport_rows: 5,
             })),
         }

@@ -1,0 +1,68 @@
+//! Test-support fixtures shared by downstream crates' test suites.
+//!
+//! Hidden from docs: these are not part of the simulation surface, just
+//! reusable scaffolding so e.g. the fleet engine's unit tests and the
+//! release-gated identity oracles exercise the same minimal apps instead
+//! of carrying divergent copies.
+
+use dmi_gui::{
+    AppError, Behavior, CommandBinding, GuiApp, UiTree, Widget, WidgetBuilder, WidgetId,
+};
+use dmi_uia::ControlType as CT;
+
+/// A minimal application with **no pristine fork** (`GuiApp::fork` stays
+/// `None`): one window, one popup menu with `items` no-op entries. Fleet
+/// entries built on it must transparently ride the sequential fallback
+/// engine.
+pub struct UnforkableApp {
+    tree: UiTree,
+    items: usize,
+}
+
+impl UnforkableApp {
+    /// Builds the app with `items` menu entries (`Item 0`, `Item 1`, …).
+    pub fn new(items: usize) -> UnforkableApp {
+        let mut t = UiTree::new();
+        let main = t.add_root(Widget::new("Unforkable", CT::Window));
+        let menu = t.add(
+            main,
+            WidgetBuilder::new("Menu", CT::SplitButton)
+                .popup()
+                .on_click(Behavior::OpenMenu)
+                .build(),
+        );
+        for i in 0..items {
+            t.add(
+                menu,
+                WidgetBuilder::new(format!("Item {i}"), CT::ListItem)
+                    .on_click(Behavior::CommandAndDismiss(CommandBinding::new("noop")))
+                    .build(),
+            );
+        }
+        UnforkableApp { tree: t, items }
+    }
+}
+
+impl GuiApp for UnforkableApp {
+    fn name(&self) -> &str {
+        "Unforkable"
+    }
+    fn tree(&self) -> &UiTree {
+        &self.tree
+    }
+    fn tree_mut(&mut self) -> &mut UiTree {
+        &mut self.tree
+    }
+    fn dispatch(&mut self, _src: WidgetId, _b: &CommandBinding) -> Result<(), AppError> {
+        Ok(())
+    }
+    fn reset(&mut self) {
+        *self = UnforkableApp::new(self.items);
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

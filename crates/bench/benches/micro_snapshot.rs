@@ -8,7 +8,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dmi_apps::AppKind;
-use dmi_core::parallel::{rip_parallel, ParRipConfig};
+use dmi_bench::report;
+use dmi_core::parallel::{rip_fleet, rip_parallel, FleetEntry, ParRipConfig};
 use dmi_core::ripper::{rip, RipConfig};
 use dmi_gui::{CaptureConfig, Session};
 use dmi_uia::{ControlId, Snapshot};
@@ -286,6 +287,74 @@ fn bench_rip_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+/// A fresh 3-app Office fleet (Word + Excel + PowerPoint, small).
+fn office_fleet() -> Vec<FleetEntry> {
+    AppKind::ALL
+        .iter()
+        .map(|k| {
+            FleetEntry::new(k.name(), Session::new(k.launch_small()), RipConfig::office(k.name()))
+        })
+        .collect()
+}
+
+/// Fleet ripping: all three Office apps under one worker budget
+/// (`office3_w{N}`), plus three versions of one app (`word_x3_versions`)
+/// — the multi-user/multi-version production shape. Every entry's UNG is
+/// byte-identical to its sequential rip (release-gated in
+/// tests/identity.rs), so the curve measures pure engine behavior. At
+/// `w1` each entry degrades to the sequential engine (the fallback
+/// path); like `rip_par/*`, speedups over `rip/*` need physical cores —
+/// on a single-CPU container the variants measure scheduling overhead.
+fn bench_rip_fleet(c: &mut Criterion) {
+    // One-shot shared-capture-pool efficacy report (per app, 2 workers),
+    // printed outside the timed loops — and only when this group is
+    // actually selected by the bench name filter.
+    fn report_pool_once() {
+        static ONCE: OnceLock<()> = OnceLock::new();
+        ONCE.get_or_init(|| {
+            let mut entries = office_fleet();
+            for o in rip_fleet(&mut entries, &ParRipConfig { workers: 2, speculation: 2 }) {
+                eprintln!(
+                    "{}",
+                    report::pool_line(&o.app_id, o.stats.pool_hits, o.stats.pool_misses)
+                );
+            }
+        });
+    }
+
+    let mut group = c.benchmark_group("rip_fleet");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        let par = ParRipConfig { workers, speculation: 2 };
+        group.bench_function(&format!("office3_w{workers}"), |b| {
+            report_pool_once();
+            b.iter(|| {
+                let mut entries = office_fleet();
+                let out = rip_fleet(&mut entries, &par);
+                black_box(out.iter().map(|o| o.graph.node_count()).sum::<usize>())
+            })
+        });
+    }
+    let par = ParRipConfig { workers: 4, speculation: 2 };
+    group.bench_function("word_x3_versions", |b| {
+        report_pool_once();
+        b.iter(|| {
+            let mut entries: Vec<FleetEntry> = (0..3)
+                .map(|v| {
+                    FleetEntry::new(
+                        format!("Word-v{v}"),
+                        Session::new(AppKind::Word.launch_small_version(v)),
+                        RipConfig::office("Word"),
+                    )
+                })
+                .collect();
+            let out = rip_fleet(&mut entries, &par);
+            black_box(out.iter().map(|o| o.graph.node_count()).sum::<usize>())
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_resolve,
@@ -293,6 +362,7 @@ criterion_group!(
     bench_record_diff,
     bench_snapshot_capture,
     bench_rip,
-    bench_rip_parallel
+    bench_rip_parallel,
+    bench_rip_fleet
 );
 criterion_main!(benches);

@@ -52,6 +52,14 @@ pub fn banner(title: &str) -> String {
     format!("\n=== {title} ===\n")
 }
 
+/// One capture-pool efficacy line for the fleet bench reporter: how many
+/// captures the app's shards served from the shared cross-session pool.
+pub fn pool_line(app: &str, pool_hits: u64, pool_misses: u64) -> String {
+    let probes = pool_hits + pool_misses;
+    let rate = if probes == 0 { 0.0 } else { pool_hits as f64 / probes as f64 };
+    format!("capture-pool {app}: {pool_hits}/{probes} probes shared ({})", pct(rate))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,5 +81,11 @@ mod tests {
         assert_eq!(pct(0.741), "74.1%");
         assert_eq!(f1(8.157), "8.2");
         assert_eq!(f2(4.611), "4.61");
+    }
+
+    #[test]
+    fn pool_line_reports_rate_and_handles_zero_probes() {
+        assert_eq!(pool_line("Word", 3, 1), "capture-pool Word: 3/4 probes shared (75.0%)");
+        assert_eq!(pool_line("Idle", 0, 0), "capture-pool Idle: 0/0 probes shared (0.0%)");
     }
 }

@@ -37,7 +37,7 @@ pub use dmi::{Dmi, DmiBuildConfig, DmiBuildStats, VisitOutcome};
 pub use error::{DmiError, DmiResult};
 pub use graph::{Ung, UngNode};
 pub use interface::{ExecutorConfig, VisitCommand};
-pub use parallel::{rip_parallel, ParRipConfig, ShardPlan};
+pub use parallel::{rip_fleet, rip_parallel, FleetEntry, ParRipConfig, RipOutcome, ShardPlan};
 pub use ripper::{ContextSetup, RipConfig, RipStats};
 pub use screen::{label_screen, LabeledScreen};
 pub use topology::{Forest, ForestConfig};

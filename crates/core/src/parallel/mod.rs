@@ -1,4 +1,5 @@
-//! Parallel sharded GUI ripping with a deterministic UNG merge.
+//! Fleet ripping: many applications, one shared worker pool, one
+//! deterministic UNG merge per application.
 //!
 //! The paper's offline UNG construction (§4.1) is embarrassingly parallel
 //! in principle: exploring one candidate — establish its prefix state,
@@ -6,33 +7,47 @@
 //! path, candidate)` on a deterministic application, because state is
 //! always re-established from a provably launch-equivalent base (Esc
 //! recovery or restart + replay; see [`crate::ripper`]). This module
-//! exploits that: worker shards explore candidates concurrently while a
-//! scheduler merges their outcomes into one UNG **byte-identical** to the
-//! sequential rip.
+//! exploits that at two scales: [`rip_parallel`] shards one application,
+//! [`rip_fleet`] rips N applications (or N versions of one application)
+//! concurrently under a single worker budget — the production shape for
+//! serving many users at once.
 //!
 //! # Architecture
 //!
 //! - **[`ShardPlan`]** resolves a [`ParRipConfig`] into the execution
-//!   shape: how many worker shards run and how deep the speculative
+//!   shape: how many workers run and how deep the shared speculative
 //!   dispatch window is.
-//! - **Worker shards** ([`worker`]) each own a private `Session` forked
-//!   from the application's shared `Arc`-held pristine launch image
-//!   (`Session::fork_from_pristine`) — construction reuses the prebuilt
-//!   widget arena, no `build_ui` re-run. Each shard is a plain
-//!   `ExploreUnit`: the same §4.1 recovery planner the sequential ripper
-//!   uses, so between tasks it presses Esc back to base instead of
-//!   restarting whenever that is provably safe. Shards pull tasks from a
-//!   shared queue; a skewed subtree therefore never idles the other
-//!   workers — the queue *is* the work-stealing mechanism.
-//! - **The scheduler** ([`scheduler::RipScheduler`]) replays the exact
-//!   sequential DFS on the main thread: it pops the same stack, applies
-//!   the same visited-set gating, and commits outcomes in the same order
-//!   — but the expensive exploration behind each commit ran on a worker.
-//!   Candidates below the stack top are dispatched *speculatively*; a
-//!   speculative result whose candidate turns out visited by commit time
-//!   is discarded (bounded waste, never wrong).
+//! - **[`FleetEntry`] lanes**: each entry gets a private [`scheduler`]
+//!   lane — its own `Frontier` (UNG, visited set, DFS stack) plus
+//!   per-lane speculation bookkeeping — all multiplexed on the caller's
+//!   thread by a `FleetPlan`.
+//! - **App-agnostic workers** ([`worker`]): one shared pool of threads
+//!   serves every lane. A worker is not pinned to an app at spawn;
+//!   each task names its frontier and the worker checks an exploration
+//!   unit (a `Session::fork_from_pristine` fork plus suspended §4.1
+//!   planner state) out of that app's session pool for the task's
+//!   duration. Esc-recovery state travels with the pooled unit, so
+//!   recovery amortizes across tasks exactly as it does sequentially.
+//! - **Deterministic fairness**: the dispatch queue is a multi-queue with
+//!   one sub-queue per app. Urgent tasks (a lane is blocked on them) win
+//!   outright; speculative backlogs are served by greatest remaining
+//!   DFS stack depth, ties rotated round-robin — a pure function of
+//!   queue state. Fairness shapes only latency: per-lane commit order is
+//!   fixed regardless of where or when outcomes are computed.
+//! - **Shared capture pool**: all shards of one app (the lane session
+//!   included) share a `dmi_gui::CapturePool` keyed by the pristine
+//!   token and each session's pristine-relative action trace, so
+//!   redundant arena walks across the fleet collapse into `Arc` clones
+//!   behind one short-critical-section lock (locking discipline and the
+//!   cross-session soundness argument live on `CapturePool`).
 //!
-//! # Determinism argument
+//! # One commit fold, three engines
+//!
+//! The sequential [`crate::ripper::rip`], the sharded [`rip_parallel`]
+//! (reimplemented as the 1-entry fleet), and [`rip_fleet`] all mutate the
+//! graph exclusively through `Frontier::seed`/`Frontier::commit`.
+//!
+//! # Determinism argument (per frontier)
 //!
 //! The sequential ripper's UNG is a fold over an ordered list of commit
 //! records: `seed(snapshot)` for each pass, then `commit(candidate,
@@ -41,18 +56,23 @@
 //! functions of the previous commits only. Each outcome `(post, fresh)`
 //! is a pure function of `(setup, path, candidate)` (deterministic app,
 //! state re-established from base), so it does not matter *where* or
-//! *when* it was computed. The scheduler performs the identical fold with
-//! identical inputs in identical order; node ids (insertion order), edge
-//! lists (insertion order, deduplicated), and the `ControlKey`
-//! hash+confirm dedup decisions therefore come out byte-for-byte the
-//! same. The release-gated oracle in `tests/identity.rs` asserts this
-//! end-to-end for all three Office apps via serialized-graph equality.
+//! *when* it was computed — nor which of the fleet's apps ran between
+//! two of this app's tasks on the same worker, because every task
+//! re-establishes state on a session owned by the task's own app. Each
+//! lane performs the identical fold with identical inputs in identical
+//! order; node ids (insertion order), edge lists (insertion order,
+//! deduplicated), and the `ControlKey` hash+confirm dedup decisions
+//! therefore come out byte-for-byte the same, independently for every
+//! frontier in the fleet. The release-gated oracles in
+//! `tests/identity.rs` assert this end-to-end — single-app at 4 shards
+//! and a 3-app fleet (plus an unforkable entry) via serialized-graph
+//! equality.
 //!
 //! # Merge ordering
 //!
-//! Out-of-order worker results are buffered and merged strictly in stack
-//! (pop) order — *canonical node ordering* is sequential-DFS discovery
-//! order, not arrival order. Merging goes through the same
+//! Out-of-order worker results are buffered per lane and merged strictly
+//! in stack (pop) order — *canonical node ordering* is sequential-DFS
+//! discovery order, not arrival order. Merging goes through the same
 //! `Frontier::commit` the sequential ripper uses: every fresh control is
 //! dedup-inserted via the [`dmi_uia::ControlKey`] fingerprint with
 //! full-identifier confirmation, so hash collisions cost a comparison,
@@ -66,21 +86,25 @@
 //! worker restarts at least once; only the UNG — and the commit-derived
 //! counters `blocklisted` and `windows_seen` — match the sequential rip
 //! exactly. `RipConfig::max_clicks` gates on a global click counter that
-//! has no parallel equivalent, so configurations using it (a debug aid)
-//! fall back to the sequential engine, as do applications that cannot
-//! fork.
+//! has no order-independent parallel equivalent, so entries using it (a
+//! debug aid) fall back to the sequential engine, as do applications
+//! that cannot fork — [`RipOutcome::fell_back`] reports which engine ran.
+//!
+//! [`RipStats`]: crate::ripper::RipStats
+//! [`RipConfig::max_clicks`]: crate::ripper::RipConfig
 
 mod plan;
 mod scheduler;
 mod worker;
 
 pub use plan::{ParRipConfig, ShardPlan};
-pub use scheduler::rip_parallel;
+pub use scheduler::{rip_fleet, rip_parallel, FleetEntry, RipOutcome};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ripper::{rip, RipConfig};
+    use dmi_apps::testkit::UnforkableApp;
     use dmi_apps::AppKind;
     use dmi_gui::Session;
 
@@ -112,71 +136,88 @@ mod tests {
     /// engine transparently.
     #[test]
     fn unforkable_apps_fall_back_to_sequential() {
-        use dmi_gui::{Behavior, CommandBinding, GuiApp, UiTree, Widget, WidgetBuilder};
-        use dmi_uia::ControlType as CT;
-
-        struct Tiny {
-            tree: UiTree,
-        }
-        impl Tiny {
-            fn new() -> Tiny {
-                let mut t = UiTree::new();
-                let main = t.add_root(Widget::new("Tiny", CT::Window));
-                let menu = t.add(
-                    main,
-                    WidgetBuilder::new("Menu", CT::SplitButton)
-                        .popup()
-                        .on_click(Behavior::OpenMenu)
-                        .build(),
-                );
-                for name in ["A", "B"] {
-                    t.add(
-                        menu,
-                        WidgetBuilder::new(name, CT::ListItem)
-                            .on_click(Behavior::CommandAndDismiss(CommandBinding::new("noop")))
-                            .build(),
-                    );
-                }
-                Tiny { tree: t }
-            }
-        }
-        impl GuiApp for Tiny {
-            fn name(&self) -> &str {
-                "Tiny"
-            }
-            fn tree(&self) -> &UiTree {
-                &self.tree
-            }
-            fn tree_mut(&mut self) -> &mut UiTree {
-                &mut self.tree
-            }
-            fn dispatch(
-                &mut self,
-                _src: dmi_gui::WidgetId,
-                _b: &CommandBinding,
-            ) -> Result<(), dmi_gui::AppError> {
-                Ok(())
-            }
-            fn reset(&mut self) {
-                *self = Tiny::new();
-            }
-            fn as_any(&self) -> &dyn std::any::Any {
-                self
-            }
-            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
-                self
-            }
-        }
-
         let cfg = RipConfig::default();
-        let mut seq = Session::new(Box::new(Tiny::new()));
+        let mut seq = Session::new(Box::new(UnforkableApp::new(2)));
         let (g_seq, st_seq) = rip(&mut seq, &cfg);
-        let mut par = Session::new(Box::new(Tiny::new()));
+        let mut par = Session::new(Box::new(UnforkableApp::new(2)));
         let (g_par, st_par) =
             rip_parallel(&mut par, &cfg, &ParRipConfig { workers: 4, speculation: 2 });
         assert_eq!(g_par.node_count(), g_seq.node_count());
         assert_eq!(g_par.edge_count(), g_seq.edge_count());
         assert_eq!(st_par, st_seq, "fallback is the sequential engine itself");
+    }
+
+    /// A mixed fleet — one forkable Office app, one unforkable app — must
+    /// produce per-app UNGs byte-identical to each app's sequential rip,
+    /// in entry order, with the fallback flagged.
+    #[test]
+    fn fleet_rip_matches_sequential_per_app() {
+        let cfg = RipConfig::office("PowerPoint");
+        let mut seq = Session::new(AppKind::PowerPoint.launch_small());
+        let (g_seq, st_seq) = rip(&mut seq, &cfg);
+        let mut tiny_seq = Session::new(Box::new(UnforkableApp::new(2)));
+        let (g_tiny, _) = rip(&mut tiny_seq, &RipConfig::default());
+
+        let mut entries = vec![
+            FleetEntry::new(
+                "PowerPoint",
+                Session::new(AppKind::PowerPoint.launch_small()),
+                cfg.clone(),
+            ),
+            FleetEntry::new(
+                "Unforkable",
+                Session::new(Box::new(UnforkableApp::new(2))),
+                RipConfig::default(),
+            ),
+        ];
+        let out = rip_fleet(&mut entries, &ParRipConfig { workers: 2, speculation: 2 });
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].app_id, "PowerPoint");
+        assert!(!out[0].fell_back, "Office apps fork");
+        assert_eq!(
+            serde_json::to_string(&out[0].graph).unwrap(),
+            serde_json::to_string(&g_seq).unwrap(),
+            "fleet UNG must be byte-identical to the sequential rip"
+        );
+        assert_eq!(out[0].stats.windows_seen, st_seq.windows_seen, "commit-derived counter");
+        assert_eq!(out[0].stats.blocklisted, st_seq.blocklisted, "commit-derived counter");
+        assert!(
+            out[0].stats.pool_hits > 0,
+            "shards of one app must share captures through the pool"
+        );
+        assert_eq!(out[1].app_id, "Unforkable");
+        assert!(out[1].fell_back, "unforkable entries ride the sequential engine");
+        assert_eq!(out[1].graph.node_count(), g_tiny.node_count());
+        assert_eq!(out[1].graph.edge_count(), g_tiny.edge_count());
+    }
+
+    /// Three versions of one application rip concurrently into three
+    /// independent, byte-identical-to-sequential UNGs.
+    #[test]
+    fn fleet_rips_multiple_versions_of_one_app() {
+        let cfg = RipConfig::default();
+        let mut entries: Vec<FleetEntry> = (0..3)
+            .map(|v| {
+                FleetEntry::new(
+                    format!("PowerPoint-v{v}"),
+                    Session::new(AppKind::PowerPoint.launch_small_version(v)),
+                    cfg.clone(),
+                )
+            })
+            .collect();
+        let out = rip_fleet(&mut entries, &ParRipConfig { workers: 2, speculation: 2 });
+        for (v, o) in out.iter().enumerate() {
+            let mut s = Session::new(AppKind::PowerPoint.launch_small_version(v));
+            let (g_seq, _) = rip(&mut s, &cfg);
+            assert_eq!(
+                serde_json::to_string(&o.graph).unwrap(),
+                serde_json::to_string(&g_seq).unwrap(),
+                "version {v}"
+            );
+        }
+        // Different versions have genuinely different UIs.
+        assert_ne!(out[0].graph.node_count(), out[1].graph.node_count());
+        assert_ne!(out[1].graph.node_count(), out[2].graph.node_count());
     }
 
     #[test]

@@ -1,14 +1,21 @@
 //! Shard planning: resolving a configuration into an execution shape.
+//!
+//! One plan governs a whole fleet: `workers` threads serve every entry's
+//! frontier, and `max_in_flight` caps the speculative window *globally*
+//! — the fleet scheduler distributes it round-robin across lanes, so a
+//! single deep frontier cannot monopolize the budget while the per-app
+//! fairness weights (remaining stack depth) steer idle workers toward
+//! the frontiers with the most work left.
 
-/// Configuration for the parallel sharded rip.
+/// Configuration for the parallel sharded rip (single-app or fleet).
 #[derive(Debug, Clone)]
 pub struct ParRipConfig {
-    /// Worker shards (threads) exploring candidates. `0` resolves to the
-    /// machine's available parallelism.
+    /// Worker threads exploring candidates — shared by every app in a
+    /// fleet. `0` resolves to the machine's available parallelism.
     pub workers: usize,
     /// Speculative dispatch depth: how many tasks are kept in flight per
-    /// worker. `1` means workers only ever run the task the scheduler is
-    /// about to commit (no speculation, maximum stalls); higher values
+    /// worker. `1` means workers only ever run the task a scheduler lane
+    /// is about to commit (no speculation, maximum stalls); higher values
     /// trade a little wasted exploration for pipeline overlap.
     pub speculation: usize,
 }
@@ -19,13 +26,13 @@ impl Default for ParRipConfig {
     }
 }
 
-/// The resolved execution shape of one parallel rip.
+/// The resolved execution shape of one parallel or fleet rip.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardPlan {
-    /// Worker shards that will be spawned.
+    /// Worker threads that will be spawned (shared across the fleet).
     pub workers: usize,
     /// Maximum outstanding (dispatched, uncommitted) tasks across all
-    /// shards.
+    /// workers and frontiers together.
     pub max_in_flight: usize,
 }
 

@@ -1,25 +1,87 @@
-//! The deterministic rip scheduler: sequential commit order, parallel
-//! exploration.
+//! The fleet scheduler: one deterministic commit lane per application,
+//! one shared worker pool, sequential/parallel/fleet on one commit path.
 //!
-//! The scheduler is the sequential explorer's control loop with the
-//! `explore` call outsourced: it owns the [`Frontier`] (UNG, visited set,
-//! DFS stack), pops candidates in exactly the sequential order, and
-//! blocks on each candidate's outcome — which a worker shard usually
-//! computed long ago, speculatively. See the module docs
-//! ([`crate::parallel`]) for the determinism argument.
+//! [`FleetPlan`] holds one [`Frontier`] plus per-lane scheduler state for
+//! every application in the fleet and multiplexes their commit loops on
+//! the caller's thread: each lane replays its app's exact sequential DFS
+//! (pop → visited-gate → commit, in pop order), while the expensive
+//! explorations behind those commits run on the shared, app-agnostic
+//! worker pool ([`super::worker`]). A lane that is blocked waiting for an
+//! outcome costs nothing — the loop simply pumps the other lanes and
+//! parks in `recv` only when *no* lane can progress.
+//!
+//! [`rip_parallel`] is the 1-entry fleet; the sequential [`rip`] is the
+//! fallback every entry degrades to when it cannot fork. All three paths
+//! fold commits through the same `Frontier::seed`/`Frontier::commit`
+//! code, which is what keeps every per-app UNG byte-identical to its
+//! sequential rip (see the determinism argument in [`crate::parallel`]).
 
 use super::plan::{ParRipConfig, ShardPlan};
-use super::worker::{worker_loop, Outcome, Reply, Shared, Task};
+use super::worker::{
+    drain_pool, worker_loop, AppShared, FleetShared, Outcome, PooledUnit, Reply, Task,
+};
 use crate::graph::Ung;
-use crate::ripper::{rip, Candidate, ContextSetup, ExploreUnit, Frontier, RipConfig, RipStats};
-use dmi_gui::Session;
+use crate::ripper::{rip, Candidate, ExploreUnit, Frontier, RipConfig, RipStats, UnitState};
+use dmi_gui::{CapturePool, CaptureStats, Session};
 use std::collections::{HashMap, HashSet};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::Arc;
 use std::thread;
 
+/// One application in a fleet rip: a session to rip, the configuration to
+/// rip it under, and a caller-chosen id naming it in outcomes and panic
+/// reports.
+pub struct FleetEntry {
+    /// Caller-chosen identifier (e.g. `"Word"`, `"Excel-v2"`).
+    pub app_id: String,
+    /// The session whose application is ripped.
+    pub session: Session,
+    /// The rip configuration for this entry.
+    pub config: RipConfig,
+}
+
+impl FleetEntry {
+    /// Convenience constructor.
+    pub fn new(app_id: impl Into<String>, session: Session, config: RipConfig) -> FleetEntry {
+        FleetEntry { app_id: app_id.into(), session, config }
+    }
+}
+
+/// The result of ripping one fleet entry.
+pub struct RipOutcome {
+    /// The entry's `app_id`, echoed back.
+    pub app_id: String,
+    /// The merged UNG — byte-identical to this entry's sequential rip.
+    pub graph: Ung,
+    /// Aggregated effort counters (scheduler lane + every worker that
+    /// served this app, capture-pool counters included).
+    pub stats: RipStats,
+    /// Whether this entry ran on the sequential fallback engine (the app
+    /// cannot fork, the plan resolved to one worker, or `max_clicks` is
+    /// set). The UNG is byte-identical either way.
+    pub fell_back: bool,
+}
+
+/// Rips a fleet of applications concurrently on one shared worker pool,
+/// producing — for every entry — a UNG byte-identical to that entry's
+/// sequential [`rip`]. Outcomes are returned in entry order.
+///
+/// Each forkable entry gets a private frontier, a per-app session pool of
+/// `workers` forks, and a shared [`CapturePool`] so all of its shards
+/// serve identical snapshots from one structure. Entries that cannot
+/// fork (or use `max_clicks`) transparently fall back to the sequential
+/// engine, mixed into the same result vector.
+pub fn rip_fleet(entries: &mut [FleetEntry], par: &ParRipConfig) -> Vec<RipOutcome> {
+    let plan = ShardPlan::resolve(par);
+    let seeds = entries
+        .iter_mut()
+        .map(|e| LaneSeed { app_id: e.app_id.clone(), session: &mut e.session, config: &e.config })
+        .collect();
+    run_fleet(seeds, &plan)
+}
+
 /// Rips an application into a UNG using worker shards, producing a graph
-/// byte-identical to the sequential [`rip`].
+/// byte-identical to the sequential [`rip`] — the 1-entry fleet.
 ///
 /// Falls back to the sequential engine when the plan resolves to a single
 /// worker, when the application cannot fork from a pristine image, or
@@ -31,86 +93,227 @@ pub fn rip_parallel(
     par: &ParRipConfig,
 ) -> (Ung, RipStats) {
     let plan = ShardPlan::resolve(par);
-    if plan.workers <= 1 || config.max_clicks.is_some() {
-        return rip(session, config);
+    let seeds = vec![LaneSeed { app_id: String::from("app"), session, config }];
+    let outcome = run_fleet(seeds, &plan).pop().expect("one seed yields one outcome");
+    (outcome.graph, outcome.stats)
+}
+
+/// One lane's inputs, borrowed from the caller.
+struct LaneSeed<'a> {
+    app_id: String,
+    session: &'a mut Session,
+    config: &'a RipConfig,
+}
+
+/// Shuts the multi-queue down even if the scheduler unwinds (a re-raised
+/// worker panic, a poisoned expect): without this, surviving workers
+/// would block in the condvar wait forever. Idempotent with the explicit
+/// shutdown on the normal path.
+struct ShutdownOnDrop(Arc<FleetShared>);
+impl Drop for ShutdownOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
     }
-    let mut forks = Vec::with_capacity(plan.workers);
-    for _ in 0..plan.workers {
-        match session.fork_from_pristine() {
-            Some(s) => forks.push(s),
-            None => return rip(session, config),
+}
+
+/// Runs a fleet: partitions seeds into parallel lanes and sequential
+/// fallbacks, executes both, and returns outcomes in seed order.
+///
+/// Fallback entries do not serialize with the fleet: while the caller's
+/// thread multiplexes the parallel lanes, each fallback rips on its own
+/// scoped thread, overlapping with worker exploration. (With `workers <=
+/// 1` no fleet exists and the caller asked for no parallelism, so every
+/// entry runs sequentially in place.)
+fn run_fleet(seeds: Vec<LaneSeed<'_>>, plan: &ShardPlan) -> Vec<RipOutcome> {
+    let n = seeds.len();
+    let mut out: Vec<Option<RipOutcome>> = (0..n).map(|_| None).collect();
+    let mut lane_seeds: Vec<(usize, LaneSeed<'_>)> = Vec::new();
+    let mut fallback_seeds: Vec<(usize, LaneSeed<'_>)> = Vec::new();
+    let mut app_shared: Vec<AppShared> = Vec::new();
+
+    for (idx, seed) in seeds.into_iter().enumerate() {
+        if plan.workers <= 1 {
+            out[idx] = Some(run_sequential(seed));
+            continue;
         }
+        if seed.config.max_clicks.is_some() {
+            fallback_seeds.push((idx, seed));
+            continue;
+        }
+        // Shared capture pool first: the forks below inherit it, so every
+        // shard of this app (the caller's lane session included) serves
+        // snapshot hits from one structure.
+        seed.session.set_capture_pool(Some(CapturePool::shared()));
+        let mut units = Vec::with_capacity(plan.workers);
+        for _ in 0..plan.workers {
+            match seed.session.fork_from_pristine() {
+                Some(s) => units.push(PooledUnit { session: s, state: UnitState::default() }),
+                None => break,
+            }
+        }
+        if units.len() < plan.workers {
+            seed.session.set_capture_pool(None);
+            fallback_seeds.push((idx, seed));
+            continue;
+        }
+        app_shared.push(AppShared { config: Arc::new(seed.config.clone()), units: units.into() });
+        lane_seeds.push((idx, seed));
     }
 
-    let shared = Shared::new();
+    if lane_seeds.is_empty() {
+        // No fleet to overlap with: run the fallbacks in place.
+        for (idx, seed) in fallback_seeds {
+            out[idx] = Some(run_sequential(seed));
+        }
+        return out.into_iter().map(|o| o.expect("every seed produced an outcome")).collect();
+    }
+
+    let shared = FleetShared::new(app_shared);
     let (tx, rx) = channel();
-    let handles: Vec<thread::JoinHandle<RipStats>> = forks
-        .into_iter()
-        .map(|worker_session| {
+    let handles: Vec<thread::JoinHandle<()>> = (0..plan.workers)
+        .map(|_| {
             let shared = Arc::clone(&shared);
             let tx = tx.clone();
-            let cfg = config.clone();
-            thread::spawn(move || worker_loop(worker_session, cfg, shared, tx))
+            thread::spawn(move || worker_loop(shared, tx))
         })
         .collect();
     drop(tx); // Workers hold the only senders now.
-
-    // Shut the queue down even if the scheduler unwinds (a re-raised
-    // worker panic, a poisoned expect): without this, surviving workers
-    // would block in the condvar wait forever. Idempotent with the
-    // explicit shutdown on the normal path below.
-    struct ShutdownOnDrop(Arc<Shared>);
-    impl Drop for ShutdownOnDrop {
-        fn drop(&mut self) {
-            self.0.shutdown();
-        }
-    }
     let _shutdown_guard = ShutdownOnDrop(Arc::clone(&shared));
 
-    let mut sched = RipScheduler {
-        unit: ExploreUnit::new(session, config),
-        frontier: Frontier::new(),
-        plan,
-        shared: Arc::clone(&shared),
-        rx,
-        pending: HashMap::new(),
-        discarded: HashSet::new(),
-        in_flight: 0,
-    };
-    sched.base_pass();
-    for ctx in &config.contexts {
-        sched.context_pass(ctx);
-    }
-    let RipScheduler { unit, frontier, .. } = sched;
-    let mut stats = unit.stats;
-    shared.shutdown();
-    for h in handles {
-        stats.absorb(&h.join().expect("worker shard panicked"));
-    }
-    (frontier.g, stats)
+    thread::scope(|scope| {
+        let fallback_handles: Vec<(usize, thread::ScopedJoinHandle<'_, RipOutcome>)> =
+            fallback_seeds
+                .into_iter()
+                .map(|(idx, seed)| (idx, scope.spawn(move || run_sequential(seed))))
+                .collect();
+
+        let lanes: Vec<Lane<'_>> = lane_seeds
+            .into_iter()
+            .enumerate()
+            .map(|(app, (idx, seed))| Lane::start(app, idx, seed, &shared))
+            .collect();
+        let dirty = vec![true; lanes.len()];
+        let mut fleet = FleetPlan { lanes, dirty, shared: Arc::clone(&shared), rx, plan: *plan };
+        fleet.run();
+
+        shared.shutdown();
+        for h in handles {
+            h.join().expect("worker thread must shut down cleanly");
+        }
+        for lane in fleet.lanes {
+            let (idx, outcome) = lane.finish(&shared);
+            out[idx] = Some(outcome);
+        }
+        for (idx, h) in fallback_handles {
+            out[idx] = Some(h.join().expect("fallback rip must not panic"));
+        }
+    });
+
+    out.into_iter().map(|o| o.expect("every seed produced an outcome")).collect()
 }
 
-/// Re-raises a worker shard's panic on the scheduler thread: a shard
-/// that dies mid-task reports it through the channel (unwind guard in
-/// `worker_loop`), because silently losing the result would strand
-/// `await_outcome` in `recv` while the remaining shards keep the channel
-/// open.
-fn unwrap_reply(reply: Reply) -> Option<Outcome> {
-    match reply {
-        Reply::Done(o) => o,
-        Reply::Panicked => panic!("worker shard panicked while exploring a candidate"),
+/// Runs one entry on the sequential fallback engine.
+fn run_sequential(seed: LaneSeed<'_>) -> RipOutcome {
+    let (graph, stats) = rip(seed.session, seed.config);
+    RipOutcome { app_id: seed.app_id, graph, stats, fell_back: true }
+}
+
+/// The fleet execution state: one commit lane (frontier + scheduler
+/// state) per app, multiplexed on the caller's thread.
+struct FleetPlan<'a> {
+    lanes: Vec<Lane<'a>>,
+    /// Lanes with newly delivered results since their last pump: a lane
+    /// blocked on an outcome can only move when a message for it arrives,
+    /// so only dirty lanes are pumped — O(1) routed messages per reply
+    /// instead of O(lanes) pump/lock traffic on the commit thread.
+    dirty: Vec<bool>,
+    shared: Arc<FleetShared>,
+    rx: Receiver<(usize, u64, Reply)>,
+    plan: ShardPlan,
+}
+
+impl FleetPlan<'_> {
+    /// The fleet main loop: pump every lane with fresh results as far as
+    /// its delivered outcomes allow, keep the speculative window full,
+    /// and block on the result channel only when no lane can move.
+    fn run(&mut self) {
+        loop {
+            let mut progressed = false;
+            for i in 0..self.lanes.len() {
+                if self.dirty[i] {
+                    self.dirty[i] = false;
+                    progressed |= self.lanes[i].pump(&self.shared);
+                }
+            }
+            self.top_up();
+            if self.lanes.iter().all(|l| l.done) {
+                break;
+            }
+            if !progressed {
+                let msg = self.rx.recv().expect("a live worker holds a dispatched task");
+                self.route(msg);
+            }
+            // Drain everything already delivered without blocking.
+            while let Ok(msg) = self.rx.try_recv() {
+                self.route(msg);
+            }
+        }
+    }
+
+    /// Routes one worker reply to its lane (re-raising worker panics with
+    /// the app id of the frontier the worker was serving) and marks the
+    /// lane for pumping.
+    fn route(&mut self, (app, seq, reply): (usize, u64, Reply)) {
+        let lane = &mut self.lanes[app];
+        let outcome = match reply {
+            Reply::Done(o) => o,
+            Reply::Panicked => panic!(
+                "worker shard panicked while exploring a candidate for app '{}'",
+                lane.app_id
+            ),
+        };
+        lane.in_flight -= 1;
+        if !lane.discarded.remove(&seq) {
+            lane.pending.insert(seq, outcome);
+        }
+        self.dirty[app] = true;
+    }
+
+    /// Fills the global speculative window, one task per lane per round
+    /// (deterministic round-robin), so no single deep frontier hogs the
+    /// whole budget.
+    fn top_up(&mut self) {
+        let in_flight: usize = self.lanes.iter().map(|l| l.in_flight).sum();
+        let Some(mut budget) = self.plan.max_in_flight.checked_sub(in_flight) else { return };
+        while budget > 0 {
+            let mut any = false;
+            for lane in &mut self.lanes {
+                if budget == 0 {
+                    break;
+                }
+                if lane.dispatch_one_speculative(&self.shared) {
+                    budget -= 1;
+                    any = true;
+                }
+            }
+            if !any {
+                return;
+            }
+        }
     }
 }
 
-/// The commit-side half of the parallel rip (lives on the caller's
-/// thread; the caller's session is only used for pass seeding, exactly
-/// like the sequential explorer's).
-struct RipScheduler<'a> {
+/// The commit-side half of one app's rip: the frontier, the caller-thread
+/// exploration unit (used for pass seeding, exactly like the sequential
+/// explorer's), and the speculation bookkeeping.
+struct Lane<'a> {
+    /// Fleet app index (sub-queue / session-pool index).
+    app: usize,
+    /// Position in the caller's entry slice.
+    entry_idx: usize,
+    app_id: String,
     unit: ExploreUnit<'a>,
     frontier: Frontier,
-    plan: ShardPlan,
-    shared: Arc<Shared>,
-    rx: Receiver<(u64, Reply)>,
     /// Results that arrived before their candidate was popped.
     pending: HashMap<u64, Option<Outcome>>,
     /// Dispatched entries whose candidate was popped as already-visited:
@@ -118,91 +321,140 @@ struct RipScheduler<'a> {
     discarded: HashSet<u64>,
     /// Dispatched tasks whose results have not arrived yet.
     in_flight: usize,
+    /// Context-setup clicks of the pass in progress.
+    setup: Arc<[String]>,
+    /// Next context pass to run once the current pass drains.
+    next_context: usize,
+    /// The candidate whose outcome the lane is blocked on.
+    waiting: Option<Candidate>,
+    done: bool,
+    /// Last fairness weight reported to the shared queue (skip the queue
+    /// lock when unchanged).
+    last_weight: u64,
+    /// Caller-session capture counters at lane start (for pool deltas).
+    cs0: CaptureStats,
 }
 
-impl RipScheduler<'_> {
-    fn base_pass(&mut self) {
-        self.unit.restart();
-        let snap = self.unit.snapshot();
-        self.frontier.seed(&snap, &[], self.unit.config(), &mut self.unit.stats);
-        self.drain(Arc::from(Vec::new()));
+impl<'a> Lane<'a> {
+    /// Seeds the base pass and reports the initial fairness weight.
+    fn start(app: usize, entry_idx: usize, seed: LaneSeed<'a>, shared: &FleetShared) -> Lane<'a> {
+        let cs0 = seed.session.capture_stats();
+        let mut lane = Lane {
+            app,
+            entry_idx,
+            app_id: seed.app_id,
+            unit: ExploreUnit::new(seed.session, seed.config),
+            frontier: Frontier::new(),
+            pending: HashMap::new(),
+            discarded: HashSet::new(),
+            in_flight: 0,
+            setup: Arc::from(Vec::new()),
+            next_context: 0,
+            waiting: None,
+            done: false,
+            last_weight: 0,
+            cs0,
+        };
+        lane.unit.restart();
+        let snap = lane.unit.snapshot();
+        lane.frontier.seed(&snap, &[], lane.unit.config(), &mut lane.unit.stats);
+        lane.report_weight(shared);
+        lane
     }
 
-    fn context_pass(&mut self, ctx: &ContextSetup) {
-        if !self.unit.replay(&ctx.clicks, &[]) {
-            return;
+    /// Replays the lane's DFS as far as delivered outcomes allow: commits
+    /// every candidate whose result is pending, advances passes when the
+    /// stack drains, and stops at the first candidate still in flight
+    /// (dispatching it urgently if no worker has it yet). Returns whether
+    /// anything moved.
+    fn pump(&mut self, shared: &FleetShared) -> bool {
+        if self.done {
+            return false;
         }
-        let snap = self.unit.snapshot();
-        // Attach context-revealed controls under the virtual root, then
-        // explore within the context (same as the sequential pass).
-        self.frontier.seed(&snap, &[], self.unit.config(), &mut self.unit.stats);
-        self.drain(Arc::from(ctx.clicks.clone()));
-    }
-
-    /// The sequential drain loop with exploration outsourced to shards.
-    fn drain(&mut self, setup: Arc<[String]>) {
+        let mut progressed = false;
         loop {
-            self.harvest();
-            self.top_up(&setup);
-            let Some(c) = self.frontier.pop() else { break };
+            if let Some(c) = self.waiting.take() {
+                let Some(o) = self.pending.remove(&c.seq) else {
+                    self.waiting = Some(c);
+                    break;
+                };
+                progressed = true;
+                self.commit(&c, o);
+                continue;
+            }
+            let Some(c) = self.frontier.pop() else {
+                if self.advance_pass() {
+                    progressed = true;
+                    continue;
+                }
+                self.done = true;
+                progressed = true;
+                break;
+            };
             if !self.frontier.visit(&c) {
                 if c.dispatched {
                     self.note_discarded(c.seq);
                 }
                 continue;
             }
-            let Some(o) = self.await_outcome(&c, &setup) else { continue };
-            if o.window_opened {
-                self.unit.stats.windows_seen += 1;
+            if !c.dispatched {
+                // The lane blocks on this candidate: dispatch it at the
+                // head of its sub-queue.
+                shared.push_front(self.task_for(&c));
+                self.in_flight += 1;
             }
-            self.frontier.commit(
-                &c.cid,
-                &o.post,
-                &o.fresh,
-                &c.path,
-                self.unit.config(),
-                &mut self.unit.stats,
-            );
+            self.waiting = Some(c);
+        }
+        self.report_weight(shared);
+        progressed
+    }
+
+    /// Reports the lane's fairness weight, taking the queue lock only
+    /// when the value actually changed.
+    fn report_weight(&mut self, shared: &FleetShared) {
+        let weight = self.frontier.stack.len() as u64;
+        if weight != self.last_weight {
+            shared.set_weight(self.app, weight);
+            self.last_weight = weight;
         }
     }
 
-    /// Blocks until the candidate's outcome is available, dispatching it
-    /// at the front of the queue first if no shard has it yet.
-    fn await_outcome(&mut self, c: &Candidate, setup: &Arc<[String]>) -> Option<Outcome> {
-        if !c.dispatched {
-            self.shared.push_front(Task {
-                seq: c.seq,
-                setup: Arc::clone(setup),
-                cid: c.cid.clone(),
-                path: c.path.clone(),
-            });
-            self.in_flight += 1;
+    /// Applies one outcome in commit order (`None` means the worker could
+    /// not establish or click — counted there, skipped here, exactly like
+    /// the sequential DFS).
+    fn commit(&mut self, c: &Candidate, o: Option<Outcome>) {
+        let Some(o) = o else { return };
+        if o.window_opened {
+            self.unit.stats.windows_seen += 1;
         }
-        if let Some(o) = self.pending.remove(&c.seq) {
-            return o;
-        }
-        loop {
-            let (seq, reply) = self.rx.recv().expect("a live shard holds the dispatched task");
-            let o = unwrap_reply(reply);
-            self.in_flight -= 1;
-            if seq == c.seq {
-                return o;
-            }
-            if !self.discarded.remove(&seq) {
-                self.pending.insert(seq, o);
-            }
-        }
+        self.frontier.commit(
+            &c.cid,
+            &o.post,
+            &o.fresh,
+            &c.path,
+            self.unit.config(),
+            &mut self.unit.stats,
+        );
     }
 
-    /// Drains already-delivered results without blocking.
-    fn harvest(&mut self) {
-        while let Ok((seq, reply)) = self.rx.try_recv() {
-            let o = unwrap_reply(reply);
-            self.in_flight -= 1;
-            if !self.discarded.remove(&seq) {
-                self.pending.insert(seq, o);
+    /// Seeds the next context pass whose setup replays successfully;
+    /// false when every pass has run.
+    fn advance_pass(&mut self) -> bool {
+        while self.next_context < self.unit.config().contexts.len() {
+            let ctx = &self.unit.config().contexts[self.next_context];
+            self.next_context += 1;
+            if !self.unit.replay(&ctx.clicks, &[]) {
+                continue;
             }
+            let snap = self.unit.snapshot();
+            // Attach context-revealed controls under the virtual root,
+            // then explore within the context (same as the sequential
+            // pass).
+            self.frontier.seed(&snap, &[], self.unit.config(), &mut self.unit.stats);
+            self.setup = Arc::from(ctx.clicks.clone());
+            return true;
         }
+        false
     }
 
     /// Marks a dispatched-but-skipped entry so its result is dropped.
@@ -212,36 +464,50 @@ impl RipScheduler<'_> {
         }
     }
 
-    /// Speculatively dispatches candidates from the top of the stack (the
-    /// next pops) until the in-flight window is full. Entries already
-    /// visited are left for the pop loop to skip.
-    fn top_up(&mut self, setup: &Arc<[String]>) {
-        if self.in_flight >= self.plan.max_in_flight {
-            return;
+    /// Speculatively dispatches the topmost undispatched stack candidate
+    /// (the next pops); false when none remains.
+    fn dispatch_one_speculative(&mut self, shared: &FleetShared) -> bool {
+        if self.done {
+            return false;
         }
-        let mut budget = self.plan.max_in_flight - self.in_flight;
-        let mut picks: Vec<usize> = Vec::new();
-        for (i, c) in self.frontier.stack.iter().enumerate().rev() {
-            if budget == 0 {
-                break;
-            }
-            if c.dispatched || self.frontier.is_visited(c) {
-                continue;
-            }
-            picks.push(i);
-            budget -= 1;
+        let Some(i) = self
+            .frontier
+            .stack
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, c)| !c.dispatched && !self.frontier.is_visited(c))
+            .map(|(i, _)| i)
+        else {
+            return false;
+        };
+        self.frontier.stack[i].dispatched = true;
+        let c = self.frontier.stack[i].clone();
+        shared.push_back(self.task_for(&c));
+        self.in_flight += 1;
+        true
+    }
+
+    fn task_for(&self, c: &Candidate) -> Task {
+        Task {
+            app: self.app,
+            seq: c.seq,
+            setup: Arc::clone(&self.setup),
+            cid: c.cid.clone(),
+            path: c.path.clone(),
         }
-        for i in picks {
-            let c = &mut self.frontier.stack[i];
-            c.dispatched = true;
-            let task = Task {
-                seq: c.seq,
-                setup: Arc::clone(setup),
-                cid: c.cid.clone(),
-                path: c.path.clone(),
-            };
-            self.shared.push_back(task);
-            self.in_flight += 1;
-        }
+    }
+
+    /// Tears the lane down: absorbs every pooled worker unit's counters
+    /// and the caller session's capture-pool delta, detaches the shared
+    /// capture pool, and yields the outcome.
+    fn finish(self, shared: &FleetShared) -> (usize, RipOutcome) {
+        let Lane { app, entry_idx, app_id, unit, frontier, cs0, .. } = self;
+        let mut stats = unit.stats;
+        drain_pool(&shared.apps[app], &mut stats);
+        let mut unit = unit;
+        stats.fold_pool_delta(cs0, unit.session().capture_stats());
+        unit.session_mut().set_capture_pool(None);
+        (entry_idx, RipOutcome { app_id, graph: frontier.g, stats, fell_back: false })
     }
 }

@@ -1,24 +1,36 @@
-//! Worker shards: private sessions exploring candidates off a shared
-//! queue.
+//! App-agnostic worker shards: a shared pool of threads exploring
+//! candidates for every frontier in the fleet.
 //!
-//! Each worker owns a `Session` forked from the application's pristine
-//! launch image and runs one [`ExploreUnit`] for its whole life, so the
-//! §4.1 Esc-based recovery planner amortizes across tasks exactly as it
-//! does in the sequential DFS. The shared queue doubles as the
-//! work-stealing mechanism: whichever shard goes idle first pulls the
-//! next task, so a skewed subtree (one deep dialog chain) cannot starve
-//! the fleet.
+//! Workers are not pinned to an application. Each task names its app; the
+//! worker checks an exploration unit (a forked `Session` plus suspended
+//! §4.1 planner state) out of that app's session pool, explores, and
+//! checks the unit back in. Planner state — Esc-recovery epochs, tab
+//! dirt, effort counters — travels with the pooled unit, so recovery
+//! amortizes across tasks exactly as it did when workers owned one
+//! session for life, while any worker can serve any app the moment it
+//! goes idle.
+//!
+//! The dispatch queue is a **multi-queue**: one sub-queue per app, a
+//! deterministic fairness policy across them. Urgent tasks (the scheduler
+//! is blocked on them right now) always win; among speculative backlogs
+//! the pop picks the app with the greatest scheduler-reported weight —
+//! its remaining DFS stack depth — with ties rotated round-robin. The
+//! policy is a pure function of queue state (no randomness, no clocks);
+//! it shapes only *latency*, never bytes: per-app merge order is fixed by
+//! the scheduler regardless of where or when outcomes are computed.
 
-use crate::ripper::{diff_fresh, ExploreUnit, RipConfig, RipStats};
+use crate::ripper::{diff_fresh, ExploreUnit, RipConfig, RipStats, UnitState};
 use dmi_gui::Session;
 use dmi_uia::{ControlId, Snapshot};
 use std::collections::VecDeque;
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 
-/// One unit of speculative work: explore `cid` after establishing
-/// `setup` + `path`.
+/// One unit of speculative work: explore `cid` for frontier `app` after
+/// establishing `setup` + `path`.
 pub(super) struct Task {
+    /// Fleet index of the frontier this task belongs to.
+    pub app: usize,
     /// The scheduler-side stack-entry id this result answers.
     pub seq: u64,
     /// Context-setup clicks (shared per pass).
@@ -45,70 +57,141 @@ pub(super) struct Outcome {
 /// One worker answer. `Panicked` is sent from an unwind guard so a dying
 /// shard can never strand the scheduler in `recv` (the other shards'
 /// senders keep the channel open, so a plain drop would block it
-/// forever); the scheduler re-raises on receipt.
+/// forever); the scheduler re-raises on receipt, naming the app whose
+/// frontier the worker was serving.
 pub(super) enum Reply {
     Done(Option<Outcome>),
     Panicked,
 }
 
 /// Sends `Reply::Panicked` for the in-flight task when dropped during an
-/// unwind.
+/// unwind. Carries the task's app index so the panic report can name the
+/// frontier it was serving.
 struct ReplyGuard<'a> {
+    app: usize,
     seq: u64,
-    results: &'a Sender<(u64, Reply)>,
+    results: &'a Sender<(usize, u64, Reply)>,
     armed: bool,
 }
 
 impl Drop for ReplyGuard<'_> {
     fn drop(&mut self) {
         if self.armed {
-            let _ = self.results.send((self.seq, Reply::Panicked));
+            let _ = self.results.send((self.app, self.seq, Reply::Panicked));
         }
     }
 }
 
-struct Queue {
+/// A parked exploration unit: one forked session plus the suspended
+/// planner state of the last checkout.
+pub(super) struct PooledUnit {
+    pub session: Session,
+    pub state: UnitState,
+}
+
+/// Everything the worker pool shares for one app: the rip configuration
+/// and the session pool. The pool holds one unit per worker, so a
+/// checkout can never block — at most `workers` tasks of one app run
+/// concurrently, each holding one unit.
+pub(super) struct AppShared {
+    pub config: Arc<RipConfig>,
+    pub units: Mutex<Vec<PooledUnit>>,
+}
+
+/// One app's sub-queue plus its fairness inputs.
+struct SubQueue {
     tasks: VecDeque<Task>,
+    /// Tasks at the queue front the scheduler is blocked on right now.
+    urgent: usize,
+    /// Scheduler-reported remaining DFS stack depth (fairness weight).
+    weight: u64,
+}
+
+struct QueueState {
+    subs: Vec<SubQueue>,
+    /// Round-robin cursor breaking weight ties deterministically.
+    rr: usize,
     shutdown: bool,
 }
 
-/// The shared dispatch queue (mutex + condvar; tasks are popped from the
-/// front, so the scheduler controls priority by choosing the end it
-/// pushes to).
-pub(super) struct Shared {
-    queue: Mutex<Queue>,
+/// The fleet's shared dispatch state: the multi-queue and the per-app
+/// session pools.
+pub(super) struct FleetShared {
+    queue: Mutex<QueueState>,
     cond: Condvar,
+    pub apps: Vec<AppShared>,
 }
 
-impl Shared {
-    pub fn new() -> Arc<Shared> {
-        Arc::new(Shared {
-            queue: Mutex::new(Queue { tasks: VecDeque::new(), shutdown: false }),
+impl FleetShared {
+    pub fn new(apps: Vec<AppShared>) -> Arc<FleetShared> {
+        let subs = apps
+            .iter()
+            .map(|_| SubQueue { tasks: VecDeque::new(), urgent: 0, weight: 0 })
+            .collect();
+        Arc::new(FleetShared {
+            queue: Mutex::new(QueueState { subs, rr: 0, shutdown: false }),
             cond: Condvar::new(),
+            apps,
         })
     }
 
     /// Enqueues a must-run-next task (the scheduler is about to block on
-    /// it).
+    /// it): front of its app's sub-queue, preferred over every
+    /// speculative backlog.
     pub fn push_front(&self, t: Task) {
         let mut q = self.queue.lock().unwrap();
-        q.tasks.push_front(t);
+        let sub = &mut q.subs[t.app];
+        sub.tasks.push_front(t);
+        sub.urgent += 1;
         drop(q);
         self.cond.notify_one();
     }
 
-    /// Enqueues a speculative task behind everything already dispatched.
+    /// Enqueues a speculative task behind its app's backlog.
     pub fn push_back(&self, t: Task) {
         let mut q = self.queue.lock().unwrap();
-        q.tasks.push_back(t);
+        q.subs[t.app].tasks.push_back(t);
         drop(q);
         self.cond.notify_one();
+    }
+
+    /// Updates an app's fairness weight (its remaining stack depth).
+    pub fn set_weight(&self, app: usize, weight: u64) {
+        self.queue.lock().unwrap().subs[app].weight = weight;
     }
 
     /// Wakes every worker and makes further pops return `None`.
     pub fn shutdown(&self) {
         self.queue.lock().unwrap().shutdown = true;
         self.cond.notify_all();
+    }
+
+    /// The deterministic fairness policy (see module docs): urgent tasks
+    /// first (round-robin across apps), then the non-empty sub-queue with
+    /// the greatest weight, ties resolved by the rotating cursor.
+    fn pick(q: &mut QueueState) -> Option<Task> {
+        let n = q.subs.len();
+        for off in 0..n {
+            let i = (q.rr + off) % n;
+            if q.subs[i].urgent > 0 {
+                q.subs[i].urgent -= 1;
+                q.rr = (i + 1) % n;
+                return q.subs[i].tasks.pop_front();
+            }
+        }
+        let mut best: Option<usize> = None;
+        for off in 0..n {
+            let i = (q.rr + off) % n;
+            if q.subs[i].tasks.is_empty() {
+                continue;
+            }
+            if best.is_none_or(|b| q.subs[i].weight > q.subs[b].weight) {
+                best = Some(i);
+            }
+        }
+        let i = best?;
+        q.rr = (i + 1) % n;
+        q.subs[i].tasks.pop_front()
     }
 
     fn pop(&self) -> Option<Task> {
@@ -119,7 +202,7 @@ impl Shared {
             if q.shutdown {
                 return None;
             }
-            if let Some(t) = q.tasks.pop_front() {
+            if let Some(t) = Self::pick(&mut q) {
                 return Some(t);
             }
             q = self.cond.wait(q).unwrap();
@@ -127,26 +210,38 @@ impl Shared {
     }
 }
 
-/// The worker-shard main loop: pull, explore, diff, send — until
-/// shutdown. Returns the shard's effort counters for aggregation.
-pub(super) fn worker_loop(
-    mut session: Session,
-    config: RipConfig,
-    shared: Arc<Shared>,
-    results: Sender<(u64, Reply)>,
-) -> RipStats {
-    let mut unit = ExploreUnit::new(&mut session, &config);
+/// The worker main loop: pull a task from the multi-queue, check an
+/// exploration unit out of the task's app pool, explore, diff, check the
+/// unit back in, send — until shutdown. Effort counters accumulate on the
+/// pooled unit's state; the scheduler drains them per app at teardown.
+pub(super) fn worker_loop(shared: Arc<FleetShared>, results: Sender<(usize, u64, Reply)>) {
     while let Some(task) = shared.pop() {
-        let mut guard = ReplyGuard { seq: task.seq, results: &results, armed: true };
+        let app = &shared.apps[task.app];
+        let mut slot =
+            app.units.lock().unwrap().pop().expect("the per-app pool holds one unit per worker");
+        let mut guard = ReplyGuard { app: task.app, seq: task.seq, results: &results, armed: true };
+        let mut unit = ExploreUnit::resume(&mut slot.session, &app.config, slot.state);
         let out = unit.explore(&task.setup, &task.cid, &task.path).map(|ex| Outcome {
             window_opened: ex.post.windows().len() > ex.pre.windows().len(),
             fresh: diff_fresh(&ex.pre, &ex.post),
             post: ex.post,
         });
+        slot.state = unit.suspend();
+        app.units.lock().unwrap().push(slot);
         guard.armed = false;
-        if results.send((task.seq, Reply::Done(out))).is_err() {
+        if results.send((task.app, task.seq, Reply::Done(out))).is_err() {
             break; // Scheduler gone (it only drops the receiver on exit).
         }
     }
-    unit.stats
+}
+
+/// Drains an app's session pool at teardown, absorbing every pooled
+/// unit's effort counters and capture-pool counters into `stats`.
+pub(super) fn drain_pool(app: &AppShared, stats: &mut RipStats) {
+    for unit in std::mem::take(&mut *app.units.lock().unwrap()) {
+        stats.absorb(&unit.state.stats);
+        let cs = unit.session.capture_stats();
+        stats.pool_hits += cs.pool_hits;
+        stats.pool_misses += cs.pool_misses;
+    }
 }

@@ -136,6 +136,11 @@ pub struct RipStats {
     pub replay_failures: u64,
     /// New windows observed opening.
     pub windows_seen: u64,
+    /// Captures served from a shared cross-session capture pool (fleet
+    /// engines attach one per app; see `dmi_gui::CapturePool`).
+    pub pool_hits: u64,
+    /// Pool probes that found no pooled capture.
+    pub pool_misses: u64,
 }
 
 impl RipStats {
@@ -150,6 +155,19 @@ impl RipStats {
         self.blocklisted += other.blocklisted;
         self.replay_failures += other.replay_failures;
         self.windows_seen += other.windows_seen;
+        self.pool_hits += other.pool_hits;
+        self.pool_misses += other.pool_misses;
+    }
+
+    /// Folds a session's capture-pool counter delta into the rip stats
+    /// (engines call this once per session at the end of a rip).
+    pub(crate) fn fold_pool_delta(
+        &mut self,
+        before: dmi_gui::CaptureStats,
+        after: dmi_gui::CaptureStats,
+    ) {
+        self.pool_hits += after.pool_hits - before.pool_hits;
+        self.pool_misses += after.pool_misses - before.pool_misses;
     }
 }
 
@@ -202,27 +220,76 @@ pub(crate) struct ExploreUnit<'a> {
 }
 
 /// Rips an application into a UNG (sequential reference implementation;
-/// see [`crate::parallel::rip_parallel`] for the sharded engine, which is
+/// see [`crate::parallel::rip_parallel`] for the sharded engine and
+/// [`crate::parallel::rip_fleet`] for multi-app fleets — both are
 /// byte-identical by construction).
 pub fn rip(session: &mut Session, config: &RipConfig) -> (Ung, RipStats) {
+    let cs0 = session.capture_stats();
     let mut ex = Explorer { unit: ExploreUnit::new(session, config), frontier: Frontier::new() };
     ex.base_pass();
     for ctx in &config.contexts {
         ex.context_pass(ctx);
     }
-    (ex.frontier.g, ex.unit.stats)
+    let Explorer { unit, frontier } = ex;
+    let mut stats = unit.stats;
+    stats.fold_pool_delta(cs0, unit.session().capture_stats());
+    (frontier.g, stats)
+}
+
+/// The suspended, thread-portable half of an [`ExploreUnit`]: its effort
+/// counters plus the §4.1 recovery-planner state. Fleet engines park this
+/// next to a pooled worker session between task checkouts, so the planner
+/// amortizes across tasks exactly as it does when one worker owns the
+/// session for life.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct UnitState {
+    pub stats: RipStats,
+    base_epoch: u64,
+    tab_dirty: bool,
+    dialog_tab_dirty: bool,
 }
 
 impl<'a> ExploreUnit<'a> {
     pub fn new(session: &'a mut Session, config: &'a RipConfig) -> ExploreUnit<'a> {
+        Self::resume(session, config, UnitState::default())
+    }
+
+    /// Re-attaches a unit to a session using planner state suspended by
+    /// an earlier checkout (see [`UnitState`]).
+    pub fn resume(
+        session: &'a mut Session,
+        config: &'a RipConfig,
+        state: UnitState,
+    ) -> ExploreUnit<'a> {
         ExploreUnit {
             session,
             config,
-            stats: RipStats::default(),
-            base_epoch: 0,
-            tab_dirty: false,
-            dialog_tab_dirty: false,
+            stats: state.stats,
+            base_epoch: state.base_epoch,
+            tab_dirty: state.tab_dirty,
+            dialog_tab_dirty: state.dialog_tab_dirty,
         }
+    }
+
+    /// Detaches the planner state for parking next to a pooled session.
+    pub fn suspend(&self) -> UnitState {
+        UnitState {
+            stats: self.stats,
+            base_epoch: self.base_epoch,
+            tab_dirty: self.tab_dirty,
+            dialog_tab_dirty: self.dialog_tab_dirty,
+        }
+    }
+
+    /// The session this unit drives.
+    pub fn session(&self) -> &Session {
+        self.session
+    }
+
+    /// Mutable access to the driven session (fleet teardown detaches the
+    /// shared capture pool through this).
+    pub fn session_mut(&mut self) -> &mut Session {
+        self.session
     }
 
     /// The rip configuration this unit explores under.

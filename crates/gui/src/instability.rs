@@ -17,6 +17,16 @@
 
 use crate::widget::WidgetId;
 
+/// The SplitMix64 finalizer: the crate's standard 64-bit mixer (also used
+/// by the capture-pool action-trace fingerprints in [`crate::session`]).
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// Deterministic instability model.
 ///
 /// All sampling is a pure function of `(seed, widget id)` (and the action
@@ -57,17 +67,12 @@ impl InstabilityModel {
 
     /// Hash-based uniform sample in `[0, 1)` for a (widget, salt) pair.
     fn unit(&self, id: WidgetId, salt: u64) -> f64 {
-        let mut x = self
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add((id.0 as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
-            .wrapping_add(salt.wrapping_mul(0x94D0_49BB_1331_11EB));
-        // SplitMix64 finalizer.
-        x ^= x >> 30;
-        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x ^= x >> 27;
-        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
-        x ^= x >> 31;
+        let x = splitmix64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((id.0 as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+                .wrapping_add(salt.wrapping_mul(0x94D0_49BB_1331_11EB)),
+        );
         (x >> 11) as f64 / (1u64 << 53) as f64
     }
 

@@ -9,9 +9,9 @@
 //! directly — the foundation DMI's state/observation declarations build on.
 
 use crate::behavior::{Behavior, CommandBinding, CommitKind, ShortcutAction};
-use crate::instability::InstabilityModel;
+use crate::instability::{splitmix64 as mix64, InstabilityModel};
 use crate::layout;
-use crate::snapshot::{self, CaptureCache, CaptureStats};
+use crate::snapshot::{self, CaptureCache, CapturePool, CaptureStats};
 use crate::tree::UiTree;
 use crate::widget::WidgetId;
 use dmi_uia::event::EventLog;
@@ -221,6 +221,75 @@ pub struct Session {
     /// Proof obligations recorded at the last restart under which the
     /// current UI state still equals the pristine launch image.
     pristine_mark: Option<PristineMark>,
+    /// Optional cross-session capture pool shared with sibling sessions
+    /// forked from the same pristine image (see [`CapturePool`]).
+    pool: Option<Arc<CapturePool>>,
+    /// The pristine-relative action trace keying pool captures.
+    trace: ActionTrace,
+    /// Tree counters recorded at the last restart: while they (and the
+    /// window/popup structure) read back unchanged, the tree provably
+    /// equals the pristine image again and the trace re-floors to empty.
+    trace_floor: Option<TraceFloor>,
+}
+
+/// The pristine-relative input trace: fingerprints of every input action
+/// executed since the session state last provably equaled the pristine
+/// launch image. On a deterministic application the widget tree is a pure
+/// function of `(pristine image, trace)`, which is what makes the trace a
+/// sound cross-session capture key (see [`CapturePool`]).
+///
+/// Only actions with a precise fingerprint (widget clicks, key presses)
+/// keep the trace valid; any other input — and any direct application
+/// access via [`Session::app_mut`] — *poisons* it until the next restart,
+/// so an unfingerprinted mutation can never alias a pooled capture.
+#[derive(Debug, Clone, Default)]
+struct ActionTrace {
+    valid: bool,
+    fps: Vec<u64>,
+    hash: u64,
+}
+
+const TRACE_HASH_BASE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl ActionTrace {
+    /// Starts a fresh trace at a restart; valid only when the application
+    /// attests a pristine token (otherwise there is no image to be
+    /// relative to).
+    fn rebase(&mut self, valid: bool) {
+        self.valid = valid;
+        self.fps.clear();
+        self.hash = TRACE_HASH_BASE;
+    }
+
+    /// The state provably returned to the pristine image: the trace keys
+    /// it as empty again.
+    fn refloor(&mut self) {
+        self.fps.clear();
+        self.hash = TRACE_HASH_BASE;
+    }
+
+    /// Invalidates the trace until the next restart.
+    fn poison(&mut self) {
+        self.valid = false;
+        self.fps.clear();
+    }
+
+    /// Appends one action fingerprint.
+    fn record(&mut self, fp: u64) {
+        if self.valid {
+            self.fps.push(fp);
+            self.hash = mix64(self.hash ^ fp);
+        }
+    }
+}
+
+/// The tree counters a valid trace compares against to detect a provable
+/// return to the pristine image (all O(1) reads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TraceFloor {
+    state_epoch: u64,
+    context_epoch: u64,
+    main_stamp: u64,
 }
 
 /// Everything that must still hold for the session state to equal the
@@ -258,6 +327,9 @@ impl Session {
             trapped: false,
             pristine_snap: None,
             pristine_mark: None,
+            pool: None,
+            trace: ActionTrace::default(),
+            trace_floor: None,
         }
     }
 
@@ -273,7 +345,24 @@ impl Session {
         let app = self.app.fork()?;
         let mut s = Session::with_instability(app, self.inst.clone());
         s.capture_cfg = self.capture_cfg;
+        // Forks share the parent's capture pool: they attest the same
+        // pristine token, so their pristine-relative traces are mutually
+        // comparable — the whole point of the pool.
+        s.pool = self.pool.clone();
         Some(s)
+    }
+
+    /// Attaches (or detaches) a cross-session [`CapturePool`]. Sessions
+    /// sharing one pool serve each other's captures whenever their state
+    /// provably matches — see the pool's docs for the soundness argument.
+    /// Forks created after attachment inherit the pool.
+    pub fn set_capture_pool(&mut self, pool: Option<Arc<CapturePool>>) {
+        self.pool = pool;
+    }
+
+    /// The attached cross-session capture pool, if any.
+    pub fn capture_pool(&self) -> Option<&Arc<CapturePool>> {
+        self.pool.as_ref()
     }
 
     /// Replaces the capture configuration (drops any cached captures,
@@ -300,8 +389,11 @@ impl Session {
         self.app.as_ref()
     }
 
-    /// Mutable application access.
+    /// Mutable application access. Poisons the pristine-relative action
+    /// trace until the next restart: direct application mutations are
+    /// invisible to the trace, so pooled captures must never alias them.
     pub fn app_mut(&mut self) -> &mut dyn GuiApp {
+        self.trace.poison();
         self.app.as_mut()
     }
 
@@ -349,6 +441,10 @@ impl Session {
 
     /// Takes an accessibility snapshot, returning the full [`Capture`]
     /// handle (query sequence, cache-hit flag).
+    ///
+    /// Serving order: restart-surviving pristine stash, per-session MRU
+    /// cache, cross-session [`CapturePool`] (when attached), then a
+    /// partial rebuild — every path produces the same bytes.
     pub fn capture(&mut self) -> Capture {
         self.query_seq += 1;
         self.capture_stats.captures += 1;
@@ -360,7 +456,8 @@ impl Session {
         // state is byte-for-byte the launch image, so the stashed snapshot
         // of a *previous* restart is exact — the MRU cache cannot help
         // here because a reset re-floors every window stamp.
-        if let Some(token) = self.pristine_mark_holds() {
+        let pristine_token = self.pristine_mark_holds();
+        if let Some(token) = pristine_token {
             if let Some((t, snap)) = &self.pristine_snap {
                 if *t == token {
                     let snap = Arc::clone(snap);
@@ -379,26 +476,122 @@ impl Session {
                     return Capture { snap, query_seq: self.query_seq, cache_hit: true };
                 }
             }
-            let (snap, cache_hit) = snapshot::build_cached(
-                self.app.tree(),
-                &self.inst,
-                self.query_seq,
-                self.capture_cfg.depth,
-                &mut self.cache,
-                &mut self.capture_stats,
-            );
-            self.pristine_snap = Some((token, Arc::clone(&snap)));
-            return Capture { snap, query_seq: self.query_seq, cache_hit };
         }
-        let (snap, cache_hit) = snapshot::build_cached(
+        // Per-session MRU cache: O(1) full hits, no locking.
+        let keys = match snapshot::probe(self.app.tree(), self.query_seq, &mut self.cache) {
+            Ok(snap) => {
+                self.capture_stats.full_hits += 1;
+                if let Some(token) = pristine_token {
+                    self.pristine_snap = Some((token, Arc::clone(&snap)));
+                }
+                return Capture { snap, query_seq: self.query_seq, cache_hit: true };
+            }
+            Err(keys) => keys,
+        };
+        // Cross-session pool: a sibling session may have built this exact
+        // state already (keyed by the pristine-relative action trace).
+        let pool_key = self.pool_key();
+        if let Some((token, model)) = pool_key {
+            let pool = self.pool.as_ref().expect("pool_key requires an attached pool");
+            if let Some(snap) = pool.lookup(token, model, self.trace.hash, &self.trace.fps) {
+                self.capture_stats.pool_hits += 1;
+                // Adopt as a donor so the next partial rebuild can copy
+                // clean windows (re-keyed against this session's stamps).
+                snapshot::adopt(
+                    &mut self.cache,
+                    self.app.tree(),
+                    &snap,
+                    self.query_seq,
+                    self.capture_cfg.depth,
+                );
+                if let Some(token) = pristine_token {
+                    self.pristine_snap = Some((token, Arc::clone(&snap)));
+                }
+                return Capture { snap, query_seq: self.query_seq, cache_hit: true };
+            }
+            self.capture_stats.pool_misses += 1;
+        }
+        // Partial rebuild: clean windows copied from donors, dirty
+        // windows re-walked.
+        let snap = snapshot::rebuild(
             self.app.tree(),
             &self.inst,
             self.query_seq,
             self.capture_cfg.depth,
+            keys,
             &mut self.cache,
             &mut self.capture_stats,
         );
-        Capture { snap, query_seq: self.query_seq, cache_hit }
+        if let Some((token, model)) = pool_key {
+            let pool = self.pool.as_ref().expect("pool_key requires an attached pool");
+            pool.insert(token, model, self.trace.hash, &self.trace.fps, &snap);
+        }
+        if let Some(token) = pristine_token {
+            self.pristine_snap = Some((token, Arc::clone(&snap)));
+        }
+        Capture { snap, query_seq: self.query_seq, cache_hit: false }
+    }
+
+    /// The cross-session pool key for the current state, when pooling is
+    /// sound right now: a pool is attached, the trace is valid (pristine
+    /// token attested at the last restart, every action since fingerprint-
+    /// able), late-load instability is off (its reveals are keyed on
+    /// session-local clocks the trace cannot see), and no subtree is
+    /// pending reveal. Name variation stays poolable — it is a pure
+    /// function of `(seed, widget)`, fingerprinted into the model key.
+    fn pool_key(&self) -> Option<(u64, u64)> {
+        self.pool.as_ref()?;
+        if !self.trace.valid || self.inst.late_load_prob > 0.0 {
+            return None;
+        }
+        let tree = self.app.tree();
+        if tree
+            .open_windows()
+            .iter()
+            .any(|w| tree.next_reveal_under(w.root, self.query_seq) != u64::MAX)
+        {
+            return None;
+        }
+        let token = self.app.pristine_token()?;
+        let model = mix64(self.inst.seed ^ self.inst.name_variation_prob.to_bits());
+        Some((token, model))
+    }
+
+    /// Post-action trace maintenance: if the state provably returned to
+    /// the pristine image (floor counters and window/popup structure
+    /// unchanged since the last restart), the trace re-floors to empty —
+    /// re-keying this state as pristine, exactly the launch-equivalence
+    /// argument Esc-based recovery rests on. Tree-invisible document
+    /// state is deliberately outside the check: snapshots (the only thing
+    /// pooled) observe the tree alone.
+    fn trace_refloor(&mut self) {
+        if !self.trace.valid {
+            return;
+        }
+        let Some(floor) = self.trace_floor else { return };
+        let t = self.app.tree();
+        if t.open_windows().len() == 1
+            && t.open_popups().is_empty()
+            && t.state_epoch() == floor.state_epoch
+            && t.context_epoch() == floor.context_epoch
+            && t.window_stamp(t.main_root()) == floor.main_stamp
+        {
+            self.trace.refloor();
+        }
+    }
+
+    /// Fingerprint of a widget click.
+    fn fp_click(id: WidgetId) -> u64 {
+        mix64(0xC11C ^ (id.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Fingerprint of a key press.
+    fn fp_press(keys: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64 ^ 0x9E55;
+        for b in keys.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        mix64(h)
     }
 
     /// Whether the UI state still equals the pristine image captured at
@@ -459,6 +652,15 @@ impl Session {
                 main_stamp: t.window_stamp(t.main_root()),
             }
         });
+        // The state equals the attested pristine image again: rebase the
+        // pool trace (and record the counters a later provable return to
+        // this image will read back unchanged).
+        self.trace.rebase(self.pristine_mark.is_some());
+        self.trace_floor = self.pristine_mark.as_ref().map(|m| TraceFloor {
+            state_epoch: m.state_epoch,
+            context_epoch: m.context_epoch,
+            main_stamp: m.main_stamp,
+        });
     }
 
     // ------------------------------------------------------------------
@@ -511,6 +713,13 @@ impl Session {
 
     /// Clicks a widget (the primary interaction).
     pub fn click(&mut self, id: WidgetId) -> Result<(), AppError> {
+        self.trace.record(Self::fp_click(id));
+        let r = self.click_inner(id);
+        self.trace_refloor();
+        r
+    }
+
+    fn click_inner(&mut self, id: WidgetId) -> Result<(), AppError> {
         self.action_seq += 1;
         self.check_interactable(id)?;
         self.app.tree_mut().close_popups_not_containing(id);
@@ -535,6 +744,7 @@ impl Session {
     /// selection on document surfaces).
     pub fn drag(&mut self, from: (i32, i32), to: (i32, i32)) -> Result<(), AppError> {
         self.action_seq += 1;
+        self.trace.poison();
         if self.trapped {
             return Err(AppError::NotInteractable { reason: "UI trapped".into() });
         }
@@ -593,6 +803,7 @@ impl Session {
     /// Scrolls the wheel over a point.
     pub fn wheel(&mut self, x: i32, y: i32, delta_percent: f64) -> Result<(), AppError> {
         self.action_seq += 1;
+        self.trace.poison();
         let lay = self.layout();
         let Some(mut cur) = self.hit_test(&lay, x, y) else {
             return Err(AppError::NotInteractable { reason: "nothing under wheel".into() });
@@ -622,6 +833,7 @@ impl Session {
     /// Types text into the focused edit control.
     pub fn type_text(&mut self, text: &str) -> Result<(), AppError> {
         self.action_seq += 1;
+        self.trace.poison();
         if self.trapped {
             return Err(AppError::NotInteractable { reason: "UI trapped".into() });
         }
@@ -650,6 +862,13 @@ impl Session {
     /// Presses a key or key combination (e.g. `"Enter"`, `"Esc"`,
     /// `"Ctrl+B"`).
     pub fn press(&mut self, keys: &str) -> Result<(), AppError> {
+        self.trace.record(Self::fp_press(keys));
+        let r = self.press_inner(keys);
+        self.trace_refloor();
+        r
+    }
+
+    fn press_inner(&mut self, keys: &str) -> Result<(), AppError> {
         self.action_seq += 1;
         if self.trapped && keys != "Esc" {
             return Err(AppError::NotInteractable { reason: "UI trapped".into() });
@@ -711,6 +930,7 @@ impl Session {
     /// container driven by a scrollbar).
     pub fn scroll_to(&mut self, id: WidgetId, percent: f64) -> Result<(), AppError> {
         self.action_seq += 1;
+        self.trace.poison();
         if !(0.0..=100.0).contains(&percent) {
             return Err(AppError::InvalidArgument {
                 message: format!("scroll percent {percent} outside 0..=100"),
@@ -734,6 +954,7 @@ impl Session {
     /// `TogglePattern.Toggle` to a specific state.
     pub fn set_toggle(&mut self, id: WidgetId, on: bool) -> Result<(), AppError> {
         self.action_seq += 1;
+        self.trace.poison();
         self.check_interactable(id)?;
         let w = self.app.tree().widget(id);
         if !w.patterns.supports(PatternKind::Toggle) {
@@ -757,6 +978,7 @@ impl Session {
     /// `SelectionItemPattern.Select` / `AddToSelection`.
     pub fn select(&mut self, id: WidgetId, additive: bool) -> Result<(), AppError> {
         self.action_seq += 1;
+        self.trace.poison();
         self.check_interactable(id)?;
         let w = self.app.tree().widget(id);
         if !w.patterns.supports(PatternKind::SelectionItem) {
@@ -776,6 +998,7 @@ impl Session {
     /// `ValuePattern.SetValue`.
     pub fn set_value(&mut self, id: WidgetId, value: &str) -> Result<(), AppError> {
         self.action_seq += 1;
+        self.trace.poison();
         self.check_interactable(id)?;
         let w = self.app.tree().widget(id);
         if !w.patterns.supports(PatternKind::Value) {
@@ -791,6 +1014,7 @@ impl Session {
     /// `ExpandCollapsePattern.Expand` / `Collapse`.
     pub fn set_expanded(&mut self, id: WidgetId, expanded: bool) -> Result<(), AppError> {
         self.action_seq += 1;
+        self.trace.poison();
         self.check_interactable(id)?;
         let w = self.app.tree().widget(id);
         if !w.popup && !w.patterns.supports(PatternKind::ExpandCollapse) {
@@ -812,6 +1036,7 @@ impl Session {
     /// `select_lines` state declaration bottoms out here).
     pub fn select_lines(&mut self, id: WidgetId, start: usize, end: usize) -> Result<(), AppError> {
         self.action_seq += 1;
+        self.trace.poison();
         self.check_interactable(id)?;
         let w = self.app.tree().widget(id);
         if !w.text_surface {
@@ -837,6 +1062,7 @@ impl Session {
         end: usize,
     ) -> Result<(), AppError> {
         self.action_seq += 1;
+        self.trace.poison();
         self.check_interactable(id)?;
         let w = self.app.tree().widget(id);
         if !w.text_surface {
@@ -1728,6 +1954,146 @@ mod tests {
         // threads.
         fn assert_send<T: Send>(_: &T) {}
         assert_send(&fork);
+    }
+
+    // ------------------------------------------------------------------
+    // Cross-session capture pool + index carry-forward
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn capture_pool_shares_snapshots_across_forked_sessions() {
+        let (app, ids) = image_app();
+        let mut a = Session::new(Box::new(app));
+        let pool = CapturePool::shared();
+        a.set_capture_pool(Some(Arc::clone(&pool)));
+        let mut b = a.fork_from_pristine().expect("image app forks");
+        assert!(b.capture_pool().is_some(), "forks inherit the pool");
+        a.restart();
+        b.restart();
+        let base_a = a.capture();
+        assert!(!base_a.is_cache_hit(), "first capture anywhere is a build");
+        assert_eq!(a.capture_stats().pool_misses, 1, "probed and offered to the pool");
+        let base_b = b.capture();
+        assert!(base_b.is_cache_hit(), "sibling state served from the pool");
+        assert!(Arc::ptr_eq(base_a.snap(), base_b.snap()), "one shared snapshot across sessions");
+        assert_eq!(b.capture_stats().pool_hits, 1);
+        // The same click path from pristine shares again — on both sides.
+        a.click(ids.menu).unwrap();
+        b.click(ids.menu).unwrap();
+        let m_a = a.capture();
+        let m_b = b.capture();
+        assert!(!m_a.is_cache_hit());
+        assert!(m_b.is_cache_hit());
+        assert!(Arc::ptr_eq(m_a.snap(), m_b.snap()));
+        // Byte-identity against an eager rebuild of the same state.
+        let (oracle_app, oracle_ids) = image_app();
+        let mut oracle = Session::new(Box::new(oracle_app));
+        oracle.set_capture_config(CaptureConfig::full_rebuild());
+        oracle.restart();
+        assert_eq!(oracle_ids.menu, ids.menu);
+        oracle.click(oracle_ids.menu).unwrap();
+        assert_eq!(*m_b.snap().as_ref(), *oracle.snapshot());
+    }
+
+    #[test]
+    fn capture_pool_keys_on_the_divergence_and_refloors_at_base() {
+        let (app, ids) = image_app();
+        let mut a = Session::new(Box::new(app));
+        a.set_capture_pool(Some(CapturePool::shared()));
+        let mut b = a.fork_from_pristine().unwrap();
+        a.restart();
+        b.restart();
+        let base_a = a.capture();
+        // Divergent traces never alias: A opens the menu, B clicks the
+        // (tree-invisible) bump command — B's state re-floors to pristine.
+        a.click(ids.menu).unwrap();
+        b.click(ids.bump).unwrap();
+        let menu_a = a.capture();
+        let base_b = b.capture();
+        assert!(base_b.is_cache_hit(), "B provably returned to pristine: base is shared");
+        assert!(Arc::ptr_eq(base_a.snap(), base_b.snap()));
+        assert!(!Arc::ptr_eq(menu_a.snap(), base_b.snap()));
+        // Esc re-floors A too: its next base capture rides the pool entry.
+        a.press("Esc").unwrap();
+        let back_a = a.capture();
+        assert!(Arc::ptr_eq(back_a.snap(), base_a.snap()));
+    }
+
+    #[test]
+    fn unfingerprinted_input_poisons_the_pool_trace_until_restart() {
+        let (app, ids) = image_app();
+        let mut s = Session::new(Box::new(app));
+        let pool = CapturePool::shared();
+        s.set_capture_pool(Some(Arc::clone(&pool)));
+        s.restart();
+        let _ = s.capture();
+        assert_eq!(pool.len(), 1, "pristine base pooled");
+        // A pattern operation has no trace fingerprint: captures stop
+        // touching the pool (no hits, no inserts) until the next restart.
+        s.scroll_to(ids.label, 0.0).unwrap_err(); // label is not scrollable, but the attempt poisons
+        s.click(ids.menu).unwrap();
+        let before = s.capture_stats();
+        let _ = s.capture();
+        assert_eq!(pool.len(), 1, "poisoned session must not insert");
+        assert_eq!(s.capture_stats().pool_misses, before.pool_misses, "nor probe");
+        // app_mut poisons too.
+        s.restart();
+        s.app_mut();
+        let before = s.capture_stats();
+        let _ = s.capture();
+        assert_eq!(s.capture_stats().pool_misses, before.pool_misses);
+        // A restart re-arms the trace: the next non-pristine state is
+        // pooled again (the pristine state itself rides the stash, which
+        // outranks the pool inside one session).
+        s.restart();
+        s.click(ids.menu).unwrap();
+        let _ = s.capture();
+        assert_eq!(pool.len(), 2, "re-armed trace offers new states to the pool");
+        assert!(s.capture_stats().pool_misses > 0);
+    }
+
+    #[test]
+    fn late_load_instability_disables_pooling() {
+        let (app, _) = image_app();
+        let mut s = Session::with_instability(Box::new(app), InstabilityModel::new(5, 1.0, 0.0));
+        let pool = CapturePool::shared();
+        s.set_capture_pool(Some(Arc::clone(&pool)));
+        s.restart();
+        let _ = s.capture();
+        assert!(pool.is_empty(), "late-load models are keyed on session clocks: never pooled");
+        assert_eq!(s.capture_stats().pool_misses, 0, "the pool is not even probed");
+    }
+
+    #[test]
+    fn partial_rebuild_splices_donor_index_for_clean_windows() {
+        let (mut s, ids) = session();
+        s.click(ids.dlg_open).unwrap();
+        let first = s.capture();
+        first.index().key_multimap(); // materialize the donor's index
+        let donor_ix = first.snap().index_if_built().expect("materialized");
+        // Dirty only the dialog window: the main window's node block is
+        // copied forward and its index columns spliced.
+        s.set_value(ids.dlg_edit, "Quarterly").unwrap();
+        let second = s.capture();
+        assert!(!second.is_cache_hit());
+        let spliced = second.index();
+        let main_end = second.windows()[1];
+        for i in 0..main_end {
+            assert!(
+                std::ptr::eq(spliced.path(i).as_ptr(), donor_ix.path(i).as_ptr()),
+                "node {i}: spliced path must alias the donor allocation"
+            );
+        }
+        // The spliced index is indistinguishable from a from-scratch build.
+        let fresh = dmi_uia::SnapIndex::build(second.snap());
+        for (i, n) in second.iter() {
+            assert_eq!(spliced.path(i), fresh.path(i), "node {i}");
+            assert_eq!(spliced.key(i), fresh.key(i), "node {i}");
+            assert_eq!(spliced.depth(i), fresh.depth(i), "node {i}");
+            assert_eq!(spliced.index_of_runtime(n.runtime_id), Some(i));
+            let cid = spliced.control_id(&second, i);
+            assert_eq!(spliced.resolve(&second, &cid), fresh.resolve(&second, &cid), "node {i}");
+        }
     }
 
     #[test]

@@ -43,7 +43,17 @@
 //! block is copied wholesale from the best donor capture
 //! ([`Snapshot::append_window_from`]) and only dirty windows are
 //! re-walked, with their layout rows served by the shared
-//! [`layout::LayoutCache`].
+//! [`layout::LayoutCache`]. Copied blocks also carry the donor's
+//! identity-index columns forward ([`Snapshot::seed_index_window`]): when
+//! the new snapshot's `SnapIndex` materializes, clean windows splice the
+//! donor's shared path `Arc`s and key columns, so only dirty windows pay
+//! index construction.
+//!
+//! Between the MRU probe and a rebuild, sessions attached to a
+//! [`CapturePool`] additionally probe a **cross-session** pool: sibling
+//! sessions forked from the same pristine image (the fleet ripper's
+//! worker shards) serve each other's captures, keyed by pristine-relative
+//! action traces — see [`CapturePool`] for the soundness argument.
 //!
 //! The eager [`build`] stays as the uncached oracle;
 //! `CaptureConfig::full_rebuild` (see [`crate::session`]) routes every
@@ -55,7 +65,7 @@ use crate::layout::{self, LayoutCache, WindowLayout};
 use crate::tree::UiTree;
 use crate::widget::WidgetId;
 use dmi_uia::{ControlProps, RuntimeId, Snapshot};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Builds a snapshot of every open window (eager, uncached).
 ///
@@ -94,7 +104,7 @@ fn push_window(
 
 /// The capture key of one open window, read off the live tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct WindowKey {
+pub(crate) struct WindowKey {
     root: WidgetId,
     modal: bool,
     stamp: u64,
@@ -170,6 +180,12 @@ pub struct CaptureStats {
     pub windows_reused: u64,
     /// Windows re-walked from the widget tree.
     pub windows_rebuilt: u64,
+    /// Captures served from a shared cross-session [`CapturePool`] (a
+    /// sibling session built the identical snapshot first).
+    pub pool_hits: u64,
+    /// Pool probes that found no matching entry (the capture then built
+    /// locally and was offered to the pool).
+    pub pool_misses: u64,
 }
 
 impl CaptureCache {
@@ -186,16 +202,14 @@ impl CaptureCache {
     }
 }
 
-/// Builds (or serves) the capture for the current tree state. Returns the
-/// shared snapshot and whether it was a full cache hit.
-pub fn build_cached(
+/// Probes the MRU cache for an O(1) full hit against the current tree
+/// state. On a miss, returns the per-window capture keys so the caller
+/// can pass them to [`rebuild`] without recomputing them.
+pub(crate) fn probe(
     tree: &UiTree,
-    inst: &InstabilityModel,
     query_seq: u64,
-    depth: usize,
     cache: &mut CaptureCache,
-    stats: &mut CaptureStats,
-) -> (Arc<Snapshot>, bool) {
+) -> Result<Arc<Snapshot>, Vec<WindowKey>> {
     let context_epoch = tree.context_epoch();
     let keys: Vec<WindowKey> =
         tree.open_windows().iter().map(|win| WindowKey::of(tree, win.root, win.modal)).collect();
@@ -207,12 +221,25 @@ pub fn build_cached(
         let entry = cache.entries.remove(pos);
         let snap = Arc::clone(&entry.snap);
         cache.entries.insert(0, entry);
-        stats.full_hits += 1;
-        return (snap, true);
+        return Ok(snap);
     }
+    Err(keys)
+}
 
-    // Partial rebuild: copy clean windows from the best donor, re-walk
-    // dirty ones.
+/// Builds the capture for the current tree state after [`probe`] missed:
+/// clean windows are copied from the best donor capture (their identity-
+/// index columns seeded for carry-forward when the donor's index is
+/// already materialized), dirty windows are re-walked.
+pub(crate) fn rebuild(
+    tree: &UiTree,
+    inst: &InstabilityModel,
+    query_seq: u64,
+    depth: usize,
+    keys: Vec<WindowKey>,
+    cache: &mut CaptureCache,
+    stats: &mut CaptureStats,
+) -> Arc<Snapshot> {
+    let context_epoch = tree.context_epoch();
     let mut snap = Snapshot::new();
     let mut metas = Vec::with_capacity(keys.len());
     for (wi, key) in keys.iter().enumerate() {
@@ -233,6 +260,14 @@ pub fn build_cached(
                     } else {
                         snap.push_window_root(start);
                     }
+                }
+                // Subtree carry-forward: the copied block is byte-
+                // identical to the donor range, so the donor's per-node
+                // index columns (shared path `Arc`s, keys, depths) can be
+                // spliced instead of rebuilt — but only when the donor
+                // index already exists; splicing must never force one.
+                if let Some(donor_ix) = donor_snap.index_if_built() {
+                    snap.seed_index_window(start, end, donor_ix, m.start);
                 }
                 stats.windows_reused += 1;
                 WindowMeta {
@@ -266,7 +301,129 @@ pub fn build_cached(
         .entries
         .insert(0, CachedCapture { snap: Arc::clone(&snap), context_epoch, windows: metas });
     cache.entries.truncate(depth.max(1));
-    (snap, false)
+    snap
+}
+
+/// A shared, read-mostly pool of captures keyed by pristine-relative
+/// action traces, serving snapshot hits **across sessions** forked from
+/// one pristine launch image (see `Session::set_capture_pool`).
+///
+/// # Why sharing across sessions is sound
+///
+/// Per-session capture keys (window mutation stamps, state epochs) are
+/// monotonic counters whose absolute values depend on each session's
+/// history, so they are meaningless across sessions. What *is* comparable
+/// is the action trace: on a deterministic application, the widget tree —
+/// and hence the snapshot bytes — is a pure function of `(pristine image,
+/// input actions since the state provably equaled that image)`. Sessions
+/// attest the image via `GuiApp::pristine_token` and track the trace as a
+/// fingerprint sequence (reset whenever the state provably returns to
+/// pristine, poisoned by any input the trace cannot fingerprint), so two
+/// sessions with the same `(token, trace)` hold byte-identical trees and
+/// may share one snapshot `Arc` — identity index included.
+///
+/// Entries additionally key on an instability-model fingerprint (name
+/// variation is a pure function of `(seed, widget)`, so equal models
+/// perturb forks identically), and sessions skip the pool entirely while
+/// late-load instability is configured — the one perturbation keyed on
+/// session-local clocks rather than tree state.
+///
+/// # Locking discipline
+///
+/// One flat `Mutex` around a small MRU vector. Every operation is a short
+/// critical section — a key scan plus an `Arc` clone or a bounded insert;
+/// no snapshot is ever *built* under the lock, so contention costs a few
+/// compares while a hit saves a full O(arena) walk and index build.
+#[derive(Debug, Default)]
+pub struct CapturePool {
+    capacity: usize,
+    entries: Mutex<Vec<PoolEntry>>,
+}
+
+#[derive(Debug)]
+struct PoolEntry {
+    /// `GuiApp::pristine_token` of the image the trace is relative to.
+    token: u64,
+    /// Instability-model fingerprint (seed + name-variation setting).
+    model: u64,
+    /// Chained hash of the action trace (fast reject).
+    hash: u64,
+    /// The full fingerprint trace, compared element-wise on a hash match
+    /// — this guards against chained-hash collisions for free. The
+    /// per-action fingerprints themselves are unconfirmed 64-bit digests
+    /// (two *different* actions colliding on every fingerprint would
+    /// alias), which is weaker than the ControlKey hash+confirm
+    /// discipline but over ~a dozen independent 64-bit draws per trace,
+    /// not a practical concern.
+    trace: Vec<u64>,
+    snap: Arc<Snapshot>,
+}
+
+impl CapturePool {
+    /// A pool retaining up to `capacity` captures (MRU eviction).
+    pub fn new(capacity: usize) -> CapturePool {
+        CapturePool { capacity: capacity.max(1), entries: Mutex::new(Vec::new()) }
+    }
+
+    /// A pool with the default capacity, ready to share across sessions.
+    pub fn shared() -> Arc<CapturePool> {
+        Arc::new(CapturePool::new(64))
+    }
+
+    /// Number of pooled captures.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether the pool holds no captures.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serves the capture for `(token, model, trace)` if a sibling session
+    /// already built it (hash fast-path, full-trace confirm).
+    pub(crate) fn lookup(
+        &self,
+        token: u64,
+        model: u64,
+        hash: u64,
+        trace: &[u64],
+    ) -> Option<Arc<Snapshot>> {
+        let mut entries = self.entries.lock().unwrap();
+        let pos = entries.iter().position(|e| {
+            e.token == token && e.model == model && e.hash == hash && e.trace == trace
+        })?;
+        let entry = entries.remove(pos);
+        let snap = Arc::clone(&entry.snap);
+        entries.insert(0, entry);
+        Some(snap)
+    }
+
+    /// Offers a freshly built capture to the pool. If a racing sibling
+    /// already inserted the same key, the existing entry wins (both are
+    /// byte-identical; keeping one maximizes sharing).
+    pub(crate) fn insert(
+        &self,
+        token: u64,
+        model: u64,
+        hash: u64,
+        trace: &[u64],
+        snap: &Arc<Snapshot>,
+    ) {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(pos) = entries.iter().position(|e| {
+            e.token == token && e.model == model && e.hash == hash && e.trace == trace
+        }) {
+            let entry = entries.remove(pos);
+            entries.insert(0, entry);
+            return;
+        }
+        entries.insert(
+            0,
+            PoolEntry { token, model, hash, trace: trace.to_vec(), snap: Arc::clone(snap) },
+        );
+        entries.truncate(self.capacity);
+    }
 }
 
 /// Re-keys a restart-surviving pristine capture against the *current*

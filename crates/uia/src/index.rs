@@ -54,6 +54,23 @@ use crate::ident::{ControlKey, KeyMap};
 use crate::{ControlId, RuntimeId, Snapshot};
 use std::sync::{Arc, OnceLock};
 
+/// A carry-forward seed for one arena range of a snapshot: the range was
+/// copied verbatim (position-shifted, content-identical) from a donor
+/// snapshot whose identity index is already materialized, so the donor's
+/// per-node columns — shared path `Arc`s included — can be spliced instead
+/// of recomputed. See [`Snapshot::seed_index_window`].
+#[derive(Debug, Clone)]
+pub(crate) struct IndexSeed {
+    /// First arena index of the copied range in the *new* snapshot.
+    pub start: usize,
+    /// One past the last arena index of the copied range.
+    pub end: usize,
+    /// The donor's materialized index.
+    pub donor: Arc<SnapIndex>,
+    /// First arena index of the range in the *donor* snapshot.
+    pub donor_start: usize,
+}
+
 /// A multimap bucket: almost always a single index, so the single case is
 /// stored inline (no heap allocation per distinct key).
 #[derive(Debug, Clone)]
@@ -158,6 +175,22 @@ impl SnapIndex {
     /// Relies on the arena invariant that parents precede children
     /// (guaranteed by [`Snapshot::push`]).
     pub fn build(snap: &Snapshot) -> SnapIndex {
+        Self::build_with_seeds(snap, &[])
+    }
+
+    /// [`SnapIndex::build`] with subtree carry-forward: arena ranges named
+    /// by `seeds` were copied verbatim from donor snapshots, so their
+    /// columns are spliced from the donors' already-materialized indexes
+    /// (path `Arc`s cloned, key/depth/runtime columns memcpy'd) and only
+    /// the remaining — dirty — ranges pay per-node construction.
+    ///
+    /// Soundness: ancestor paths never cross a window boundary (window
+    /// roots have no parent), so a window's path/key/depth columns are a
+    /// pure function of its node block's contents — identical wherever the
+    /// block sits in the arena. Seeds must be non-overlapping, sorted by
+    /// `start`, and cover only verbatim-copied ranges; the caller
+    /// ([`Snapshot::seed_index_window`]) guarantees all three.
+    pub(crate) fn build_with_seeds(snap: &Snapshot, seeds: &[IndexSeed]) -> SnapIndex {
         let n = snap.len();
         let mut paths: Vec<Arc<str>> = Vec::with_capacity(n);
         let mut keys: Vec<ControlKey> = Vec::with_capacity(n);
@@ -168,7 +201,32 @@ impl SnapIndex {
         let mut child_paths: Vec<Option<Arc<str>>> = vec![None; n];
         let empty: Arc<str> = Arc::from("");
 
-        for (idx, node) in snap.iter() {
+        let mut seed_iter = seeds.iter().peekable();
+        let mut idx = 0usize;
+        while idx < n {
+            if let Some(seed) = seed_iter.peek() {
+                if seed.start == idx {
+                    let len = seed.end - seed.start;
+                    let ds = seed.donor_start;
+                    let d = &seed.donor;
+                    #[cfg(debug_assertions)]
+                    for k in 0..len {
+                        debug_assert_eq!(
+                            d.runtimes[ds + k],
+                            snap.node(idx + k).runtime_id.0,
+                            "seeded range must be a verbatim copy of the donor range"
+                        );
+                    }
+                    paths.extend_from_slice(&d.paths[ds..ds + len]);
+                    keys.extend_from_slice(&d.keys[ds..ds + len]);
+                    depths.extend_from_slice(&d.depths[ds..ds + len]);
+                    runtimes.extend_from_slice(&d.runtimes[ds..ds + len]);
+                    seed_iter.next();
+                    idx += len;
+                    continue;
+                }
+            }
+            let node = snap.node(idx);
             let (path, depth) = match node.parent {
                 None => (empty.clone(), 0),
                 Some(p) => {
@@ -197,6 +255,7 @@ impl SnapIndex {
             paths.push(path);
             depths.push(depth);
             runtimes.push(node.runtime_id.0);
+            idx += 1;
         }
 
         SnapIndex {
@@ -386,6 +445,51 @@ mod tests {
         let ix = SnapIndex::build(&s);
         for (i, _) in s.iter() {
             assert_eq!(ix.depth(i), s.depth(i));
+        }
+    }
+
+    /// Carry-forward splicing: a snapshot whose first window block was
+    /// copied verbatim from a donor builds an index equal to a from-
+    /// scratch build, sharing the donor's path allocations for the copied
+    /// range and recomputing only the dirty tail.
+    #[test]
+    fn seeded_build_matches_fresh_build_and_shares_path_arcs() {
+        let donor = sample();
+        let donor_ix = donor.index_if_built();
+        assert!(donor_ix.is_none(), "index is lazy");
+        let donor_ix = {
+            donor.index();
+            donor.index_if_built().expect("materialized on first use")
+        };
+
+        // Rebuild: window 0 copied from the donor, then a dirty window.
+        let mut next = Snapshot::new();
+        let w0 = next.append_window_from(&donor, 0, donor.len(), 0);
+        next.push_window_root(w0);
+        next.seed_index_window(0, donor.len(), Arc::clone(&donor_ix), 0);
+        let dlg = next.push(ControlProps::new("Box", ControlType::Window), None, 1);
+        next.push_window_root(dlg);
+        next.push(ControlProps::new("OK", ControlType::Button), Some(dlg), 1);
+
+        let spliced = next.index();
+        let fresh = SnapIndex::build_with_seeds(&next, &[]);
+        for (i, _) in next.iter() {
+            assert_eq!(spliced.path(i), fresh.path(i), "node {i}");
+            assert_eq!(spliced.key(i), fresh.key(i), "node {i}");
+            assert_eq!(spliced.depth(i), fresh.depth(i), "node {i}");
+            let id = spliced.control_id(&next, i);
+            assert_eq!(spliced.resolve(&next, &id), fresh.resolve(&next, &id), "node {i}");
+        }
+        // The copied range shares the donor's allocations (no rebuild).
+        for i in 0..donor.len() {
+            assert!(
+                std::ptr::eq(spliced.path(i).as_ptr(), donor_ix.path(i).as_ptr()),
+                "node {i}: spliced path must alias the donor's Arc"
+            );
+        }
+        // Runtime lookups still resolve across both ranges.
+        for (i, n) in next.iter() {
+            assert_eq!(spliced.index_of_runtime(n.runtime_id), Some(i));
         }
     }
 }

@@ -2,7 +2,7 @@
 //! equivalence with the old linear scan, and pinned rip capture counts.
 
 use dmi_apps::AppKind;
-use dmi_core::parallel::{rip_parallel, ParRipConfig};
+use dmi_core::parallel::{rip_fleet, rip_parallel, FleetEntry, ParRipConfig};
 use dmi_core::ripper::{rip, RipConfig};
 use dmi_gui::{CaptureConfig, Session};
 use dmi_uia::{ControlId, ControlKey, Snapshot};
@@ -227,6 +227,77 @@ fn parallel_rip_ung_is_byte_identical_to_sequential() {
             st_par.clicks,
             st_seq.clicks
         );
+    }
+}
+
+/// Fleet-engine equivalence oracle: ripping all three Office apps
+/// concurrently on one shared 4-worker pool — with an unforkable entry
+/// mixed into the fleet to exercise the sequential-fallback path — must
+/// produce, for **every** entry, a UNG byte-identical (as serialized
+/// bytes) to that entry's sequential rip, with matching commit-derived
+/// counters and nonzero shared-capture-pool hits across each Office
+/// app's shards.
+#[test]
+#[ignore = "rip-heavy: CI runs these in release via `-- --ignored`"]
+fn fleet_rip_ungs_are_byte_identical_to_sequential() {
+    use dmi_apps::testkit::UnforkableApp;
+
+    // Sequential references, one per entry.
+    let mut seq: Vec<(String, String, u64, u64)> = Vec::new();
+    for kind in AppKind::ALL {
+        let cfg = RipConfig::office(kind.name());
+        let mut s = Session::new(kind.launch_small());
+        let (g, st) = rip(&mut s, &cfg);
+        seq.push((
+            kind.name().to_string(),
+            serde_json::to_string(&g).unwrap(),
+            st.windows_seen,
+            st.blocklisted,
+        ));
+    }
+    {
+        let mut s = Session::new(Box::new(UnforkableApp::new(3)));
+        let (g, st) = rip(&mut s, &RipConfig::default());
+        seq.push((
+            "Unforkable".to_string(),
+            serde_json::to_string(&g).unwrap(),
+            st.windows_seen,
+            st.blocklisted,
+        ));
+    }
+
+    let mut entries: Vec<FleetEntry> = AppKind::ALL
+        .iter()
+        .map(|k| {
+            FleetEntry::new(k.name(), Session::new(k.launch_small()), RipConfig::office(k.name()))
+        })
+        .collect();
+    entries.push(FleetEntry::new(
+        "Unforkable",
+        Session::new(Box::new(UnforkableApp::new(3))),
+        RipConfig::default(),
+    ));
+
+    let out = rip_fleet(&mut entries, &ParRipConfig { workers: 4, speculation: 2 });
+    assert_eq!(out.len(), seq.len(), "one outcome per entry, in entry order");
+    for (o, (app, g_seq, windows_seen, blocklisted)) in out.iter().zip(&seq) {
+        assert_eq!(&o.app_id, app);
+        assert_eq!(
+            &serde_json::to_string(&o.graph).unwrap(),
+            g_seq,
+            "{app}: fleet UNG must serialize byte-identically to the sequential rip"
+        );
+        assert_eq!(o.stats.windows_seen, *windows_seen, "{app}: windows seen");
+        assert_eq!(o.stats.blocklisted, *blocklisted, "{app}: blocklist hits");
+        if app == "Unforkable" {
+            assert!(o.fell_back, "{app}: must ride the sequential fallback");
+        } else {
+            assert!(!o.fell_back, "{app}: Office apps fork");
+            assert!(
+                o.stats.pool_hits > 0,
+                "{app}: shards must serve shared captures from the pool"
+            );
+        }
     }
 }
 
