@@ -66,3 +66,85 @@ impl GuiApp for UnforkableApp {
         self
     }
 }
+
+/// A forkable application whose **forked instances panic** on their nth
+/// dispatched command — a worker shard dying mid-task. The original
+/// (and therefore any sequential reference rip) never panics, so fleet
+/// fail-soft tests can compare a healthy baseline against the contained
+/// failure. Structure: one window, one popup menu with `items` command
+/// entries.
+pub struct PanickyApp {
+    tree: UiTree,
+    items: usize,
+    panic_at: u32,
+    is_fork: bool,
+    dispatches: u32,
+}
+
+impl PanickyApp {
+    /// Builds the app with `items` menu entries; forks panic on dispatch
+    /// number `panic_at` (1-based). `panic_at` larger than the rip's
+    /// click count makes the app behave like a healthy fixture.
+    pub fn new(items: usize, panic_at: u32) -> PanickyApp {
+        let mut t = UiTree::new();
+        let main = t.add_root(Widget::new("Panicky", CT::Window));
+        let menu = t.add(
+            main,
+            WidgetBuilder::new("Menu", CT::SplitButton)
+                .popup()
+                .on_click(Behavior::OpenMenu)
+                .build(),
+        );
+        for i in 0..items {
+            t.add(
+                menu,
+                WidgetBuilder::new(format!("Item {i}"), CT::ListItem)
+                    .on_click(Behavior::CommandAndDismiss(CommandBinding::new(format!("noop-{i}"))))
+                    .build(),
+            );
+        }
+        PanickyApp { tree: t, items, panic_at, is_fork: false, dispatches: 0 }
+    }
+}
+
+impl GuiApp for PanickyApp {
+    fn name(&self) -> &str {
+        "Panicky"
+    }
+    fn tree(&self) -> &UiTree {
+        &self.tree
+    }
+    fn tree_mut(&mut self) -> &mut UiTree {
+        &mut self.tree
+    }
+    fn dispatch(&mut self, _src: WidgetId, _b: &CommandBinding) -> Result<(), AppError> {
+        self.dispatches += 1;
+        if self.is_fork && self.dispatches == self.panic_at {
+            panic!("injected fault: fork dispatch #{} dies mid-click", self.panic_at);
+        }
+        Ok(())
+    }
+    fn reset(&mut self) {
+        let dispatches = self.dispatches;
+        let is_fork = self.is_fork;
+        *self = PanickyApp::new(self.items, self.panic_at);
+        self.dispatches = dispatches;
+        self.is_fork = is_fork;
+    }
+    fn fork(&self) -> Option<Box<dyn GuiApp>> {
+        let mut f = PanickyApp::new(self.items, self.panic_at);
+        f.is_fork = true;
+        Some(Box::new(f))
+    }
+    fn pristine_token(&self) -> Option<u64> {
+        // The launch image really is restored by reset; panicking is a
+        // crash fault, not a pristineness lie.
+        Some(0x9a71_c355_0f2d_4b01 ^ self.items as u64 ^ ((self.panic_at as u64) << 32))
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -9,7 +9,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dmi_apps::AppKind;
 use dmi_bench::report;
-use dmi_core::parallel::{rip_fleet, rip_parallel, FleetEntry, ParRipConfig};
+use dmi_core::parallel::{rip_fleet, rip_parallel, FleetEntry, ParRipConfig, RipStatus};
 use dmi_core::ripper::{rip, RipConfig};
 use dmi_gui::{CaptureConfig, Session};
 use dmi_uia::{ControlId, Snapshot};
@@ -306,9 +306,9 @@ fn office_fleet() -> Vec<FleetEntry> {
 /// path); like `rip_par/*`, speedups over `rip/*` need physical cores —
 /// on a single-CPU container the variants measure scheduling overhead.
 fn bench_rip_fleet(c: &mut Criterion) {
-    // One-shot shared-capture-pool efficacy report (per app, 2 workers),
-    // printed outside the timed loops — and only when this group is
-    // actually selected by the bench name filter.
+    // One-shot shared-capture-pool efficacy + fault/recovery report (per
+    // app, 2 workers), printed outside the timed loops — and only when
+    // this group is actually selected by the bench name filter.
     fn report_pool_once() {
         static ONCE: OnceLock<()> = OnceLock::new();
         ONCE.get_or_init(|| {
@@ -317,6 +317,22 @@ fn bench_rip_fleet(c: &mut Criterion) {
                 eprintln!(
                     "{}",
                     report::pool_line(&o.app_id, o.stats.pool_hits, o.stats.pool_misses)
+                );
+                let status = match &o.status {
+                    RipStatus::Parallel => "parallel",
+                    RipStatus::FellBack => "fell-back",
+                    RipStatus::Degraded(_) => "degraded",
+                    RipStatus::Failed(_) => "failed",
+                };
+                eprintln!(
+                    "{}",
+                    report::fault_line(
+                        &o.app_id,
+                        status,
+                        o.stats.restarts,
+                        o.stats.esc_recoveries,
+                        o.stats.poison_recoveries,
+                    )
                 );
             }
         });

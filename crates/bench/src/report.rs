@@ -60,6 +60,22 @@ pub fn pool_line(app: &str, pool_hits: u64, pool_misses: u64) -> String {
     format!("capture-pool {app}: {pool_hits}/{probes} probes shared ({})", pct(rate))
 }
 
+/// One fault/recovery line for the fleet bench reporter: which engine the
+/// entry finished on and how much state-restoration and fail-soft work its
+/// rip spent (restarts, Esc recoveries, poisoned-lock recoveries).
+pub fn fault_line(
+    app: &str,
+    status: &str,
+    restarts: u64,
+    esc_recoveries: u64,
+    poison_recoveries: u64,
+) -> String {
+    format!(
+        "fault-recovery {app} [{status}]: {restarts} restarts, {esc_recoveries} esc recoveries, \
+         {poison_recoveries} poisoned-lock recoveries"
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +103,14 @@ mod tests {
     fn pool_line_reports_rate_and_handles_zero_probes() {
         assert_eq!(pool_line("Word", 3, 1), "capture-pool Word: 3/4 probes shared (75.0%)");
         assert_eq!(pool_line("Idle", 0, 0), "capture-pool Idle: 0/0 probes shared (0.0%)");
+    }
+
+    #[test]
+    fn fault_line_names_engine_and_counters() {
+        assert_eq!(
+            fault_line("Excel", "parallel", 4, 11, 1),
+            "fault-recovery Excel [parallel]: 4 restarts, 11 esc recoveries, \
+             1 poisoned-lock recoveries"
+        );
     }
 }

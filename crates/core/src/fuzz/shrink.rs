@@ -1,0 +1,98 @@
+//! Delta-debugging reducer for failing op sequences.
+//!
+//! When an oracle flags a generated spec, the raw reproducer is usually
+//! dozens of ops deep. [`shrink_ops`] greedily removes chunks (ddmin
+//! style: halves, then quarters, … down to single ops) while the
+//! caller's predicate keeps failing, converging on a locally minimal
+//! sequence — removing any single remaining op makes the failure
+//! disappear. Arena ops degrade instead of erroring when their context
+//! is gone (see [`super::gen::ArenaOp`]), so every candidate subsequence
+//! is buildable and the predicate never has to guard against invalid
+//! specs.
+
+use super::gen::ArenaOp;
+
+/// Reduces `ops` to a locally minimal subsequence on which `fails` still
+/// returns `true`.
+///
+/// The caller must ensure `fails(ops)` holds for the full input —
+/// otherwise the input is returned unchanged (nothing to reproduce,
+/// nothing to shrink). The predicate is pure from this function's point
+/// of view: it is re-invoked freely, typically a full differential
+/// oracle run per candidate.
+pub fn shrink_ops(ops: &[ArenaOp], fails: impl Fn(&[ArenaOp]) -> bool) -> Vec<ArenaOp> {
+    let mut cur = ops.to_vec();
+    let mut chunk = cur.len().div_ceil(2).max(1);
+    while !cur.is_empty() {
+        let mut i = 0;
+        let mut removed = false;
+        while i < cur.len() {
+            let end = (i + chunk).min(cur.len());
+            let mut cand = Vec::with_capacity(cur.len() - (end - i));
+            cand.extend_from_slice(&cur[..i]);
+            cand.extend_from_slice(&cur[end..]);
+            if fails(&cand) {
+                cur = cand;
+                removed = true;
+                // Do not advance: the slice shifted left under `i`.
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 {
+            if !removed {
+                break;
+            }
+        } else {
+            chunk = (chunk / 2).max(1);
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops(n: u16) -> Vec<ArenaOp> {
+        (0..n).map(ArenaOp::Button).collect()
+    }
+
+    #[test]
+    fn shrinks_to_the_single_guilty_op() {
+        let full = ops(40);
+        let min = shrink_ops(&full, |c| c.contains(&ArenaOp::Button(17)));
+        assert_eq!(min, vec![ArenaOp::Button(17)]);
+    }
+
+    #[test]
+    fn keeps_a_guilty_pair_even_when_split_across_chunks() {
+        let full = ops(33);
+        let min = shrink_ops(&full, |c| {
+            c.contains(&ArenaOp::Button(2)) && c.contains(&ArenaOp::Button(31))
+        });
+        assert_eq!(min, vec![ArenaOp::Button(2), ArenaOp::Button(31)]);
+    }
+
+    #[test]
+    fn order_sensitive_predicates_keep_relative_order() {
+        let full = ops(20);
+        let min = shrink_ops(&full, |c| {
+            let a = c.iter().position(|o| *o == ArenaOp::Button(3));
+            let b = c.iter().position(|o| *o == ArenaOp::Button(12));
+            matches!((a, b), (Some(a), Some(b)) if a < b)
+        });
+        assert_eq!(min, vec![ArenaOp::Button(3), ArenaOp::Button(12)]);
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let full = ops(5);
+        assert_eq!(shrink_ops(&full, |_| false), full);
+    }
+
+    #[test]
+    fn empty_input_stays_empty() {
+        assert_eq!(shrink_ops(&[], |_| true), Vec::new());
+    }
+}

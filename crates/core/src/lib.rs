@@ -24,6 +24,7 @@
 pub mod describe;
 pub mod dmi;
 pub mod error;
+pub mod fuzz;
 pub mod graph;
 pub mod interface;
 pub mod parallel;
@@ -34,10 +35,12 @@ pub mod topology;
 
 pub use describe::DescribeConfig;
 pub use dmi::{Dmi, DmiBuildConfig, DmiBuildStats, VisitOutcome};
-pub use error::{DmiError, DmiResult};
+pub use error::{DmiError, DmiResult, RipError};
 pub use graph::{Ung, UngNode};
 pub use interface::{ExecutorConfig, VisitCommand};
-pub use parallel::{rip_fleet, rip_parallel, FleetEntry, ParRipConfig, RipOutcome, ShardPlan};
+pub use parallel::{
+    rip_fleet, rip_parallel, FleetEntry, ParRipConfig, RipOutcome, RipStatus, ShardPlan,
+};
 pub use ripper::{ContextSetup, RipConfig, RipStats};
 pub use screen::{label_screen, LabeledScreen};
 pub use topology::{Forest, ForestConfig};

@@ -88,7 +88,24 @@
 //! exactly. `RipConfig::max_clicks` gates on a global click counter that
 //! has no order-independent parallel equivalent, so entries using it (a
 //! debug aid) fall back to the sequential engine, as do applications
-//! that cannot fork — [`RipOutcome::fell_back`] reports which engine ran.
+//! that cannot fork — [`RipOutcome::status`] reports which engine ran.
+//!
+//! # Fault containment
+//!
+//! The fleet survives hostile frontiers without giving up determinism:
+//! worker exploration runs under `catch_unwind`, so an application that
+//! panics mid-click kills only the checked-out fork — the scheduler
+//! quarantines that one lane ([`RipStatus::Failed`], partial graph and
+//! panic payload preserved) while sibling lanes finish byte-identical to
+//! their sequential rips. Worker forks additionally digest their base
+//! after every restart; a digest that stops matching the lane's seed
+//! base proves the app's reset drifted from its attested pristine image,
+//! and the lane degrades to a cache-cleared sequential re-rip
+//! ([`RipStatus::Degraded`]) instead of merging untrustworthy bytes.
+//! Capture-pool lock poisoning is likewise fail-soft: pooled entries are
+//! forfeited and rebuilt (`RipStats::poison_recoveries` counts it),
+//! never served from a suspect state. The fuzz harness
+//! ([`crate::fuzz`]) drives all of this adversarially.
 //!
 //! [`RipStats`]: crate::ripper::RipStats
 //! [`RipConfig::max_clicks`]: crate::ripper::RipConfig
@@ -98,13 +115,13 @@ mod scheduler;
 mod worker;
 
 pub use plan::{ParRipConfig, ShardPlan};
-pub use scheduler::{rip_fleet, rip_parallel, FleetEntry, RipOutcome};
+pub use scheduler::{rip_fleet, rip_parallel, FleetEntry, RipOutcome, RipStatus};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ripper::{rip, RipConfig};
-    use dmi_apps::testkit::UnforkableApp;
+    use dmi_apps::testkit::{PanickyApp, UnforkableApp};
     use dmi_apps::AppKind;
     use dmi_gui::Session;
 
@@ -173,7 +190,7 @@ mod tests {
         let out = rip_fleet(&mut entries, &ParRipConfig { workers: 2, speculation: 2 });
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].app_id, "PowerPoint");
-        assert!(!out[0].fell_back, "Office apps fork");
+        assert!(!out[0].fell_back(), "Office apps fork");
         assert_eq!(
             serde_json::to_string(&out[0].graph).unwrap(),
             serde_json::to_string(&g_seq).unwrap(),
@@ -186,7 +203,11 @@ mod tests {
             "shards of one app must share captures through the pool"
         );
         assert_eq!(out[1].app_id, "Unforkable");
-        assert!(out[1].fell_back, "unforkable entries ride the sequential engine");
+        assert_eq!(
+            out[1].status,
+            RipStatus::FellBack,
+            "unforkable entries ride the sequential engine"
+        );
         assert_eq!(out[1].graph.node_count(), g_tiny.node_count());
         assert_eq!(out[1].graph.edge_count(), g_tiny.edge_count());
     }
@@ -218,6 +239,68 @@ mod tests {
         // Different versions have genuinely different UIs.
         assert_ne!(out[0].graph.node_count(), out[1].graph.node_count());
         assert_ne!(out[1].graph.node_count(), out[2].graph.node_count());
+    }
+
+    /// A worker panic mid-rip is contained per entry: the panicking
+    /// entry comes back [`RipStatus::Failed`] with the payload and app
+    /// id preserved, while the sibling entry on the same worker pool
+    /// finishes byte-identical to its sequential rip.
+    #[test]
+    fn worker_panic_is_contained_per_entry() {
+        crate::fuzz::silence_injected_panics();
+        let cfg = RipConfig::default();
+        let mut seq = Session::new(AppKind::PowerPoint.launch_small());
+        let (g_seq, _) = rip(&mut seq, &cfg);
+
+        let mut entries = vec![
+            FleetEntry::new(
+                "Healthy",
+                Session::new(AppKind::PowerPoint.launch_small()),
+                cfg.clone(),
+            ),
+            FleetEntry::new(
+                "Panicky",
+                Session::new(Box::new(PanickyApp::new(3, 2))),
+                RipConfig::default(),
+            ),
+        ];
+        let out = rip_fleet(&mut entries, &ParRipConfig { workers: 2, speculation: 2 });
+
+        assert_eq!(out[0].app_id, "Healthy");
+        assert_eq!(out[0].status, RipStatus::Parallel, "healthy lane must not be dragged down");
+        assert_eq!(
+            serde_json::to_string(&out[0].graph).unwrap(),
+            serde_json::to_string(&g_seq).unwrap(),
+            "healthy entry stays byte-identical to its sequential rip"
+        );
+
+        assert_eq!(out[1].app_id, "Panicky");
+        match out[1].error().expect("the contained fault must be reported") {
+            crate::error::RipError::WorkerPanic { app_id, payload } => {
+                assert_eq!(app_id, "Panicky");
+                assert!(
+                    payload.contains("injected fault"),
+                    "panic payload must be preserved, got: {payload}"
+                );
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        assert!(matches!(out[1].status, RipStatus::Failed(_)));
+    }
+
+    /// The single-entry caller asked for one graph; a contained worker
+    /// panic is re-raised there (with the payload preserved) instead of
+    /// silently returning a partial UNG.
+    #[test]
+    #[should_panic(expected = "worker shard panicked")]
+    fn single_entry_caller_sees_the_contained_panic() {
+        crate::fuzz::silence_injected_panics();
+        let mut s = Session::new(Box::new(PanickyApp::new(3, 2)));
+        let _ = rip_parallel(
+            &mut s,
+            &RipConfig::default(),
+            &ParRipConfig { workers: 2, speculation: 2 },
+        );
     }
 
     #[test]

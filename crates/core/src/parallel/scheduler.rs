@@ -20,8 +20,11 @@ use super::plan::{ParRipConfig, ShardPlan};
 use super::worker::{
     drain_pool, worker_loop, AppShared, FleetShared, Outcome, PooledUnit, Reply, Task,
 };
+use crate::error::RipError;
 use crate::graph::Ung;
-use crate::ripper::{rip, Candidate, ExploreUnit, Frontier, RipConfig, RipStats, UnitState};
+use crate::ripper::{
+    rip, snapshot_digest, Candidate, ExploreUnit, Frontier, RipConfig, RipStats, UnitState,
+};
 use dmi_gui::{CapturePool, CaptureStats, Session};
 use std::collections::{HashMap, HashSet};
 use std::sync::mpsc::{channel, Receiver};
@@ -47,19 +50,56 @@ impl FleetEntry {
     }
 }
 
+/// How one fleet entry's rip concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RipStatus {
+    /// Ripped on the parallel engine; every fault oracle stayed quiet.
+    Parallel,
+    /// Ran on the sequential fallback engine (the app cannot fork, the
+    /// plan resolved to one worker, or `max_clicks` is set). The UNG is
+    /// byte-identical either way.
+    FellBack,
+    /// A determinism oracle fired mid-rip: the parallel merge could no
+    /// longer be trusted, so the engine quarantined the lane, threw the
+    /// partial merge away, and re-ripped this entry sequentially on the
+    /// caller's session with cleared capture caches. The graph is the
+    /// sequential reference result; the error records the fault.
+    Degraded(RipError),
+    /// A worker shard panicked while serving this entry. The graph holds
+    /// the partial merge committed before the fault (every byte of it
+    /// matches a prefix of the sequential rip); sibling entries are
+    /// unaffected.
+    Failed(RipError),
+}
+
 /// The result of ripping one fleet entry.
 pub struct RipOutcome {
     /// The entry's `app_id`, echoed back.
     pub app_id: String,
-    /// The merged UNG — byte-identical to this entry's sequential rip.
+    /// The merged UNG — byte-identical to this entry's sequential rip
+    /// (partial for [`RipStatus::Failed`] entries).
     pub graph: Ung,
     /// Aggregated effort counters (scheduler lane + every worker that
     /// served this app, capture-pool counters included).
     pub stats: RipStats,
-    /// Whether this entry ran on the sequential fallback engine (the app
-    /// cannot fork, the plan resolved to one worker, or `max_clicks` is
-    /// set). The UNG is byte-identical either way.
-    pub fell_back: bool,
+    /// Which engine produced the graph, and whether a fault was
+    /// contained along the way.
+    pub status: RipStatus,
+}
+
+impl RipOutcome {
+    /// Whether this entry ran on the sequential fallback engine.
+    pub fn fell_back(&self) -> bool {
+        matches!(self.status, RipStatus::FellBack)
+    }
+
+    /// The contained fault, when one was detected.
+    pub fn error(&self) -> Option<&RipError> {
+        match &self.status {
+            RipStatus::Degraded(e) | RipStatus::Failed(e) => Some(e),
+            RipStatus::Parallel | RipStatus::FellBack => None,
+        }
+    }
 }
 
 /// Rips a fleet of applications concurrently on one shared worker pool,
@@ -87,6 +127,12 @@ pub fn rip_fleet(entries: &mut [FleetEntry], par: &ParRipConfig) -> Vec<RipOutco
 /// worker, when the application cannot fork from a pristine image, or
 /// when `config.max_clicks` is set (its global click gate has no
 /// order-independent parallel equivalent).
+///
+/// A contained worker panic ([`RipStatus::Failed`]) is re-raised here:
+/// the single-entry caller asked for one graph and there is no complete
+/// one to return. Divergence degrades to the sequential re-rip
+/// transparently — the returned graph is the sequential reference
+/// result. Use [`rip_fleet`] to observe per-entry [`RipStatus`] instead.
 pub fn rip_parallel(
     session: &mut Session,
     config: &RipConfig,
@@ -95,6 +141,9 @@ pub fn rip_parallel(
     let plan = ShardPlan::resolve(par);
     let seeds = vec![LaneSeed { app_id: String::from("app"), session, config }];
     let outcome = run_fleet(seeds, &plan).pop().expect("one seed yields one outcome");
+    if let RipStatus::Failed(err) = &outcome.status {
+        panic!("{err}");
+    }
     (outcome.graph, outcome.stats)
 }
 
@@ -147,7 +196,7 @@ fn run_fleet(seeds: Vec<LaneSeed<'_>>, plan: &ShardPlan) -> Vec<RipOutcome> {
         let mut units = Vec::with_capacity(plan.workers);
         for _ in 0..plan.workers {
             match seed.session.fork_from_pristine() {
-                Some(s) => units.push(PooledUnit { session: s, state: UnitState::default() }),
+                Some(s) => units.push(PooledUnit { session: s, state: UnitState::probing() }),
                 None => break,
             }
         }
@@ -215,7 +264,7 @@ fn run_fleet(seeds: Vec<LaneSeed<'_>>, plan: &ShardPlan) -> Vec<RipOutcome> {
 /// Runs one entry on the sequential fallback engine.
 fn run_sequential(seed: LaneSeed<'_>) -> RipOutcome {
     let (graph, stats) = rip(seed.session, seed.config);
-    RipOutcome { app_id: seed.app_id, graph, stats, fell_back: true }
+    RipOutcome { app_id: seed.app_id, graph, stats, status: RipStatus::FellBack }
 }
 
 /// The fleet execution state: one commit lane (frontier + scheduler
@@ -260,21 +309,56 @@ impl FleetPlan<'_> {
         }
     }
 
-    /// Routes one worker reply to its lane (re-raising worker panics with
-    /// the app id of the frontier the worker was serving) and marks the
-    /// lane for pumping.
+    /// Routes one worker reply to its lane and marks the lane for
+    /// pumping. Faults are contained here, never re-raised: a worker
+    /// panic quarantines exactly the frontier it was serving, an
+    /// `Unserved` hand-back is queued for urgent re-dispatch, and a
+    /// quarantined lane silently swallows its stragglers.
+    ///
+    /// The restart-divergence oracle runs here, on every reply that
+    /// carries probe evidence — before the outcome is even filed. A
+    /// drifted fork usually *fails* its exploration (the control it was
+    /// dispatched to click got renamed under it), so gating the digest
+    /// check on a successful outcome would discard exactly the replies
+    /// most likely to prove the fault.
     fn route(&mut self, (app, seq, reply): (usize, u64, Reply)) {
         let lane = &mut self.lanes[app];
-        let outcome = match reply {
-            Reply::Done(o) => o,
-            Reply::Panicked => panic!(
-                "worker shard panicked while exploring a candidate for app '{}'",
-                lane.app_id
-            ),
-        };
         lane.in_flight -= 1;
-        if !lane.discarded.remove(&seq) {
-            lane.pending.insert(seq, outcome);
+        match reply {
+            Reply::Done { outcome, base_digest } => {
+                if lane.failed.is_some() {
+                    return; // Quarantined: late results are dropped.
+                }
+                if let Some(d) = base_digest {
+                    if d != lane.base_digest {
+                        let detail = format!(
+                            "worker fork restarted into base digest {d:#018x}, lane base is \
+                             {:#018x} (the app's reset does not restore its attested pristine \
+                             image)",
+                            lane.base_digest
+                        );
+                        let err = RipError::Divergence { app_id: lane.app_id.clone(), detail };
+                        lane.quarantine(err, &self.shared);
+                        self.dirty[app] = true;
+                        return;
+                    }
+                }
+                if !lane.discarded.remove(&seq) {
+                    lane.pending.insert(seq, outcome);
+                }
+            }
+            Reply::Panicked(payload) => {
+                let err = RipError::WorkerPanic { app_id: lane.app_id.clone(), payload };
+                lane.quarantine(err, &self.shared);
+            }
+            Reply::Unserved => {
+                if lane.failed.is_some() {
+                    return;
+                }
+                if !lane.discarded.remove(&seq) {
+                    lane.unserved.insert(seq);
+                }
+            }
         }
         self.dirty[app] = true;
     }
@@ -319,6 +403,9 @@ struct Lane<'a> {
     /// Dispatched entries whose candidate was popped as already-visited:
     /// their results are dropped on arrival.
     discarded: HashSet<u64>,
+    /// Dispatched entries handed back unserved (the app's unit pool was
+    /// momentarily empty): re-dispatched urgently when popped.
+    unserved: HashSet<u64>,
     /// Dispatched tasks whose results have not arrived yet.
     in_flight: usize,
     /// Context-setup clicks of the pass in progress.
@@ -328,6 +415,11 @@ struct Lane<'a> {
     /// The candidate whose outcome the lane is blocked on.
     waiting: Option<Candidate>,
     done: bool,
+    /// The fault that quarantined this lane, if any ([`Lane::quarantine`]).
+    failed: Option<RipError>,
+    /// Digest of this lane's own seed base ([`snapshot_digest`]): the
+    /// reference every worker-side post-restart digest must match.
+    base_digest: u64,
     /// Last fairness weight reported to the shared queue (skip the queue
     /// lock when unchanged).
     last_weight: u64,
@@ -347,19 +439,39 @@ impl<'a> Lane<'a> {
             frontier: Frontier::new(),
             pending: HashMap::new(),
             discarded: HashSet::new(),
+            unserved: HashSet::new(),
             in_flight: 0,
             setup: Arc::from(Vec::new()),
             next_context: 0,
             waiting: None,
             done: false,
+            failed: None,
+            base_digest: 0,
             last_weight: 0,
             cs0,
         };
         lane.unit.restart();
         let snap = lane.unit.snapshot();
+        lane.base_digest = snapshot_digest(&snap);
         lane.frontier.seed(&snap, &[], lane.unit.config(), &mut lane.unit.stats);
         lane.report_weight(shared);
         lane
+    }
+
+    /// Quarantines the lane after a detected fault: records the error,
+    /// stops the commit loop, drops all speculation bookkeeping, and
+    /// purges the lane's queued tasks (deducting them from the in-flight
+    /// count — purged tasks never reply). Sibling lanes are untouched;
+    /// stragglers still in worker hands are swallowed by `route`.
+    fn quarantine(&mut self, err: RipError, shared: &FleetShared) {
+        self.failed = Some(err);
+        self.done = true;
+        self.waiting = None;
+        self.pending.clear();
+        self.discarded.clear();
+        self.unserved.clear();
+        self.in_flight -= shared.purge_app(self.app);
+        self.last_weight = 0;
     }
 
     /// Replays the lane's DFS as far as delivered outcomes allow: commits
@@ -374,6 +486,14 @@ impl<'a> Lane<'a> {
         let mut progressed = false;
         loop {
             if let Some(c) = self.waiting.take() {
+                if self.unserved.remove(&c.seq) {
+                    // The task came back unserved (a dying sibling took
+                    // the unit it needed); re-dispatch it urgently.
+                    shared.push_front(self.task_for(&c));
+                    self.in_flight += 1;
+                    self.waiting = Some(c);
+                    break;
+                }
                 let Some(o) = self.pending.remove(&c.seq) else {
                     self.waiting = Some(c);
                     break;
@@ -421,7 +541,9 @@ impl<'a> Lane<'a> {
 
     /// Applies one outcome in commit order (`None` means the worker could
     /// not establish or click — counted there, skipped here, exactly like
-    /// the sequential DFS).
+    /// the sequential DFS). Restart-divergence was already screened at
+    /// route time: an outcome only reaches this point if its reply's probe
+    /// digest (when any) matched the lane's seed base.
     fn commit(&mut self, c: &Candidate, o: Option<Outcome>) {
         let Some(o) = o else { return };
         if o.window_opened {
@@ -501,13 +623,33 @@ impl<'a> Lane<'a> {
     /// Tears the lane down: absorbs every pooled worker unit's counters
     /// and the caller session's capture-pool delta, detaches the shared
     /// capture pool, and yields the outcome.
+    ///
+    /// A divergence-quarantined lane degrades here: its partial merge is
+    /// discarded and the entry re-rips on the sequential reference
+    /// engine, using the caller's session with every capture cache
+    /// cleared (the caches were built while trusting a reset the oracle
+    /// just disproved). A panic-quarantined lane keeps its partial graph
+    /// — each committed byte matches a prefix of the sequential rip —
+    /// and reports [`RipStatus::Failed`].
     fn finish(self, shared: &FleetShared) -> (usize, RipOutcome) {
-        let Lane { app, entry_idx, app_id, unit, frontier, cs0, .. } = self;
+        let Lane { app, entry_idx, app_id, mut unit, frontier, cs0, failed, .. } = self;
         let mut stats = unit.stats;
         drain_pool(&shared.apps[app], &mut stats);
-        let mut unit = unit;
         stats.fold_pool_delta(cs0, unit.session().capture_stats());
         unit.session_mut().set_capture_pool(None);
-        (entry_idx, RipOutcome { app_id, graph: frontier.g, stats, fell_back: false })
+        let status = match failed {
+            None => RipStatus::Parallel,
+            Some(err @ RipError::Divergence { .. }) => {
+                let config = unit.config();
+                let session = unit.into_session();
+                session.set_capture_config(session.capture_config());
+                let (graph, seq_stats) = rip(session, config);
+                stats.absorb(&seq_stats);
+                let outcome = RipOutcome { app_id, graph, stats, status: RipStatus::Degraded(err) };
+                return (entry_idx, outcome);
+            }
+            Some(err) => RipStatus::Failed(err),
+        };
+        (entry_idx, RipOutcome { app_id, graph: frontier.g, stats, status })
     }
 }

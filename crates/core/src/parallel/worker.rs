@@ -54,31 +54,41 @@ pub(super) struct Outcome {
     pub window_opened: bool,
 }
 
-/// One worker answer. `Panicked` is sent from an unwind guard so a dying
-/// shard can never strand the scheduler in `recv` (the other shards'
-/// senders keep the channel open, so a plain drop would block it
-/// forever); the scheduler re-raises on receipt, naming the app whose
-/// frontier the worker was serving.
+/// One worker answer. Every dispatched task produces exactly one reply —
+/// the scheduler's in-flight accounting depends on it — so faults are
+/// answers, not silences: `Panicked` reports that the exploration
+/// unwound (the unit died with it; the scheduler quarantines the app),
+/// `Unserved` hands the task back because the app's session pool was
+/// empty (a sibling worker died holding a unit; the scheduler
+/// re-dispatches).
 pub(super) enum Reply {
-    Done(Option<Outcome>),
-    Panicked,
+    Done {
+        /// The exploration result (`None` when establish/click failed —
+        /// skipped on commit, exactly like the sequential DFS).
+        outcome: Option<Outcome>,
+        /// The digest of the fork's post-restart base, when serving this
+        /// task restarted ([`crate::ripper::snapshot_digest`]). Carried
+        /// on the reply — *not* the outcome — because a drifted fork is
+        /// most likely to fail its exploration (the control it came to
+        /// click got renamed under it): the probe evidence must reach
+        /// the scheduler even when there is no outcome to merge. The
+        /// scheduler compares it against the lane's seed digest and
+        /// quarantines on mismatch before any byte can merge.
+        base_digest: Option<u64>,
+    },
+    Panicked(String),
+    Unserved,
 }
 
-/// Sends `Reply::Panicked` for the in-flight task when dropped during an
-/// unwind. Carries the task's app index so the panic report can name the
-/// frontier it was serving.
-struct ReplyGuard<'a> {
-    app: usize,
-    seq: u64,
-    results: &'a Sender<(usize, u64, Reply)>,
-    armed: bool,
-}
-
-impl Drop for ReplyGuard<'_> {
-    fn drop(&mut self) {
-        if self.armed {
-            let _ = self.results.send((self.app, self.seq, Reply::Panicked));
-        }
+/// Renders a `catch_unwind` payload as text (panic messages are `&str`
+/// or `String` in practice).
+fn panic_payload(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("non-string panic payload")
     }
 }
 
@@ -90,12 +100,25 @@ pub(super) struct PooledUnit {
 }
 
 /// Everything the worker pool shares for one app: the rip configuration
-/// and the session pool. The pool holds one unit per worker, so a
-/// checkout can never block — at most `workers` tasks of one app run
-/// concurrently, each holding one unit.
+/// and the session pool. The pool starts with one unit per worker, so a
+/// checkout never blocks — at most `workers` tasks of one app run
+/// concurrently, each holding one unit. A panicking exploration destroys
+/// its unit (the pool shrinks); a worker finding the pool empty hands
+/// the task back as [`Reply::Unserved`] instead of waiting on a pool
+/// that may never refill.
 pub(super) struct AppShared {
     pub config: Arc<RipConfig>,
     pub units: Mutex<Vec<PooledUnit>>,
+}
+
+impl AppShared {
+    /// Locks the unit pool, shrugging off poison: the pool holds parked
+    /// sessions between checkouts, and the lock is never held across
+    /// exploration, so a poisoned guard's contents are structurally
+    /// intact — the panic happened elsewhere.
+    fn units(&self) -> std::sync::MutexGuard<'_, Vec<PooledUnit>> {
+        self.units.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
 }
 
 /// One app's sub-queue plus its fairness inputs.
@@ -160,6 +183,19 @@ impl FleetShared {
         self.queue.lock().unwrap().subs[app].weight = weight;
     }
 
+    /// Drops every queued task for one app (the scheduler quarantined
+    /// it) so no worker burns time exploring a frontier whose outcome is
+    /// already failed. Returns how many tasks were dropped — the
+    /// scheduler deducts them from the lane's in-flight count, since a
+    /// purged task will never produce a reply.
+    pub fn purge_app(&self, app: usize) -> usize {
+        let mut q = self.queue.lock().unwrap();
+        let sub = &mut q.subs[app];
+        sub.urgent = 0;
+        sub.weight = 0;
+        sub.tasks.drain(..).count()
+    }
+
     /// Wakes every worker and makes further pops return `None`.
     pub fn shutdown(&self) {
         self.queue.lock().unwrap().shutdown = true;
@@ -214,22 +250,48 @@ impl FleetShared {
 /// exploration unit out of the task's app pool, explore, diff, check the
 /// unit back in, send — until shutdown. Effort counters accumulate on the
 /// pooled unit's state; the scheduler drains them per app at teardown.
+///
+/// Exploration runs under `catch_unwind`: a panicking application (or a
+/// bug in the explore path) kills only the checked-out unit, never the
+/// worker thread — the thread reports [`Reply::Panicked`] and moves on
+/// to other apps' tasks, so one hostile frontier cannot take lanes it
+/// never served down with it.
 pub(super) fn worker_loop(shared: Arc<FleetShared>, results: Sender<(usize, u64, Reply)>) {
     while let Some(task) = shared.pop() {
         let app = &shared.apps[task.app];
-        let mut slot =
-            app.units.lock().unwrap().pop().expect("the per-app pool holds one unit per worker");
-        let mut guard = ReplyGuard { app: task.app, seq: task.seq, results: &results, armed: true };
-        let mut unit = ExploreUnit::resume(&mut slot.session, &app.config, slot.state);
-        let out = unit.explore(&task.setup, &task.cid, &task.path).map(|ex| Outcome {
-            window_opened: ex.post.windows().len() > ex.pre.windows().len(),
-            fresh: diff_fresh(&ex.pre, &ex.post),
-            post: ex.post,
-        });
-        slot.state = unit.suspend();
-        app.units.lock().unwrap().push(slot);
-        guard.armed = false;
-        if results.send((task.app, task.seq, Reply::Done(out))).is_err() {
+        let Some(slot) = app.units().pop() else {
+            // A sibling worker panicked and its unit died with it; hand
+            // the task back so the scheduler re-dispatches once a unit
+            // frees up (or quarantines the app).
+            if results.send((task.app, task.seq, Reply::Unserved)).is_err() {
+                break;
+            }
+            continue;
+        };
+        let PooledUnit { mut session, state } = slot;
+        let explored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut unit = ExploreUnit::resume(&mut session, &app.config, state);
+            let out = unit.explore(&task.setup, &task.cid, &task.path).map(|ex| Outcome {
+                window_opened: ex.post.windows().len() > ex.pre.windows().len(),
+                fresh: diff_fresh(&ex.pre, &ex.post),
+                post: ex.post,
+            });
+            // Taken unconditionally: a failed exploration on a drifted
+            // fork still probed its restart base, and that evidence must
+            // reach the scheduler's divergence oracle.
+            let digest = unit.take_base_digest();
+            (out, digest, unit.suspend())
+        }));
+        let reply = match explored {
+            Ok((outcome, base_digest, state)) => {
+                app.units().push(PooledUnit { session, state });
+                Reply::Done { outcome, base_digest }
+            }
+            // The session's state is arbitrary mid-unwind; the unit is
+            // forfeited (dropped with `session`) and the pool shrinks.
+            Err(payload) => Reply::Panicked(panic_payload(payload.as_ref())),
+        };
+        if results.send((task.app, task.seq, reply)).is_err() {
             break; // Scheduler gone (it only drops the receiver on exit).
         }
     }
@@ -238,10 +300,11 @@ pub(super) fn worker_loop(shared: Arc<FleetShared>, results: Sender<(usize, u64,
 /// Drains an app's session pool at teardown, absorbing every pooled
 /// unit's effort counters and capture-pool counters into `stats`.
 pub(super) fn drain_pool(app: &AppShared, stats: &mut RipStats) {
-    for unit in std::mem::take(&mut *app.units.lock().unwrap()) {
+    for unit in std::mem::take(&mut *app.units()) {
         stats.absorb(&unit.state.stats);
         let cs = unit.session.capture_stats();
         stats.pool_hits += cs.pool_hits;
         stats.pool_misses += cs.pool_misses;
+        stats.poison_recoveries += cs.poison_recoveries;
     }
 }

@@ -141,6 +141,10 @@ pub struct RipStats {
     pub pool_hits: u64,
     /// Pool probes that found no pooled capture.
     pub pool_misses: u64,
+    /// Poisoned capture-pool locks recovered by discarding the pooled
+    /// entries and rebuilding (fail-soft: a shard that dies holding the
+    /// pool lock costs cached captures, never correctness).
+    pub poison_recoveries: u64,
 }
 
 impl RipStats {
@@ -157,6 +161,7 @@ impl RipStats {
         self.windows_seen += other.windows_seen;
         self.pool_hits += other.pool_hits;
         self.pool_misses += other.pool_misses;
+        self.poison_recoveries += other.poison_recoveries;
     }
 
     /// Folds a session's capture-pool counter delta into the rip stats
@@ -168,6 +173,7 @@ impl RipStats {
     ) {
         self.pool_hits += after.pool_hits - before.pool_hits;
         self.pool_misses += after.pool_misses - before.pool_misses;
+        self.poison_recoveries += after.poison_recoveries - before.poison_recoveries;
     }
 }
 
@@ -217,6 +223,15 @@ pub(crate) struct ExploreUnit<'a> {
     /// re-selecting its default tab — nothing heals it, so only a
     /// restart clears this.
     dialog_tab_dirty: bool,
+    /// Whether every restart should capture and digest the fresh base
+    /// (worker-pool units only — see [`UnitState::probing`]). The extra
+    /// base capture is byte-safe: late-load reveal schedules are relative
+    /// to the click-time query sequence, so an additional query between
+    /// restart and replay shifts no reveal boundary.
+    probe_base: bool,
+    /// The digest recorded by the most recent probing restart, taken by
+    /// the worker after each exploration ([`ExploreUnit::take_base_digest`]).
+    last_base_digest: Option<u64>,
 }
 
 /// Rips an application into a UNG (sequential reference implementation;
@@ -247,6 +262,22 @@ pub(crate) struct UnitState {
     base_epoch: u64,
     tab_dirty: bool,
     dialog_tab_dirty: bool,
+    probe_base: bool,
+}
+
+impl UnitState {
+    /// The initial state for a worker-pool unit: base-digest probing —
+    /// every restart captures the fresh base and digests it so the
+    /// scheduler can cross-check worker bases against the lane's (the
+    /// fleet divergence oracle). The recovery planner starts *poisoned*
+    /// (`dialog_tab_dirty`), forcing the unit's first establish to
+    /// restart: a fork's launch state is unattested until its first
+    /// probed restart, so every unit records at least one base digest
+    /// before any of its bytes can merge. Lane and sequential units
+    /// never probe, keeping their capture counts pinned.
+    pub fn probing() -> UnitState {
+        UnitState { probe_base: true, dialog_tab_dirty: true, ..UnitState::default() }
+    }
 }
 
 impl<'a> ExploreUnit<'a> {
@@ -268,6 +299,8 @@ impl<'a> ExploreUnit<'a> {
             base_epoch: state.base_epoch,
             tab_dirty: state.tab_dirty,
             dialog_tab_dirty: state.dialog_tab_dirty,
+            probe_base: state.probe_base,
+            last_base_digest: None,
         }
     }
 
@@ -278,6 +311,7 @@ impl<'a> ExploreUnit<'a> {
             base_epoch: self.base_epoch,
             tab_dirty: self.tab_dirty,
             dialog_tab_dirty: self.dialog_tab_dirty,
+            probe_base: self.probe_base,
         }
     }
 
@@ -308,6 +342,24 @@ impl<'a> ExploreUnit<'a> {
         self.base_epoch = self.session.ui_state_epoch();
         self.tab_dirty = false;
         self.dialog_tab_dirty = false;
+        if self.probe_base {
+            let snap = self.snapshot();
+            self.last_base_digest = Some(snapshot_digest(&snap));
+        }
+    }
+
+    /// Takes the digest recorded by the most recent probing restart
+    /// (`None` when no restart ran since the last take, or the unit does
+    /// not probe). Workers attach this to each outcome so the scheduler
+    /// can compare it against the lane's own base digest.
+    pub fn take_base_digest(&mut self) -> Option<u64> {
+        self.last_base_digest.take()
+    }
+
+    /// Consumes the unit, releasing its session borrow (the fleet's
+    /// quarantine path re-rips the caller session sequentially).
+    pub fn into_session(self) -> &'a mut Session {
+        self.session
     }
 
     /// Records a successful click on a tab: main-window tabs are
@@ -507,6 +559,43 @@ pub(crate) fn diff_fresh(pre: &Snapshot, post: &Snapshot) -> Vec<u32> {
         }
     }
     fresh
+}
+
+/// A structural FNV-1a digest of a snapshot: arena order, parentage, the
+/// window list, and every capture-visible property. Two launch-equivalent
+/// bases built by the same deterministic application digest equal; a fork
+/// whose reset drifted (nondeterministic relabel, leaked state) digests
+/// differently. The fleet scheduler compares worker-side post-restart
+/// digests against its lane's seed digest, catching divergence *before*
+/// a wrong byte can merge into the UNG.
+pub(crate) fn snapshot_digest(snap: &Snapshot) -> u64 {
+    fn eat(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h = (*h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for (idx, node) in snap.iter() {
+        eat(&mut h, &(idx as u64).to_le_bytes());
+        eat(&mut h, &node.parent.map_or(u64::MAX, |p| p as u64).to_le_bytes());
+        let p = &node.props;
+        let fields = format!(
+            "{:?}\x1f{}\x1f{}\x1f{}\x1f{}\x1f{:?}\x1f{}\x1f{:?}",
+            p.control_type,
+            p.name,
+            p.automation_id,
+            p.value,
+            p.enabled,
+            p.toggle,
+            p.selected,
+            p.expanded,
+        );
+        eat(&mut h, fields.as_bytes());
+    }
+    for &w in snap.windows() {
+        eat(&mut h, &(w as u64).to_le_bytes());
+    }
+    h
 }
 
 /// The UNG under construction plus the exploration frontier: the visited

@@ -492,8 +492,10 @@ impl Session {
         // state already (keyed by the pristine-relative action trace).
         let pool_key = self.pool_key();
         if let Some((token, model)) = pool_key {
-            let pool = self.pool.as_ref().expect("pool_key requires an attached pool");
-            if let Some(snap) = pool.lookup(token, model, self.trace.hash, &self.trace.fps) {
+            let pool = Arc::clone(self.pool.as_ref().expect("pool_key requires an attached pool"));
+            if let Some(snap) =
+                pool.lookup(token, model, self.trace.hash, &self.trace.fps, &mut self.capture_stats)
+            {
                 self.capture_stats.pool_hits += 1;
                 // Adopt as a donor so the next partial rebuild can copy
                 // clean windows (re-keyed against this session's stamps).
@@ -523,8 +525,15 @@ impl Session {
             &mut self.capture_stats,
         );
         if let Some((token, model)) = pool_key {
-            let pool = self.pool.as_ref().expect("pool_key requires an attached pool");
-            pool.insert(token, model, self.trace.hash, &self.trace.fps, &snap);
+            let pool = Arc::clone(self.pool.as_ref().expect("pool_key requires an attached pool"));
+            pool.insert(
+                token,
+                model,
+                self.trace.hash,
+                &self.trace.fps,
+                &snap,
+                &mut self.capture_stats,
+            );
         }
         if let Some(token) = pristine_token {
             self.pristine_snap = Some((token, Arc::clone(&snap)));

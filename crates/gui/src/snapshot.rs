@@ -186,6 +186,11 @@ pub struct CaptureStats {
     /// Pool probes that found no matching entry (the capture then built
     /// locally and was offered to the pool).
     pub pool_misses: u64,
+    /// Times a poisoned [`CapturePool`] lock was recovered: the pooled
+    /// entries are discarded (a sibling session died while holding the
+    /// lock) and the capture falls back to a fresh rebuild instead of
+    /// propagating the panic into this session's checkout path.
+    pub poison_recoveries: u64,
 }
 
 impl CaptureCache {
@@ -372,12 +377,36 @@ impl CapturePool {
 
     /// Number of pooled captures.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        match self.entries.lock() {
+            Ok(g) => g.len(),
+            Err(p) => p.into_inner().len(),
+        }
     }
 
     /// Whether the pool holds no captures.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Locks the entry list, recovering from poisoning: a sibling session
+    /// that panicked while holding the lock forfeits every pooled entry
+    /// (sharing degrades to fresh rebuilds, counted in
+    /// `CaptureStats::poison_recoveries`), but never takes the surviving
+    /// sessions down with it.
+    fn entries_recovered(
+        &self,
+        stats: &mut CaptureStats,
+    ) -> std::sync::MutexGuard<'_, Vec<PoolEntry>> {
+        match self.entries.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                let mut g = poisoned.into_inner();
+                g.clear();
+                self.entries.clear_poison();
+                stats.poison_recoveries += 1;
+                g
+            }
+        }
     }
 
     /// Serves the capture for `(token, model, trace)` if a sibling session
@@ -388,8 +417,9 @@ impl CapturePool {
         model: u64,
         hash: u64,
         trace: &[u64],
+        stats: &mut CaptureStats,
     ) -> Option<Arc<Snapshot>> {
-        let mut entries = self.entries.lock().unwrap();
+        let mut entries = self.entries_recovered(stats);
         let pos = entries.iter().position(|e| {
             e.token == token && e.model == model && e.hash == hash && e.trace == trace
         })?;
@@ -409,8 +439,9 @@ impl CapturePool {
         hash: u64,
         trace: &[u64],
         snap: &Arc<Snapshot>,
+        stats: &mut CaptureStats,
     ) {
-        let mut entries = self.entries.lock().unwrap();
+        let mut entries = self.entries_recovered(stats);
         if let Some(pos) = entries.iter().position(|e| {
             e.token == token && e.model == model && e.hash == hash && e.trace == trace
         }) {
@@ -588,6 +619,34 @@ mod tests {
         assert!(s4.find_by_name("Blue").is_none());
         let s5 = build(&t, &InstabilityModel::off(), 5);
         assert!(s5.find_by_name("Blue").is_some());
+    }
+
+    #[test]
+    fn poisoned_pool_lock_degrades_to_a_rebuild() {
+        let pool = std::sync::Arc::new(CapturePool::new(4));
+        let (t, ..) = tree();
+        let snap = std::sync::Arc::new(build(&t, &InstabilityModel::off(), 0));
+        let mut stats = CaptureStats::default();
+        pool.insert(7, 1, 99, &[1, 2], &snap, &mut stats);
+        assert_eq!(pool.len(), 1);
+        assert_eq!(stats.poison_recoveries, 0);
+
+        // A sibling session dies while holding the entry lock.
+        let p2 = std::sync::Arc::clone(&pool);
+        let _ = std::thread::spawn(move || {
+            let _guard = p2.entries.lock().unwrap();
+            panic!("injected fault: die holding the pool lock");
+        })
+        .join();
+
+        // Every path recovers: the poisoned entries are forfeited, the
+        // recovery is counted, and the pool keeps working afterwards.
+        assert!(pool.lookup(7, 1, 99, &[1, 2], &mut stats).is_none(), "entries forfeited");
+        assert_eq!(stats.poison_recoveries, 1);
+        pool.insert(7, 1, 99, &[1, 2], &snap, &mut stats);
+        assert_eq!(stats.poison_recoveries, 1, "the lock heals after one recovery");
+        assert!(pool.lookup(7, 1, 99, &[1, 2], &mut stats).is_some());
+        assert_eq!(pool.len(), 1);
     }
 
     #[test]

@@ -217,6 +217,17 @@ impl UiTree {
         &mut self.widgets[id.0]
     }
 
+    /// Renames a widget WITHOUT bumping the state epoch or the window
+    /// stamp — the tree's change-tracking invariant is deliberately
+    /// violated. Fault-injection hook for the fuzzer: a provider whose
+    /// properties drift while its stamps claim nothing changed models a
+    /// real app lying to the capture cache. Never call this from
+    /// production code; every capture layer is entitled to trust stamps.
+    #[doc(hidden)]
+    pub fn relabel_unstamped(&mut self, id: WidgetId, name: impl Into<String>) {
+        self.widgets[id.0].name = name.into();
+    }
+
     /// The persistent-mutation epoch. Two equal readings bracket a span in
     /// which no widget property, arena, selection, focus, or context
     /// changed — transient window/popup state and tab selection excluded —

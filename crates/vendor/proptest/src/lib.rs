@@ -3,9 +3,13 @@
 //! Runs each property over deterministic pseudo-random cases (seeded per
 //! case index, so failures reproduce across runs) with the strategy surface
 //! this workspace uses: integer ranges, regex-lite string patterns, tuples,
-//! `Just`, `prop_flat_map` / `prop_map`, and `collection::vec`. No
-//! shrinking: a failing case panics with the sampled inputs left to the
-//! assertion message.
+//! `Just`, `prop_flat_map` / `prop_map`, and `collection::vec`. A failing
+//! case is minimized before it is reported: the runner greedily applies
+//! each strategy's shrink candidates (integer bisection toward the range
+//! start, vec prefix/element removal, component-wise tuple shrinking —
+//! `prop_map`/`prop_flat_map` values are atomic) while the failure
+//! persists, then re-runs the minimal case unprotected so the original
+//! assertion message names the smallest known failing input.
 
 pub mod strategy;
 pub mod test_runner;
@@ -53,12 +57,39 @@ macro_rules! proptest {
             $(#[$meta])+
             fn $name() {
                 let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let __strat = ($(($strat),)+);
+                // True when the property holds for one (cloned) input
+                // tuple; panics are contained so the shrinker can probe.
+                // `property_fn` anchors the argument to the strategy's
+                // value type so the patterns bind concretely.
+                let __holds = $crate::test_runner::property_fn(&__strat, |__vals| {
+                    let ($($pat,)+) = ::std::clone::Clone::clone(__vals);
+                    ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body)).is_ok()
+                });
                 for __case in 0..__cfg.cases {
                     let mut __rng = $crate::test_runner::case_rng(stringify!($name), __case);
-                    $(
-                        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
-                    )+
+                    let __vals = $crate::strategy::Strategy::sample(&__strat, &mut __rng);
+                    if __holds(&__vals) {
+                        continue;
+                    }
+                    // Minimize quietly (the probe panics are expected),
+                    // then re-run the minimal case unprotected so the
+                    // original assertion surfaces.
+                    let __hook = ::std::panic::take_hook();
+                    ::std::panic::set_hook(::std::boxed::Box::new(|_| {}));
+                    let __min = $crate::test_runner::shrink_failure(&__strat, __vals, 1024, |v| {
+                        !__holds(v)
+                    });
+                    ::std::panic::set_hook(__hook);
+                    ::std::eprintln!(
+                        "proptest: {} case {} failed; minimal failing input: {:?}",
+                        stringify!($name),
+                        __case,
+                        &__min
+                    );
+                    let ($($pat,)+) = __min;
                     $body
+                    ::std::unreachable!("the shrunken case stopped failing when re-run");
                 }
             }
         )*

@@ -1,5 +1,6 @@
-//! Value-generation strategies (sampling only; no value trees, no
-//! shrinking).
+//! Value-generation strategies with minimal shrinking (integer bisection,
+//! vec prefix/element removal, component-wise tuple shrinking — no value
+//! trees).
 
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -12,6 +13,15 @@ pub trait Strategy {
 
     /// Samples one value.
     fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing `value`, most aggressive
+    /// first. The default — no candidates — marks the value atomic
+    /// (strings, mapped values). The runner greedily re-tests candidates
+    /// (see `test_runner::shrink_failure`), so offering `[minimum,
+    /// midpoint, ...]` here yields logarithmic bisection overall.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// A strategy that feeds sampled values into `f` and samples the
     /// strategy `f` returns.
@@ -51,6 +61,24 @@ macro_rules! impl_range_strategy {
             type Value = $t;
             fn sample(&self, rng: &mut SmallRng) -> $t {
                 rng.gen_range(self.clone())
+            }
+            /// Bisects toward the range start: candidates halve the gap
+            /// to `value` (`start`, midpoint, three-quarter point, ...,
+            /// `value - 1`), so the greedy runner binary-searches the
+            /// smallest failing value in O(log²) probes.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (lo, v) = (self.start, *value);
+                let mut out = Vec::new();
+                let mut c = lo;
+                while c < v {
+                    out.push(c);
+                    let step = (v - c) / 2;
+                    if step == 0 {
+                        break;
+                    }
+                    c += step;
+                }
+                out
             }
         }
     )*};
@@ -100,20 +128,65 @@ pub struct VecStrategy<S> {
     pub(crate) len: Range<usize>,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn sample(&self, rng: &mut SmallRng) -> Self::Value {
         let n = if self.len.is_empty() { self.len.start } else { rng.gen_range(self.len.clone()) };
         (0..n).map(|_| self.element.sample(rng)).collect()
     }
+    /// Delta-debug style: drop the second half / keep the prefix, then
+    /// drop single elements, then shrink elements in place — never going
+    /// below the length range's start.
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let (min, n) = (self.len.start, value.len());
+        let mut out = Vec::new();
+        if n > min {
+            let half = (n / 2).max(min);
+            if half < n {
+                out.push(value[..half].to_vec());
+                out.push(value[n - half..].to_vec());
+            }
+            for i in 0..n {
+                let mut v = value.clone();
+                v.remove(i);
+                out.push(v);
+            }
+        }
+        for (i, el) in value.iter().enumerate() {
+            for s in self.element.shrink(el) {
+                let mut v = value.clone();
+                v[i] = s;
+                out.push(v);
+            }
+        }
+        out
+    }
 }
 
 macro_rules! impl_tuple_strategy {
     ($(($($n:tt $t:ident),+))*) => {$(
-        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+        impl<$($t: Strategy),+> Strategy for ($($t,)+)
+        where
+            $($t::Value: Clone),+
+        {
             type Value = ($($t::Value,)+);
             fn sample(&self, rng: &mut SmallRng) -> Self::Value {
                 ($(self.$n.sample(rng),)+)
+            }
+            /// Shrinks one component at a time, holding the others fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for s in self.$n.shrink(&value.$n) {
+                        let mut v = value.clone();
+                        v.$n = s;
+                        out.push(v);
+                    }
+                )+
+                out
             }
         }
     )*};
@@ -124,6 +197,8 @@ impl_tuple_strategy! {
     (0 A, 1 B)
     (0 A, 1 B, 2 C)
     (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
 }
 
 // ------------------------------------------------------------ regex-lite
@@ -251,6 +326,41 @@ mod tests {
             let u = "[a-zA-Z0-9 /]{0,40}".sample(&mut rng);
             assert!(u.chars().all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '/'));
         }
+    }
+
+    #[test]
+    fn integer_shrink_bisects_to_the_minimal_failing_value() {
+        // Property under test: `v < 500`; smallest failing value is 500.
+        let strat = 0u32..1000;
+        let min = crate::test_runner::shrink_failure(&strat, 873, 512, |v| *v >= 500);
+        assert_eq!(min, 500);
+        // An already-minimal value offers no failing candidate.
+        let stay = crate::test_runner::shrink_failure(&strat, 500, 512, |v| *v >= 500);
+        assert_eq!(stay, 500);
+    }
+
+    #[test]
+    fn vec_shrink_removes_irrelevant_elements() {
+        let strat = crate::collection::vec(0usize..100, 0..20);
+        let min = crate::test_runner::shrink_failure(&strat, vec![3, 97, 12, 42, 8], 512, |v| {
+            v.contains(&42)
+        });
+        assert_eq!(min, vec![42]);
+    }
+
+    #[test]
+    fn vec_shrink_respects_the_length_floor() {
+        let strat = crate::collection::vec(0usize..10, 2..6);
+        let min = crate::test_runner::shrink_failure(&strat, vec![5, 7, 9], 512, |_| true);
+        assert_eq!(min, vec![0, 0], "everything fails: shrink to the smallest legal vec");
+    }
+
+    #[test]
+    fn tuple_shrink_minimizes_components_independently() {
+        let strat = (0u32..50, 0u32..50);
+        let min =
+            crate::test_runner::shrink_failure(&strat, (31, 44), 512, |&(a, b)| a >= 10 && b >= 20);
+        assert_eq!(min, (10, 20));
     }
 
     #[test]

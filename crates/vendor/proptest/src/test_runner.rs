@@ -23,6 +23,46 @@ impl ProptestConfig {
     }
 }
 
+/// Pins a property-closure's argument type to `&S::Value` for the given
+/// strategy. Purely a type anchor for the `proptest!` expansion: without
+/// it, the closure's `&_` argument would be inferred from how the bound
+/// patterns are *used* in the property body (where a `Vec` read through
+/// `&v[..]` infers as an unsized slice); anchoring to the strategy's
+/// associated type makes the bound patterns concrete at definition time.
+pub fn property_fn<S, F>(_strat: &S, f: F) -> F
+where
+    S: crate::strategy::Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    f
+}
+
+/// Greedily minimizes a failing value: repeatedly replaces it with the
+/// first shrink candidate that still fails, stopping when no candidate
+/// fails or `budget` trials are spent. With the bisection/removal
+/// candidates the built-in strategies offer, the greedy walk converges
+/// logarithmically for integers and near-linearly for vec lengths.
+pub fn shrink_failure<S: crate::strategy::Strategy>(
+    strat: &S,
+    mut value: S::Value,
+    mut budget: u32,
+    still_fails: impl Fn(&S::Value) -> bool,
+) -> S::Value {
+    'outer: loop {
+        for cand in strat.shrink(&value) {
+            if budget == 0 {
+                return value;
+            }
+            budget -= 1;
+            if still_fails(&cand) {
+                value = cand;
+                continue 'outer;
+            }
+        }
+        return value;
+    }
+}
+
 /// Derives the deterministic RNG for one (test, case) pair.
 pub fn case_rng(test_name: &str, case: u32) -> SmallRng {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;

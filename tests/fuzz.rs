@@ -1,0 +1,318 @@
+//! Adversarial determinism fuzzing (tier-1 smoke + release-gated long
+//! runs).
+//!
+//! Each fault class in [`FaultPlan`] gets a seeded test proving two
+//! things: the designated differential oracle *flags* the fault, and
+//! delta-debugging the generating op sequence converges on a minimal
+//! reproducer (≤ 12 actions). A fleet-level test injects a panicking
+//! and a diverging app next to healthy ones and checks per-entry fault
+//! containment. Clean (fault-free) specs must pass every oracle — the
+//! determinism contract itself (`docs/determinism.md`) — checked over a
+//! seeded corpus: a small smoke here, hundreds of seeds in the
+//! release-gated `#[ignore]` runs.
+
+use dmi_core::fuzz::{
+    check_cached_capture, check_esc_recovery, check_parallel, check_spec, shrink_ops,
+    silence_injected_panics, AdversarialApp, AppSpec, ArenaOp, FaultPlan,
+};
+use dmi_core::ripper::rip;
+use dmi_core::{
+    rip_fleet, rip_parallel, FleetEntry, ParRipConfig, RipConfig, RipError, RipStatus, Ung,
+};
+use dmi_gui::Session;
+use proptest::prelude::*;
+
+/// Canonical UNG bytes — the representation every oracle pins.
+fn bytes(g: &Ung) -> String {
+    serde_json::to_string(g).expect("UNGs serialize")
+}
+
+/// Sequential reference rip of a spec.
+fn rip_seq(spec: &AppSpec) -> Ung {
+    let mut s = Session::new(AdversarialApp::launch(spec.clone()));
+    rip(&mut s, &RipConfig::default()).0
+}
+
+/// How many ops dispatch a command when clicked (buttons and list
+/// items). Worker-fork fault classes whose *detection* needs a repeat
+/// visit are only deterministic once three of these exist (pigeonhole
+/// over two worker forks), so their shrink predicates keep that floor.
+fn dispatching_ops(ops: &[ArenaOp]) -> usize {
+    ops.iter().filter(|o| matches!(o, ArenaOp::Button(_) | ArenaOp::Item(_))).count()
+}
+
+/// Shrinks a flagged spec and asserts the reproducer is minimal enough
+/// and still flagged.
+fn assert_shrinks(
+    base: &AppSpec,
+    oracle: impl Fn(&AppSpec) -> bool,
+    extra: impl Fn(&[ArenaOp]) -> bool,
+) -> Vec<ArenaOp> {
+    assert!(oracle(base), "the full spec must be flagged before shrinking");
+    let faults = base.faults;
+    let min =
+        shrink_ops(&base.ops, |ops| extra(ops) && oracle(&AppSpec { ops: ops.to_vec(), faults }));
+    assert!(
+        min.len() <= 12,
+        "reproducer must shrink to <= 12 actions, got {} ({min:?})",
+        min.len()
+    );
+    assert!(
+        oracle(&AppSpec { ops: min.clone(), faults }),
+        "the shrunk reproducer must still be flagged: {min:?}"
+    );
+    min
+}
+
+/// A base spec guaranteed to exercise restarts, Esc recovery, dialogs,
+/// tabs, and repeated command dispatch, prepended with seeded noise so
+/// the shrinker has real work to do.
+fn noisy(seed: u64, trigger: &[ArenaOp]) -> Vec<ArenaOp> {
+    let mut ops = AppSpec::generate(seed, 24).ops;
+    ops.extend_from_slice(trigger);
+    ops
+}
+
+// ---------------------------------------------------------------------
+// Per-fault-class: the oracle flags it, the reproducer shrinks.
+// ---------------------------------------------------------------------
+
+/// Forked workers relabel a control on every restart; the app honestly
+/// stops attesting its pristine token, so every worker base capture is
+/// rebuilt and the fleet's base-digest oracle quarantines the lane on
+/// the first probed restart (every unit's first task restarts).
+#[test]
+fn fault_relabel_on_restart_flagged_and_shrunk() {
+    let faults = FaultPlan { relabel_on_restart: Some(1), ..FaultPlan::default() };
+    let base = AppSpec { ops: noisy(11, &[ArenaOp::Button(7)]), faults };
+    let min = assert_shrinks(&base, |s| check_parallel(s).is_some(), |_| true);
+    assert_eq!(min.len(), 1, "one explorable control suffices to catch reset drift");
+}
+
+/// Every reset leaks state while the app keeps attesting its pristine
+/// token: the capture layer's restart stash serves stale bytes, caught
+/// against full rebuilds.
+#[test]
+fn fault_lying_reset_flagged_and_shrunk() {
+    let faults = FaultPlan { lying_reset: true, ..FaultPlan::default() };
+    // Tabs poison Esc recovery for the following non-tab candidate, so
+    // the rip restarts repeatedly — each restart leaks.
+    let trigger =
+        [ArenaOp::Button(0), ArenaOp::Tab(1), ArenaOp::Pop, ArenaOp::Tab(2), ArenaOp::Pop];
+    let base = AppSpec { ops: noisy(22, &trigger), faults };
+    assert_shrinks(&base, |s| check_cached_capture(s).is_some(), |_| true);
+}
+
+/// A widget is relabeled without bumping the epoch stamps the MRU cache
+/// trusts; cached rips keep serving the old bytes.
+#[test]
+fn fault_unstamped_relabel_flagged_and_shrunk() {
+    let faults = FaultPlan { unstamped_relabel_after: Some(2), ..FaultPlan::default() };
+    // A flat button arena: the relabel lands during the second button
+    // click with the main window visible, so the rebuild rip must see
+    // it while cached stamps claim nothing changed. Flat specs are
+    // explore-order-insensitive, keeping the trigger deterministic.
+    let base = AppSpec { ops: (0..16).map(ArenaOp::Button).collect(), faults };
+    assert_shrinks(&base, |s| check_cached_capture(s).is_some(), |_| true);
+}
+
+/// Cancel-closing a window mutates the main window unstamped: Esc-based
+/// recovery accumulates state a full restart never sees.
+#[test]
+fn fault_esc_side_effect_flagged_and_shrunk() {
+    let faults = FaultPlan { esc_side_effect: true, ..FaultPlan::default() };
+    // A leading button keeps the mangled control off every click path,
+    // so the mangle survives to the captures. Clicking the dialog's
+    // cancel button runs the side effect *during* the click; the mangle
+    // counter then differs between Esc recovery (accumulates) and
+    // restart-replay (reset each time), and the bytes follow.
+    let trigger = [ArenaOp::Button(9), ArenaOp::Dialog(0), ArenaOp::Button(1)];
+    let mut ops = trigger.to_vec();
+    ops.extend((10..24).map(ArenaOp::Button));
+    let base = AppSpec { ops, faults };
+    assert_shrinks(&base, |s| check_esc_recovery(s).is_some(), |_| true);
+}
+
+/// Forked workers panic mid-dispatch; the fleet engine contains the
+/// panic as a per-entry failure, which the parallel oracle reports.
+#[test]
+fn fault_worker_panic_flagged_and_shrunk() {
+    silence_injected_panics();
+    let faults = FaultPlan { panic_on_click: Some(1), ..FaultPlan::default() };
+    let base = AppSpec { ops: noisy(55, &[ArenaOp::Button(7)]), faults };
+    let min = assert_shrinks(&base, |s| check_parallel(s).is_some(), |_| true);
+    assert_eq!(min.len(), 1, "one dispatching control suffices to trigger the panic");
+}
+
+/// Forked workers drift after their first dispatch (and stay drifted
+/// through resets); a repeat visit to the poisoned fork trips the
+/// base-digest oracle. Detection needs a fork to serve twice, which is
+/// only guaranteed with three dispatching ops (two worker forks), so
+/// the shrink predicate keeps that floor.
+#[test]
+fn fault_fork_divergence_flagged_and_shrunk() {
+    let faults = FaultPlan { fork_divergence_after: Some(1), ..FaultPlan::default() };
+    let trigger = [ArenaOp::Button(0), ArenaOp::Button(1), ArenaOp::Button(2)];
+    let base = AppSpec { ops: noisy(66, &trigger), faults };
+    assert_shrinks(&base, |s| check_parallel(s).is_some(), |ops| dispatching_ops(ops) >= 3);
+}
+
+// ---------------------------------------------------------------------
+// Fleet fault containment: faulty entries fail alone.
+// ---------------------------------------------------------------------
+
+/// One panicking app + one diverging app + two healthy apps on a shared
+/// 4-worker pool: per-entry outcomes, healthy UNGs byte-identical to
+/// their sequential rips, faulty entries failed/degraded in place, no
+/// process abort, no wrong bytes anywhere.
+#[test]
+fn fault_injected_fleet_is_contained_per_entry() {
+    silence_injected_panics();
+    let healthy_a = AppSpec::generate(101, 14);
+    let healthy_b = AppSpec::generate(202, 14);
+    let panicky = AppSpec {
+        ops: noisy(303, &[ArenaOp::Button(0)]),
+        faults: FaultPlan { panic_on_click: Some(1), ..FaultPlan::default() },
+    };
+    // With 4 workers (4 forks per app), detection needs a poisoned fork
+    // to serve a second task — guaranteed once dispatching candidates
+    // outnumber the forks (pigeonhole), hence six buttons.
+    let diverging = AppSpec {
+        ops: noisy(404, &(0..6).map(ArenaOp::Button).collect::<Vec<_>>()),
+        faults: FaultPlan { fork_divergence_after: Some(1), ..FaultPlan::default() },
+    };
+
+    let mut entries = vec![
+        FleetEntry::new(
+            "healthy-a",
+            Session::new(AdversarialApp::launch(healthy_a.clone())),
+            RipConfig::default(),
+        ),
+        FleetEntry::new(
+            "panicky",
+            Session::new(AdversarialApp::launch(panicky.clone())),
+            RipConfig::default(),
+        ),
+        FleetEntry::new(
+            "healthy-b",
+            Session::new(AdversarialApp::launch(healthy_b.clone())),
+            RipConfig::default(),
+        ),
+        FleetEntry::new(
+            "diverging",
+            Session::new(AdversarialApp::launch(diverging.clone())),
+            RipConfig::default(),
+        ),
+    ];
+    let out = rip_fleet(&mut entries, &ParRipConfig { workers: 4, speculation: 2 });
+    assert_eq!(out.len(), 4);
+
+    for (spec, idx) in [(&healthy_a, 0usize), (&healthy_b, 2)] {
+        assert_eq!(
+            out[idx].status,
+            RipStatus::Parallel,
+            "healthy entry '{}' must not be dragged down by faulty siblings",
+            out[idx].app_id
+        );
+        assert_eq!(
+            bytes(&out[idx].graph),
+            bytes(&rip_seq(spec)),
+            "healthy entry '{}' must stay byte-identical to its sequential rip",
+            out[idx].app_id
+        );
+    }
+
+    match out[1].error().expect("the worker panic must be reported") {
+        RipError::WorkerPanic { app_id, payload } => {
+            assert_eq!(app_id, "panicky");
+            assert!(payload.contains("injected fault"), "payload preserved, got: {payload}");
+        }
+        other => panic!("expected WorkerPanic, got {other:?}"),
+    }
+    assert!(matches!(out[1].status, RipStatus::Failed(_)));
+
+    match out[3].error().expect("the fork divergence must be reported") {
+        RipError::Divergence { app_id, .. } => assert_eq!(app_id, "diverging"),
+        other => panic!("expected Divergence, got {other:?}"),
+    }
+    assert!(matches!(out[3].status, RipStatus::Degraded(_)));
+    assert_eq!(
+        bytes(&out[3].graph),
+        bytes(&rip_seq(&diverging)),
+        "a degraded entry re-rips sequentially into the reference bytes"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Clean specs: the determinism contract holds on every axis.
+// ---------------------------------------------------------------------
+
+/// Byte-identity across sequential, parallel, and fleet engines for a
+/// range of seeded random clean apps. Fleet runs batch four specs per
+/// pool to exercise cross-app sharing.
+fn assert_identity_for_seeds(seeds: std::ops::Range<u64>) {
+    let specs: Vec<AppSpec> = seeds.map(|s| AppSpec::generate(s, 20)).collect();
+    let reference: Vec<String> = specs.iter().map(|s| bytes(&rip_seq(s))).collect();
+    let par = ParRipConfig { workers: 2, speculation: 2 };
+    for (spec, expect) in specs.iter().zip(&reference) {
+        let mut s = Session::new(AdversarialApp::launch(spec.clone()));
+        let (g, _) = rip_parallel(&mut s, &RipConfig::default(), &par);
+        assert_eq!(&bytes(&g), expect, "parallel rip diverged for spec {spec:?}");
+    }
+    for (chunk, expectations) in specs.chunks(4).zip(reference.chunks(4)) {
+        let mut entries: Vec<FleetEntry> = chunk
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                FleetEntry::new(
+                    format!("app-{i}"),
+                    Session::new(AdversarialApp::launch(spec.clone())),
+                    RipConfig::default(),
+                )
+            })
+            .collect();
+        let out = rip_fleet(&mut entries, &par);
+        for ((o, expect), spec) in out.iter().zip(expectations).zip(chunk) {
+            assert_eq!(o.error(), None, "no oracle may fire on a clean spec {spec:?}");
+            assert_eq!(&bytes(&o.graph), expect, "fleet rip diverged for spec {spec:?}");
+        }
+    }
+}
+
+/// Tier-1 smoke: a small seeded corpus, debug-friendly.
+#[test]
+fn clean_specs_rip_identically_smoke() {
+    assert_identity_for_seeds(0..24);
+}
+
+/// Release-gated long run (`cargo test --release -- --ignored`): the
+/// acceptance corpus, ≥200 seeded random apps.
+#[test]
+#[ignore = "long corpus; run with --release -- --ignored"]
+fn clean_specs_rip_identically_200_seeds() {
+    assert_identity_for_seeds(1000..1208);
+}
+
+/// Release-gated: every oracle (capture caches and Esc recovery
+/// included) stays quiet across a seeded clean corpus.
+#[test]
+#[ignore = "long corpus; run with --release -- --ignored"]
+fn clean_specs_pass_every_oracle_100_seeds() {
+    for seed in 2000..2100u64 {
+        let spec = AppSpec::generate(seed, 20);
+        assert_eq!(check_spec(&spec), None, "clean spec from seed {seed} diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Structured generation through the shrink-friendly raw encoding:
+    /// arbitrary op sequences (degenerate nesting included) must pass
+    /// every oracle as long as no fault is armed.
+    #[test]
+    fn random_clean_specs_pass_every_oracle(raw in proptest::collection::vec((0u8..6, 0u16..5), 1..20)) {
+        let spec = AppSpec::from_raw(&raw);
+        prop_assert!(check_spec(&spec).is_none(), "clean spec diverged: {:?}", spec.ops);
+    }
+}

@@ -290,9 +290,9 @@ fn fleet_rip_ungs_are_byte_identical_to_sequential() {
         assert_eq!(o.stats.windows_seen, *windows_seen, "{app}: windows seen");
         assert_eq!(o.stats.blocklisted, *blocklisted, "{app}: blocklist hits");
         if app == "Unforkable" {
-            assert!(o.fell_back, "{app}: must ride the sequential fallback");
+            assert!(o.fell_back(), "{app}: must ride the sequential fallback");
         } else {
-            assert!(!o.fell_back, "{app}: Office apps fork");
+            assert!(!o.fell_back(), "{app}: Office apps fork");
             assert!(
                 o.stats.pool_hits > 0,
                 "{app}: shards must serve shared captures from the pool"
