@@ -129,30 +129,68 @@ fn prompt_tokens(session: &mut Session, dmi: &Dmi) -> usize {
         + tokens::count(&passive.to_prompt_text())
 }
 
-/// Runs the declarative plan through the AppAgent loop.
-pub fn run(
-    task: &AgentTask,
-    session: &mut Session,
-    llm: &mut SimLlm,
-    dmi: &Dmi,
-    step_cap: usize,
-) -> DmiRunResult {
-    let plan = llm.prepare_plan(&task.plan, &task.mutations).dmi;
-    let mut fallback_used = false;
-    let mut queried = false;
+/// The resumable AppAgent loop state: the prepared declarative plan plus
+/// the cursor into it. One [`DmiState::step`] executes exactly one plan
+/// step (a `visit` batch or one state/observation declaration) and
+/// returns at the LLM-call boundary — the suspension point the gateway
+/// uses to overlap simulated model latency across tenants. The
+/// sequential [`run`] drives the same state machine to completion, so
+/// both paths execute byte-identical traces by construction.
+pub struct DmiState {
+    plan: Vec<PlanStep>,
+    idx: usize,
+    queried: bool,
+    fallback_used: bool,
+}
 
-    for step in &plan {
+impl DmiState {
+    /// Prepares the declarative plan (the LLM's first planning pass —
+    /// this consumes RNG and must happen exactly once, right after the
+    /// HostAgent call).
+    pub fn plan(task: &AgentTask, llm: &mut SimLlm) -> DmiState {
+        DmiState {
+            plan: llm.prepare_plan(&task.plan, &task.mutations).dmi,
+            idx: 0,
+            queried: false,
+            fallback_used: false,
+        }
+    }
+
+    /// One plan step. Returns `None` while more steps remain,
+    /// `Some(result)` when the run ended (plan exhausted, failure, or
+    /// step cap).
+    pub fn step(
+        &mut self,
+        task: &AgentTask,
+        session: &mut Session,
+        llm: &mut SimLlm,
+        dmi: &Dmi,
+        step_cap: usize,
+    ) -> Option<DmiRunResult> {
+        if self.idx >= self.plan.len() {
+            return Some(DmiRunResult {
+                failure: None,
+                completed: true,
+                fallback_used: self.fallback_used,
+            });
+        }
         if llm.calls() + 2 >= step_cap {
-            return DmiRunResult {
+            return Some(DmiRunResult {
                 failure: Some(FailureCause::StepLimitExceeded),
                 completed: false,
-                fallback_used,
-            };
+                fallback_used: self.fallback_used,
+            });
         }
-        let outcome = match step {
-            PlanStep::Visit(targets) => {
-                run_visit(task, session, llm, dmi, targets, &mut queried, &mut fallback_used)
-            }
+        let outcome = match &self.plan[self.idx] {
+            PlanStep::Visit(targets) => run_visit(
+                task,
+                session,
+                llm,
+                dmi,
+                targets,
+                &mut self.queried,
+                &mut self.fallback_used,
+            ),
             PlanStep::StateScrollbar { surface, percent } => {
                 run_state(session, llm, dmi, |s, screen| {
                     let e = screen
@@ -204,10 +242,31 @@ pub fn run(
             }),
         };
         if let Err(cause) = outcome {
-            return DmiRunResult { failure: Some(cause), completed: false, fallback_used };
+            return Some(DmiRunResult {
+                failure: Some(cause),
+                completed: false,
+                fallback_used: self.fallback_used,
+            });
+        }
+        self.idx += 1;
+        None
+    }
+}
+
+/// Runs the declarative plan through the AppAgent loop to completion.
+pub fn run(
+    task: &AgentTask,
+    session: &mut Session,
+    llm: &mut SimLlm,
+    dmi: &Dmi,
+    step_cap: usize,
+) -> DmiRunResult {
+    let mut state = DmiState::plan(task, llm);
+    loop {
+        if let Some(result) = state.step(task, session, llm, dmi, step_cap) {
+            return result;
         }
     }
-    DmiRunResult { failure: None, completed: true, fallback_used }
 }
 
 /// One state/observation declaration turn.

@@ -20,6 +20,7 @@
 //!   imperative GUI primitives.
 
 pub mod dmi_agent;
+pub mod gateway;
 pub mod grounding;
 pub mod runner;
 pub mod task;
@@ -27,6 +28,9 @@ pub mod trace;
 pub mod ufo;
 
 pub use dmi_llm::{CapabilityProfile, FailureCause, FailureLevel, InterfaceMode};
-pub use runner::{run_task, RunConfig};
+pub use gateway::{
+    Gateway, GatewayConfig, ServeApp, ServeOutcome, ServeReport, ServeRequest, ServeStats,
+};
+pub use runner::{run_task, RunConfig, StepStatus, TaskState};
 pub use task::AgentTask;
 pub use trace::{aggregate, normalized_core_steps, Aggregate, RunTrace};

@@ -32,6 +32,15 @@ pub struct RunTrace {
     pub fallback_used: bool,
 }
 
+impl RunTrace {
+    /// The canonical byte rendering of the trace, covering every field —
+    /// what the trace-identity oracles compare. Two runs are equivalent
+    /// exactly when these bytes match.
+    pub fn identity_bytes(&self) -> String {
+        format!("{self:?}")
+    }
+}
+
 /// Aggregated metrics for one (mode, profile) cell of Table 3.
 #[derive(Debug, Clone, Default)]
 pub struct Aggregate {

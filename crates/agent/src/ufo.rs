@@ -39,40 +39,64 @@ fn observe(session: &mut Session) -> (std::sync::Arc<Snapshot>, LabeledScreen) {
     (snap, screen)
 }
 
-/// Runs the imperative plan through the AppAgent loop.
-///
-/// `forest_tokens` is non-zero in the ablation (§5.5): the navigation
-/// forest is prompt knowledge but no declarative interface exists.
-pub fn run(
-    task: &AgentTask,
-    session: &mut Session,
-    llm: &mut SimLlm,
+/// The resumable AppAgent loop state: the prepared plan plus the cursor
+/// into it. One [`GuiState::turn`] performs exactly one planning round
+/// trip (plus any recovery round trip inside it) and returns to the
+/// caller at the LLM-call boundary — the suspension point the gateway
+/// uses to overlap simulated model latency across tenants. The
+/// sequential [`run`] drives the same state machine to completion, so
+/// both paths execute byte-identical traces by construction.
+pub struct GuiState {
+    plan: Vec<GuiStep>,
+    cursor: usize,
+    /// Navigation-forest prompt knowledge (§5.5 ablation), fixed at plan
+    /// time.
     forest_tokens: usize,
-    step_cap: usize,
-) -> GuiRunResult {
-    let plan = llm.prepare_plan(&task.plan, &task.mutations).gui;
-    let mut cursor = 0usize;
+}
 
-    while cursor < plan.len() {
+impl GuiState {
+    /// Prepares the imperative plan (the LLM's first planning pass —
+    /// this consumes RNG and must happen exactly once, right after the
+    /// HostAgent call).
+    pub fn plan(task: &AgentTask, llm: &mut SimLlm, forest_tokens: usize) -> GuiState {
+        GuiState {
+            plan: llm.prepare_plan(&task.plan, &task.mutations).gui,
+            cursor: 0,
+            forest_tokens,
+        }
+    }
+
+    /// One AppAgent turn: observe, plan an action sequence, execute it.
+    /// Returns `None` while more turns remain, `Some(result)` when the
+    /// run ended (plan exhausted, failure, or step cap).
+    pub fn turn(
+        &mut self,
+        session: &mut Session,
+        llm: &mut SimLlm,
+        step_cap: usize,
+    ) -> Option<GuiRunResult> {
+        if self.cursor >= self.plan.len() {
+            return Some(GuiRunResult { failure: None, completed: true });
+        }
         // Reserve the two verification calls within the cap.
         if llm.calls() + 2 >= step_cap {
-            return GuiRunResult {
+            return Some(GuiRunResult {
                 failure: Some(FailureCause::StepLimitExceeded),
                 completed: false,
-            };
+            });
         }
         let (snap, screen) = observe(session);
         // The baseline observation carries the full exposed accessibility
         // tree (§5.1), not just the on-screen subset.
         let prompt = GUI_BASE_PROMPT_TOKENS
             + tokens::count(&dmi_core::screen::full_tree_prompt_text(&snap))
-            + forest_tokens;
+            + self.forest_tokens;
 
         // Plan an action sequence: the maximal prefix of remaining actions
         // whose targets are all currently visible, within the horizon.
         let mut batch = 0usize;
-        while cursor + batch < plan.len() && batch < llm.profile.gui_bundle_limit {
-            if step_groundable(&screen, &plan[cursor + batch]) {
+        while self.cursor + batch < self.plan.len() && batch < llm.profile.gui_bundle_limit {
+            if step_groundable(&screen, &self.plan[self.cursor + batch]) {
                 batch += 1;
             } else {
                 break;
@@ -86,21 +110,21 @@ pub fn run(
             if llm.sample_recover() {
                 let _ = session.press("Esc");
                 let _ = session.press("Esc");
-                continue;
+                return None;
             }
-            return GuiRunResult {
+            return Some(GuiRunResult {
                 failure: Some(FailureCause::ControlLocalization),
                 completed: false,
-            };
+            });
         }
 
         // Execute the sequence, re-grounding each action on a fresh
         // snapshot (the screen the LLM planned on goes stale mid-batch).
         for _ in 0..batch {
-            let step = &plan[cursor];
+            let step = &self.plan[self.cursor];
             match execute_step(session, llm, step) {
                 Exec::Ok => {
-                    cursor += 1;
+                    self.cursor += 1;
                 }
                 Exec::Stale => {
                     // Prior actions changed the UI; re-plan next turn.
@@ -114,23 +138,42 @@ pub fn run(
                     let (snap, _) = observe(session);
                     let prompt = GUI_BASE_PROMPT_TOKENS
                         + tokens::count(&dmi_core::screen::full_tree_prompt_text(&snap))
-                        + forest_tokens;
+                        + self.forest_tokens;
                     llm.record_call(prompt, 20);
                     break;
                 }
                 Exec::Failed(cause) => {
-                    return GuiRunResult { failure: Some(cause), completed: false };
+                    return Some(GuiRunResult { failure: Some(cause), completed: false });
                 }
             }
             if session.is_trapped() {
-                return GuiRunResult {
+                return Some(GuiRunResult {
                     failure: Some(FailureCause::ControlLocalization),
                     completed: false,
-                };
+                });
             }
         }
+        None
     }
-    GuiRunResult { failure: None, completed: true }
+}
+
+/// Runs the imperative plan through the AppAgent loop to completion.
+///
+/// `forest_tokens` is non-zero in the ablation (§5.5): the navigation
+/// forest is prompt knowledge but no declarative interface exists.
+pub fn run(
+    task: &AgentTask,
+    session: &mut Session,
+    llm: &mut SimLlm,
+    forest_tokens: usize,
+    step_cap: usize,
+) -> GuiRunResult {
+    let mut state = GuiState::plan(task, llm, forest_tokens);
+    loop {
+        if let Some(result) = state.turn(session, llm, step_cap) {
+            return result;
+        }
+    }
 }
 
 fn step_groundable(screen: &LabeledScreen, step: &GuiStep) -> bool {

@@ -1,9 +1,12 @@
 //! Unit-level agent tests on a minimal inline task (the full-suite
 //! behaviour is covered by the workspace integration tests).
 
-use dmi_agent::{run_task, AgentTask, InterfaceMode, RunConfig};
+use dmi_agent::{
+    run_task, AgentTask, Gateway, GatewayConfig, InterfaceMode, RunConfig, ServeApp, ServeRequest,
+};
 use dmi_apps::AppKind;
 use dmi_llm::{CapabilityProfile, GuiStep, PlanStep, TargetQuery, TaskPlan, VisitTarget};
+use std::sync::Arc;
 
 fn perfect() -> CapabilityProfile {
     let mut p = CapabilityProfile::gpt5_medium();
@@ -66,6 +69,7 @@ fn dmi_run_is_single_core_call_either_way() {
     let task = bold_italic_task();
     let mut s = dmi_gui::Session::new(AppKind::Word.launch_small());
     let (dmi, _) = dmi_core::Dmi::build(&mut s, &dmi_core::DmiBuildConfig::office("Word"));
+    let dmi = std::sync::Arc::new(dmi);
     let trace =
         run_task(&task, Some(&dmi), &RunConfig::test(perfect(), InterfaceMode::GuiPlusDmi, 0));
     assert!(trace.success);
@@ -86,10 +90,127 @@ fn trace_records_mode_profile_and_tokens() {
 }
 
 #[test]
+fn gateway_traces_match_sequential_runs_at_any_worker_count() {
+    let task = Arc::new(bold_italic_task());
+    let mut s = dmi_gui::Session::new(AppKind::Word.launch_small());
+    let (dmi, _) = dmi_core::Dmi::build(&mut s, &dmi_core::DmiBuildConfig::office("Word"));
+    let dmi = Arc::new(dmi);
+
+    // Three tenants, mixed modes and seeds, all against one shared app.
+    let requests: Vec<ServeRequest> = (0..6u64)
+        .map(|i| ServeRequest {
+            tenant: format!("tenant-{}", i % 3),
+            app: "word".into(),
+            task: Arc::clone(&task),
+            cfg: RunConfig::test(
+                perfect(),
+                if i % 2 == 0 { InterfaceMode::GuiPlusDmi } else { InterfaceMode::GuiOnly },
+                i,
+            ),
+        })
+        .collect();
+
+    let sequential: Vec<String> =
+        requests.iter().map(|r| run_task(&r.task, Some(&dmi), &r.cfg).identity_bytes()).collect();
+
+    for workers in [1usize, 4] {
+        let donor = dmi_gui::Session::new(AppKind::Word.launch_small());
+        let mut gw = Gateway::new(
+            vec![ServeApp::new("word", donor, Some(Arc::clone(&dmi)))],
+            GatewayConfig { workers, sessions_per_app: 2, max_in_flight: 0 },
+        );
+        let report = gw.serve(requests.clone());
+        assert_eq!(report.stats.completed, 6);
+        assert_eq!(report.stats.faulted, 0);
+        assert!(report.stats.session_reuses > 0, "pool cap 2 forces recycling for 6 tasks");
+        for (outcome, expect) in report.outcomes.iter().zip(&sequential) {
+            let got = outcome.trace.as_ref().expect("trace present").identity_bytes();
+            assert_eq!(&got, expect, "workers={workers} tenant={}", outcome.tenant);
+        }
+        // Batching overlaps latency: the virtual makespan undercuts the
+        // serialized baseline whenever two tasks ever share a round.
+        assert!(report.stats.virtual_secs < report.stats.serialized_secs);
+        assert!(report.latency_percentile(99.0) >= report.latency_percentile(50.0));
+    }
+}
+
+/// Forwards everything to the wrapped app except `fork` (always `None`),
+/// exercising the gateway's donor-lending path. `as_any` passes through
+/// so task verifiers still downcast to the concrete app.
+struct Unforkable(Box<dyn dmi_gui::GuiApp>);
+
+impl dmi_gui::GuiApp for Unforkable {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+    fn tree(&self) -> &dmi_gui::UiTree {
+        self.0.tree()
+    }
+    fn tree_mut(&mut self) -> &mut dmi_gui::UiTree {
+        self.0.tree_mut()
+    }
+    fn dispatch(
+        &mut self,
+        source: dmi_gui::WidgetId,
+        binding: &dmi_gui::CommandBinding,
+    ) -> Result<(), dmi_gui::AppError> {
+        self.0.dispatch(source, binding)
+    }
+    fn on_window_close(
+        &mut self,
+        root: dmi_gui::WidgetId,
+        commit: dmi_gui::CommitKind,
+    ) -> Result<(), dmi_gui::AppError> {
+        self.0.on_window_close(root, commit)
+    }
+    fn reset(&mut self) {
+        self.0.reset()
+    }
+    fn pristine_token(&self) -> Option<u64> {
+        self.0.pristine_token()
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self.0.as_any()
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self.0.as_any_mut()
+    }
+}
+
+#[test]
+fn gateway_serves_unforkable_apps_on_the_lent_donor() {
+    let task = Arc::new(bold_italic_task());
+    let requests: Vec<ServeRequest> = (0..3u64)
+        .map(|i| ServeRequest {
+            tenant: "solo".into(),
+            app: "word".into(),
+            task: Arc::clone(&task),
+            cfg: RunConfig::test(perfect(), InterfaceMode::GuiOnly, i),
+        })
+        .collect();
+    let sequential: Vec<String> =
+        requests.iter().map(|r| run_task(&r.task, None, &r.cfg).identity_bytes()).collect();
+
+    // An unforkable donor: capacity one, every task recycles the donor.
+    let donor = dmi_gui::Session::new(Box::new(Unforkable(AppKind::Word.launch_small())));
+    let mut gw = Gateway::new(
+        vec![ServeApp::new("word", donor, None)],
+        GatewayConfig { workers: 1, sessions_per_app: 4, max_in_flight: 0 },
+    );
+    let report = gw.serve(requests);
+    assert_eq!(report.stats.completed, 3);
+    assert_eq!(report.stats.session_forks, 0, "nothing forked off an unforkable app");
+    for (outcome, expect) in report.outcomes.iter().zip(&sequential) {
+        assert_eq!(&outcome.trace.as_ref().expect("trace").identity_bytes(), expect);
+    }
+}
+
+#[test]
 fn gui_plus_forest_requires_no_dmi_but_uses_its_tokens() {
     let task = bold_italic_task();
     let mut s = dmi_gui::Session::new(AppKind::Word.launch_small());
     let (dmi, _) = dmi_core::Dmi::build(&mut s, &dmi_core::DmiBuildConfig::office("Word"));
+    let dmi = std::sync::Arc::new(dmi);
     let with =
         run_task(&task, Some(&dmi), &RunConfig::test(perfect(), InterfaceMode::GuiPlusForest, 0));
     let without = run_task(&task, None, &RunConfig::test(perfect(), InterfaceMode::GuiOnly, 0));

@@ -11,6 +11,7 @@ use dmi_core::{Dmi, ExecutorConfig};
 use dmi_llm::CapabilityProfile;
 use dmi_uia::FuzzyMatcher;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 fn with_executor(dmi: &Dmi, exec: ExecutorConfig) -> Dmi {
     let mut d = dmi.clone();
@@ -20,7 +21,7 @@ fn with_executor(dmi: &Dmi, exec: ExecutorConfig) -> Dmi {
 
 fn run_suite(
     models: &BTreeMap<&'static str, AppModel>,
-    execs: &BTreeMap<&'static str, Dmi>,
+    execs: &BTreeMap<&'static str, Arc<Dmi>>,
     instability: (f64, f64),
 ) -> f64 {
     let profile = CapabilityProfile::gpt5_medium();
@@ -75,8 +76,10 @@ fn main() {
 
     let mut rows = Vec::new();
     for (cname, exec) in &configs {
-        let execs: BTreeMap<&'static str, Dmi> =
-            models.iter().map(|(&k, m)| (k, with_executor(&m.dmi, (*exec).clone()))).collect();
+        let execs: BTreeMap<&'static str, Arc<Dmi>> = models
+            .iter()
+            .map(|(&k, m)| (k, Arc::new(with_executor(&m.dmi, (*exec).clone()))))
+            .collect();
         let mut row = vec![cname.to_string()];
         for (_, inst) in &levels {
             row.push(report::pct(run_suite(models, &execs, *inst)));

@@ -9,7 +9,7 @@ use dmi_core::{Dmi, DmiBuildConfig, DmiBuildStats};
 use dmi_gui::Session;
 use dmi_llm::CapabilityProfile;
 use std::collections::BTreeMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Evaluation options.
@@ -29,8 +29,9 @@ impl Default for EvalConfig {
 
 /// One app's offline model plus its build statistics and wall time.
 pub struct AppModel {
-    /// The DMI instance.
-    pub dmi: Dmi,
+    /// The DMI instance, shared by reference with every run and every
+    /// gateway tenant — ripped once, never cloned.
+    pub dmi: Arc<Dmi>,
     /// Offline-phase statistics (§5.2).
     pub stats: DmiBuildStats,
     /// Wall-clock modeling time in seconds.
@@ -52,7 +53,7 @@ pub fn build_models(small: bool) -> BTreeMap<&'static str, AppModel> {
         let t0 = Instant::now();
         let (dmi, stats) = Dmi::build(&mut session, &DmiBuildConfig::office(kind.name()));
         let build_secs = t0.elapsed().as_secs_f64();
-        out.insert(kind.name(), AppModel { dmi, stats, build_secs });
+        out.insert(kind.name(), AppModel { dmi: Arc::new(dmi), stats, build_secs });
     }
     out
 }

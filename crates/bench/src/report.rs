@@ -76,6 +76,31 @@ pub fn fault_line(
     )
 }
 
+/// One gateway serving line for the serve bench reporter: throughput and
+/// latency at a given concurrency, with the two pool hit rates that make
+/// the throughput possible (session reuse, shared captures).
+#[allow(clippy::too_many_arguments)]
+pub fn serve_line(
+    concurrency: usize,
+    tasks_per_sec: f64,
+    p50_secs: f64,
+    p99_secs: f64,
+    session_reuse_rate: f64,
+    capture_hit_rate: f64,
+    overlap_factor: f64,
+) -> String {
+    format!(
+        "serve c={concurrency}: {} tasks/s, p50 {}s, p99 {}s, session-pool {}, \
+         capture-pool {}, latency overlap {}x",
+        format_args!("{tasks_per_sec:.3}"),
+        f1(p50_secs),
+        f1(p99_secs),
+        pct(session_reuse_rate),
+        pct(capture_hit_rate),
+        f1(overlap_factor),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +128,15 @@ mod tests {
     fn pool_line_reports_rate_and_handles_zero_probes() {
         assert_eq!(pool_line("Word", 3, 1), "capture-pool Word: 3/4 probes shared (75.0%)");
         assert_eq!(pool_line("Idle", 0, 0), "capture-pool Idle: 0/0 probes shared (0.0%)");
+    }
+
+    #[test]
+    fn serve_line_reports_throughput_latency_and_pools() {
+        assert_eq!(
+            serve_line(64, 1.234, 38.25, 61.71, 0.75, 0.9, 12.04),
+            "serve c=64: 1.234 tasks/s, p50 38.2s, p99 61.7s, session-pool 75.0%, \
+             capture-pool 90.0%, latency overlap 12.0x"
+        );
     }
 
     #[test]

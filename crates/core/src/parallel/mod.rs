@@ -28,12 +28,15 @@
 //!   planner state) out of that app's session pool for the task's
 //!   duration. Esc-recovery state travels with the pooled unit, so
 //!   recovery amortizes across tasks exactly as it does sequentially.
-//! - **Deterministic fairness**: the dispatch queue is a multi-queue with
-//!   one sub-queue per app. Urgent tasks (a lane is blocked on them) win
-//!   outright; speculative backlogs are served by greatest remaining
-//!   DFS stack depth, ties rotated round-robin — a pure function of
-//!   queue state. Fairness shapes only latency: per-lane commit order is
-//!   fixed regardless of where or when outcomes are computed.
+//! - **Cost-aware fairness** ([`fairness`]): the dispatch queue is a
+//!   [`FairQueue`] multi-queue with one lane per app. Urgent tasks (a
+//!   lane is blocked on them) win outright; speculative backlogs are
+//!   served by greatest *estimated remaining work* — reported DFS stack
+//!   depth × a worker-fed EWMA of the app's observed per-task latency —
+//!   ties rotated round-robin. The same policy schedules tenants in the
+//!   online gateway (`dmi_agent::gateway`). Fairness shapes only
+//!   latency: per-lane commit order is fixed regardless of where or
+//!   when outcomes are computed, which the byte-identity oracles gate.
 //! - **Shared capture pool**: all shards of one app (the lane session
 //!   included) share a `dmi_gui::CapturePool` keyed by the pristine
 //!   token and each session's pristine-relative action trace, so
@@ -110,10 +113,12 @@
 //! [`RipStats`]: crate::ripper::RipStats
 //! [`RipConfig::max_clicks`]: crate::ripper::RipConfig
 
+pub mod fairness;
 mod plan;
 mod scheduler;
 mod worker;
 
+pub use fairness::{Ewma, FairQueue};
 pub use plan::{ParRipConfig, ShardPlan};
 pub use scheduler::{rip_fleet, rip_parallel, FleetEntry, RipOutcome, RipStatus};
 

@@ -529,13 +529,14 @@ impl<'a> Lane<'a> {
         progressed
     }
 
-    /// Reports the lane's fairness weight, taking the queue lock only
-    /// when the value actually changed.
+    /// Reports the lane's remaining stack depth — the count half of its
+    /// cost-aware fairness weight (workers feed the latency half) —
+    /// taking the queue lock only when the value actually changed.
     fn report_weight(&mut self, shared: &FleetShared) {
-        let weight = self.frontier.stack.len() as u64;
-        if weight != self.last_weight {
-            shared.set_weight(self.app, weight);
-            self.last_weight = weight;
+        let depth = self.frontier.stack.len() as u64;
+        if depth != self.last_weight {
+            shared.set_depth(self.app, depth);
+            self.last_weight = depth;
         }
     }
 

@@ -10,21 +10,24 @@
 //! session for life, while any worker can serve any app the moment it
 //! goes idle.
 //!
-//! The dispatch queue is a **multi-queue**: one sub-queue per app, a
-//! deterministic fairness policy across them. Urgent tasks (the scheduler
-//! is blocked on them right now) always win; among speculative backlogs
-//! the pop picks the app with the greatest scheduler-reported weight —
-//! its remaining DFS stack depth — with ties rotated round-robin. The
-//! policy is a pure function of queue state (no randomness, no clocks);
-//! it shapes only *latency*, never bytes: per-app merge order is fixed by
-//! the scheduler regardless of where or when outcomes are computed.
+//! The dispatch queue is the shared [`FairQueue`] multi-queue (one lane
+//! per app; see [`crate::parallel::fairness`] for the policy): urgent
+//! tasks — the scheduler is blocked on them right now — always win, and
+//! speculative backlogs are served by cost-aware weight, the
+//! scheduler-reported remaining DFS stack depth scaled by a worker-fed
+//! EWMA of the app's observed per-task latency, ties rotated
+//! round-robin. Latency observations make the pick clock-*informed*, but
+//! it still shapes only latency, never bytes: per-app merge order is
+//! fixed by the scheduler regardless of where or when outcomes are
+//! computed.
 
+use crate::parallel::fairness::FairQueue;
 use crate::ripper::{diff_fresh, ExploreUnit, RipConfig, RipStats, UnitState};
 use dmi_gui::Session;
 use dmi_uia::{ControlId, Snapshot};
-use std::collections::VecDeque;
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// One unit of speculative work: explore `cid` for frontier `app` after
 /// establishing `setup` + `path`.
@@ -121,19 +124,8 @@ impl AppShared {
     }
 }
 
-/// One app's sub-queue plus its fairness inputs.
-struct SubQueue {
-    tasks: VecDeque<Task>,
-    /// Tasks at the queue front the scheduler is blocked on right now.
-    urgent: usize,
-    /// Scheduler-reported remaining DFS stack depth (fairness weight).
-    weight: u64,
-}
-
 struct QueueState {
-    subs: Vec<SubQueue>,
-    /// Round-robin cursor breaking weight ties deterministically.
-    rr: usize,
+    queue: FairQueue<Task>,
     shutdown: bool,
 }
 
@@ -147,12 +139,9 @@ pub(super) struct FleetShared {
 
 impl FleetShared {
     pub fn new(apps: Vec<AppShared>) -> Arc<FleetShared> {
-        let subs = apps
-            .iter()
-            .map(|_| SubQueue { tasks: VecDeque::new(), urgent: 0, weight: 0 })
-            .collect();
+        let lanes = apps.len();
         Arc::new(FleetShared {
-            queue: Mutex::new(QueueState { subs, rr: 0, shutdown: false }),
+            queue: Mutex::new(QueueState { queue: FairQueue::new(lanes), shutdown: false }),
             cond: Condvar::new(),
             apps,
         })
@@ -163,9 +152,8 @@ impl FleetShared {
     /// speculative backlog.
     pub fn push_front(&self, t: Task) {
         let mut q = self.queue.lock().unwrap();
-        let sub = &mut q.subs[t.app];
-        sub.tasks.push_front(t);
-        sub.urgent += 1;
+        let app = t.app;
+        q.queue.push_front(app, t);
         drop(q);
         self.cond.notify_one();
     }
@@ -173,14 +161,22 @@ impl FleetShared {
     /// Enqueues a speculative task behind its app's backlog.
     pub fn push_back(&self, t: Task) {
         let mut q = self.queue.lock().unwrap();
-        q.subs[t.app].tasks.push_back(t);
+        let app = t.app;
+        q.queue.push_back(app, t);
         drop(q);
         self.cond.notify_one();
     }
 
-    /// Updates an app's fairness weight (its remaining stack depth).
-    pub fn set_weight(&self, app: usize, weight: u64) {
-        self.queue.lock().unwrap().subs[app].weight = weight;
+    /// Updates an app's reported remaining stack depth (the count half
+    /// of its cost-aware fairness weight).
+    pub fn set_depth(&self, app: usize, depth: u64) {
+        self.queue.lock().unwrap().queue.set_depth(app, depth);
+    }
+
+    /// Folds one worker-observed task latency into the app's cost model
+    /// (the seconds half of its cost-aware fairness weight).
+    pub fn observe_latency(&self, app: usize, secs: f64) {
+        self.queue.lock().unwrap().queue.observe_latency(app, secs);
     }
 
     /// Drops every queued task for one app (the scheduler quarantined
@@ -189,45 +185,13 @@ impl FleetShared {
     /// scheduler deducts them from the lane's in-flight count, since a
     /// purged task will never produce a reply.
     pub fn purge_app(&self, app: usize) -> usize {
-        let mut q = self.queue.lock().unwrap();
-        let sub = &mut q.subs[app];
-        sub.urgent = 0;
-        sub.weight = 0;
-        sub.tasks.drain(..).count()
+        self.queue.lock().unwrap().queue.purge(app)
     }
 
     /// Wakes every worker and makes further pops return `None`.
     pub fn shutdown(&self) {
         self.queue.lock().unwrap().shutdown = true;
         self.cond.notify_all();
-    }
-
-    /// The deterministic fairness policy (see module docs): urgent tasks
-    /// first (round-robin across apps), then the non-empty sub-queue with
-    /// the greatest weight, ties resolved by the rotating cursor.
-    fn pick(q: &mut QueueState) -> Option<Task> {
-        let n = q.subs.len();
-        for off in 0..n {
-            let i = (q.rr + off) % n;
-            if q.subs[i].urgent > 0 {
-                q.subs[i].urgent -= 1;
-                q.rr = (i + 1) % n;
-                return q.subs[i].tasks.pop_front();
-            }
-        }
-        let mut best: Option<usize> = None;
-        for off in 0..n {
-            let i = (q.rr + off) % n;
-            if q.subs[i].tasks.is_empty() {
-                continue;
-            }
-            if best.is_none_or(|b| q.subs[i].weight > q.subs[b].weight) {
-                best = Some(i);
-            }
-        }
-        let i = best?;
-        q.rr = (i + 1) % n;
-        q.subs[i].tasks.pop_front()
     }
 
     fn pop(&self) -> Option<Task> {
@@ -238,7 +202,7 @@ impl FleetShared {
             if q.shutdown {
                 return None;
             }
-            if let Some(t) = Self::pick(&mut q) {
+            if let Some(t) = q.queue.pop() {
                 return Some(t);
             }
             q = self.cond.wait(q).unwrap();
@@ -269,6 +233,7 @@ pub(super) fn worker_loop(shared: Arc<FleetShared>, results: Sender<(usize, u64,
             continue;
         };
         let PooledUnit { mut session, state } = slot;
+        let started = Instant::now();
         let explored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut unit = ExploreUnit::resume(&mut session, &app.config, state);
             let out = unit.explore(&task.setup, &task.cid, &task.path).map(|ex| Outcome {
@@ -282,6 +247,9 @@ pub(super) fn worker_loop(shared: Arc<FleetShared>, results: Sender<(usize, u64,
             let digest = unit.take_base_digest();
             (out, digest, unit.suspend())
         }));
+        // Feed the cost model on success and failure alike: a hostile
+        // app that burns seconds before failing is still expensive.
+        shared.observe_latency(task.app, started.elapsed().as_secs_f64());
         let reply = match explored {
             Ok((outcome, base_digest, state)) => {
                 app.units().push(PooledUnit { session, state });

@@ -352,6 +352,53 @@ impl Session {
         Some(s)
     }
 
+    /// Returns the session to a just-launched state under a new
+    /// instability model, so a pooled session can serve its next tenant
+    /// indistinguishably from a fresh launch. This is what makes online
+    /// session reuse trace-sound: every counter the instability model
+    /// keys off (action, query, external-jump clocks) is zeroed, the
+    /// event log and all cached captures — the pristine stash included,
+    /// since it was captured under the *previous* tenant's instability —
+    /// are dropped, and the application resets to its launch image. The
+    /// attached [`CapturePool`] is deliberately kept: pool serving is
+    /// capture-transparent and its keys fingerprint the instability
+    /// model, so captures shared across tenants can never alias.
+    ///
+    /// Returns whether the application attested a pristine launch image
+    /// for the reset ([`GuiApp::pristine_token`]); a caller pooling
+    /// sessions should forfeit the session when it did not, because
+    /// nothing then proves the next tenant starts from launch state.
+    pub fn recycle(&mut self, inst: InstabilityModel) -> bool {
+        self.inst = inst;
+        self.events = EventLog::new();
+        self.capture_stats = CaptureStats::default();
+        self.query_seq = 0;
+        self.external_jumps = 0;
+        self.pristine_snap = None;
+        // Zeroed *before* `restart` so the pristine mark records the
+        // same action clock a fresh launch would.
+        self.action_seq = 0;
+        self.restart();
+        self.restart_seq = 0;
+        self.pristine_mark.is_some()
+    }
+
+    /// Replaces the instability model on a session that has not yet been
+    /// driven (all perturbation clocks at zero and no cached captures) —
+    /// the gateway retargets a just-forked session to its tenant's model
+    /// this way, making the fork bitwise-equivalent to a fresh
+    /// [`Session::with_instability`] launch under that model. On a
+    /// session that *has* been driven, use [`Session::recycle`] instead:
+    /// swapping models mid-flight would desynchronize the perturbation
+    /// clocks from the captures already taken under the old model.
+    pub fn set_instability(&mut self, inst: InstabilityModel) {
+        debug_assert!(
+            self.query_seq == 0 && self.action_seq == 0 && self.pristine_snap.is_none(),
+            "set_instability is only sound on an undriven session"
+        );
+        self.inst = inst;
+    }
+
     /// Attaches (or detaches) a cross-session [`CapturePool`]. Sessions
     /// sharing one pool serve each other's captures whenever their state
     /// provably matches — see the pool's docs for the soundness argument.

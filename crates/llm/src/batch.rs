@@ -1,0 +1,100 @@
+//! Batched plan-call accounting: overlapping simulated model latency
+//! across concurrent tasks.
+//!
+//! One agent task serializes its own LLM calls on its private virtual
+//! clock ([`crate::sim::SimLlm::clock_secs`]) — that per-task accounting
+//! is part of the task's trace identity and never changes. What a
+//! multi-tenant gateway adds is *cross-task* accounting: while one
+//! tenant's plan call is in flight, sibling tenants' calls run in the
+//! same provider round, so the fleet pays `max` of the batch, not `sum`.
+//! [`LlmBatch`] models exactly that: each scheduling round collects the
+//! calls issued by every task stepped in the round, and the round's
+//! wall-clock contribution is the slowest call — deterministically, from
+//! each task's own deterministic latency, independent of real thread
+//! timing.
+//!
+//! The serialized sum is kept too: the `sum / max-sum` ratio is the
+//! latency-overlap factor the `serve/*` benches report.
+
+/// One scheduling round's worth of concurrent plan calls.
+#[derive(Debug, Clone, Default)]
+pub struct LlmBatch {
+    /// Per-call simulated latencies collected this round.
+    calls: Vec<f64>,
+}
+
+impl LlmBatch {
+    /// An empty round.
+    pub fn new() -> LlmBatch {
+        LlmBatch::default()
+    }
+
+    /// Adds one task's in-flight call (its deterministic simulated
+    /// latency in seconds) to the round.
+    pub fn push(&mut self, secs: f64) {
+        self.calls.push(secs);
+    }
+
+    /// Number of calls in the round.
+    pub fn len(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Whether the round is empty.
+    pub fn is_empty(&self) -> bool {
+        self.calls.is_empty()
+    }
+
+    /// The round's wall-clock contribution with batching: the calls ride
+    /// one provider round, so the round costs its slowest call.
+    pub fn overlapped_secs(&self) -> f64 {
+        self.calls.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// The round's cost had the calls run back to back (the sequential
+    /// gateway-of-one baseline).
+    pub fn serialized_secs(&self) -> f64 {
+        self.calls.iter().sum()
+    }
+
+    /// Drains the round for reuse, returning `(overlapped, serialized)`.
+    pub fn settle(&mut self) -> (f64, f64) {
+        let out = (self.overlapped_secs(), self.serialized_secs());
+        self.calls.clear();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_round_costs_nothing() {
+        let b = LlmBatch::new();
+        assert!(b.is_empty());
+        assert_eq!(b.overlapped_secs(), 0.0);
+        assert_eq!(b.serialized_secs(), 0.0);
+    }
+
+    #[test]
+    fn overlap_is_max_serial_is_sum() {
+        let mut b = LlmBatch::new();
+        b.push(30.0);
+        b.push(45.0);
+        b.push(12.5);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.overlapped_secs(), 45.0);
+        assert_eq!(b.serialized_secs(), 87.5);
+    }
+
+    #[test]
+    fn settle_drains_for_the_next_round() {
+        let mut b = LlmBatch::new();
+        b.push(10.0);
+        b.push(20.0);
+        assert_eq!(b.settle(), (20.0, 30.0));
+        assert!(b.is_empty());
+        assert_eq!(b.settle(), (0.0, 0.0));
+    }
+}

@@ -10,14 +10,15 @@ use dmi_core::{Dmi, DmiBuildConfig};
 use dmi_gui::Session;
 use dmi_llm::CapabilityProfile;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 fn main() {
     // Offline phase per app.
-    let mut models: HashMap<&str, Dmi> = HashMap::new();
+    let mut models: HashMap<&str, Arc<Dmi>> = HashMap::new();
     for kind in dmi_apps::AppKind::ALL {
         let mut s = Session::new(kind.launch_small());
         let (dmi, _) = Dmi::build(&mut s, &DmiBuildConfig::office(kind.name()));
-        models.insert(kind.name(), dmi);
+        models.insert(kind.name(), Arc::new(dmi));
     }
 
     let profile = CapabilityProfile::gpt5_medium();

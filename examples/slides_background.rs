@@ -27,9 +27,10 @@ fn main() {
     println!("GUI plan: {} imperative actions", task.plan.gui.len());
     println!("DMI plan: {} declarative turn(s)\n", task.plan.dmi.len());
 
-    // Offline phase once.
+    // Offline phase once; shared by reference across both runs.
     let mut s = Session::new(dmi_apps::AppKind::PowerPoint.launch_small());
     let (dmi, _) = Dmi::build(&mut s, &DmiBuildConfig::office("PowerPoint"));
+    let dmi = std::sync::Arc::new(dmi);
 
     for mode in [InterfaceMode::GuiOnly, InterfaceMode::GuiPlusDmi] {
         let cfg = RunConfig::test(perfect(), mode, 0);

@@ -243,6 +243,132 @@ fn fault_injected_fleet_is_contained_per_entry() {
     );
 }
 
+/// Gateway fault containment: an executor-visit task against a
+/// [`FaultPlan`]-drifting adversarial app runs through the multi-tenant
+/// gateway next to healthy Office tenants. The drifting tenant's fault
+/// stays contained — its task dies cleanly with the panic payload
+/// reported per-outcome — while every sibling tenant's [`RunTrace`]
+/// stays byte-identical to its solo sequential run.
+#[test]
+fn fault_drifting_tenant_is_contained_in_the_gateway() {
+    use dmi_agent::{
+        Gateway, GatewayConfig, InterfaceMode, RunConfig, ServeApp, ServeRequest, TaskState,
+    };
+    use dmi_llm::{CapabilityProfile, GuiStep, TargetQuery, TaskPlan};
+    use std::sync::Arc;
+
+    silence_injected_panics();
+
+    // Forked tenant sessions of this app panic on their first command
+    // dispatch — the executor's visit click detonates it mid-task.
+    let spec = AppSpec {
+        ops: (0..6).map(ArenaOp::Button).collect(),
+        faults: FaultPlan { panic_on_click: Some(1), ..FaultPlan::default() },
+    };
+
+    // The adversarial task clicks arena buttons GUI-style. `app` (an
+    // AppKind) is a placeholder: the gateway draws sessions from the
+    // named `ServeApp` donor, never from the task's own launcher.
+    let adversarial_task = Arc::new(dmi_agent::AgentTask {
+        id: "fuzz-drift-visit".into(),
+        app: dmi_apps::AppKind::Word,
+        description: "Click two arena buttons.".into(),
+        setup: None,
+        verify: |_| false,
+        plan: TaskPlan {
+            dmi: vec![dmi_llm::PlanStep::Visit(vec![dmi_llm::VisitTarget::click(
+                TargetQuery::name("Button 0"),
+            )])],
+            gui: vec![
+                GuiStep::Click(TargetQuery::name("Button 0")),
+                GuiStep::Click(TargetQuery::name("Button 1")),
+            ],
+        },
+        mutations: vec![dmi_llm::PlanMutation::DropLast],
+    });
+
+    let perfect = {
+        let mut p = CapabilityProfile::gpt5_medium();
+        p.policy_err = 0.0;
+        p.grounding_err = 0.0;
+        p.composite_err = 0.0;
+        p.instruction_noise = 0.0;
+        p
+    };
+    let office_task =
+        Arc::new(dmi_tasks::task_by_id("ppt-background-all").expect("suite task exists"));
+    let requests: Vec<ServeRequest> = vec![
+        ServeRequest {
+            tenant: "healthy-1".into(),
+            app: "PowerPoint".into(),
+            task: Arc::clone(&office_task),
+            cfg: RunConfig::test(perfect.clone(), InterfaceMode::GuiOnly, 3),
+        },
+        ServeRequest {
+            tenant: "drifter".into(),
+            app: "adversarial".into(),
+            task: Arc::clone(&adversarial_task),
+            cfg: RunConfig::test(perfect.clone(), InterfaceMode::GuiOnly, 1),
+        },
+        ServeRequest {
+            tenant: "healthy-2".into(),
+            app: "PowerPoint".into(),
+            task: Arc::clone(&office_task),
+            cfg: RunConfig::test(perfect.clone(), InterfaceMode::GuiOnly, 7),
+        },
+    ];
+
+    // Solo references for the healthy tenants (sequential, own session).
+    let expected: Vec<String> = requests
+        .iter()
+        .filter(|r| r.app == "PowerPoint")
+        .map(|r| dmi_agent::run_task(&r.task, None, &r.cfg).identity_bytes())
+        .collect();
+    // Solo reference for the drifting tenant, driven through the same
+    // resumable machine on a fresh adversarial fork: it panics.
+    let solo_drift = {
+        let donor = Session::new(AdversarialApp::launch(spec.clone()));
+        let fork = donor.fork_from_pristine().expect("adversarial apps fork");
+        let cfg = RunConfig::test(perfect.clone(), InterfaceMode::GuiOnly, 1);
+        let mut state = TaskState::with_session(&adversarial_task, fork, &cfg);
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            while state.step(&adversarial_task, None) == dmi_agent::StepStatus::Running {}
+        }))
+    };
+    assert!(solo_drift.is_err(), "the drifting app must panic on the visit click");
+
+    let mut gw = Gateway::new(
+        vec![
+            ServeApp::new(
+                "PowerPoint",
+                Session::new(dmi_apps::AppKind::PowerPoint.launch_small()),
+                None,
+            ),
+            ServeApp::new("adversarial", Session::new(AdversarialApp::launch(spec)), None),
+        ],
+        GatewayConfig { workers: 2, sessions_per_app: 2, max_in_flight: 4 },
+    );
+    let report = gw.serve(requests);
+
+    assert_eq!(report.stats.completed, 2, "both healthy tenants complete");
+    assert_eq!(report.stats.faulted, 1, "exactly the drifting tenant dies");
+
+    let drift = &report.outcomes[1];
+    assert_eq!(drift.tenant, "drifter");
+    assert!(drift.trace.is_none(), "a panicked task yields no trace");
+    let fault = drift.fault.as_ref().expect("the panic payload is reported");
+    assert!(fault.contains("injected fault"), "payload preserved, got: {fault}");
+
+    for (o, want) in [&report.outcomes[0], &report.outcomes[2]].iter().zip(&expected) {
+        let got = o.trace.as_ref().expect("healthy trace").identity_bytes();
+        assert_eq!(
+            &got, want,
+            "healthy tenant '{}' must stay byte-identical to its solo run",
+            o.tenant
+        );
+    }
+}
+
 // ---------------------------------------------------------------------
 // Clean specs: the determinism contract holds on every axis.
 // ---------------------------------------------------------------------

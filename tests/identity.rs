@@ -301,6 +301,86 @@ fn fleet_rip_ungs_are_byte_identical_to_sequential() {
     }
 }
 
+/// The serve oracle: every task served through the multi-tenant gateway
+/// must yield a [`dmi_agent::RunTrace`] byte-identical to its
+/// single-session sequential run, at every concurrency level — the
+/// gateway may change scheduling, session provenance (pooled recycle,
+/// pristine fork, donor lend), and latency accounting, but never a
+/// single trace byte.
+#[test]
+#[ignore = "rip-heavy: CI runs these in release via `-- --ignored`"]
+fn gateway_traces_are_byte_identical_to_sequential_at_all_concurrencies() {
+    use dmi_agent::{
+        run_task, Gateway, GatewayConfig, InterfaceMode, RunConfig, ServeApp, ServeRequest,
+    };
+    use dmi_integration_tests::dmi_models;
+    use std::sync::Arc;
+
+    let models = dmi_models();
+    let tasks: Vec<Arc<dmi_agent::AgentTask>> =
+        dmi_tasks::all_tasks().into_iter().map(Arc::new).collect();
+
+    // The request mix cycles all 27 tasks over all three Office apps with
+    // varied seeds and modes; `gpt5_medium` keeps failure injection live
+    // so failed traces are oracle-checked too.
+    let mix = |n: usize| -> Vec<ServeRequest> {
+        (0..n)
+            .map(|i| {
+                let task = &tasks[i % tasks.len()];
+                ServeRequest {
+                    tenant: format!("tenant-{}", i % 5),
+                    app: task.app.name().to_string(),
+                    task: Arc::clone(task),
+                    cfg: RunConfig::test(
+                        dmi_llm::CapabilityProfile::gpt5_medium(),
+                        if i % 3 == 0 { InterfaceMode::GuiOnly } else { InterfaceMode::GuiPlusDmi },
+                        i as u64,
+                    ),
+                }
+            })
+            .collect()
+    };
+
+    for concurrency in [64usize, 4096] {
+        let requests = mix(concurrency);
+        let expected: Vec<String> = requests
+            .iter()
+            .map(|r| run_task(&r.task, models.get(r.task.app.name()), &r.cfg).identity_bytes())
+            .collect();
+
+        let apps: Vec<ServeApp> = dmi_apps::AppKind::ALL
+            .iter()
+            .map(|&k| {
+                ServeApp::new(
+                    k.name(),
+                    Session::new(k.launch_small()),
+                    models.get(k.name()).cloned(),
+                )
+            })
+            .collect();
+        let mut gw = Gateway::new(
+            apps,
+            GatewayConfig { workers: 4, sessions_per_app: 8, max_in_flight: 32 },
+        );
+        let report = gw.serve(requests);
+        assert_eq!(report.stats.completed, concurrency, "every request produces a trace");
+        assert_eq!(report.stats.faulted, 0);
+        for (i, (o, want)) in report.outcomes.iter().zip(&expected).enumerate() {
+            let got = o.trace.as_ref().expect("trace present").identity_bytes();
+            assert_eq!(
+                &got, want,
+                "c={concurrency} request {i} ({} on {}): served trace must be \
+                 byte-identical to the sequential run",
+                o.tenant, o.app
+            );
+        }
+        assert!(
+            report.stats.session_reuses > 0,
+            "c={concurrency}: pooled recycling must be exercised"
+        );
+    }
+}
+
 /// §4.1 equivalence: ripping with Esc-based fast state restoration must
 /// produce a UNG byte-identical (nodes, names, types, edges, in order) to
 /// the legacy full-restart path, for every app — while restarting far

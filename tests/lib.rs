@@ -4,7 +4,7 @@ use dmi_core::{Dmi, DmiBuildConfig};
 use dmi_gui::Session;
 use dmi_llm::CapabilityProfile;
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// A capability profile that never errs (oracle executor).
 pub fn perfect_profile() -> CapabilityProfile {
@@ -18,15 +18,16 @@ pub fn perfect_profile() -> CapabilityProfile {
     p
 }
 
-/// Small-app DMI models, ripped once per test binary.
-pub fn dmi_models() -> &'static HashMap<&'static str, Dmi> {
-    static MODELS: OnceLock<HashMap<&'static str, Dmi>> = OnceLock::new();
+/// Small-app DMI models, ripped once per test binary and shared by every
+/// caller (and every gateway tenant) through the `Arc`.
+pub fn dmi_models() -> &'static HashMap<&'static str, Arc<Dmi>> {
+    static MODELS: OnceLock<HashMap<&'static str, Arc<Dmi>>> = OnceLock::new();
     MODELS.get_or_init(|| {
         let mut m = HashMap::new();
         for kind in dmi_apps::AppKind::ALL {
             let mut s = Session::new(kind.launch_small());
             let (dmi, _) = Dmi::build(&mut s, &DmiBuildConfig::office(kind.name()));
-            m.insert(kind.name(), dmi);
+            m.insert(kind.name(), Arc::new(dmi));
         }
         m
     })
