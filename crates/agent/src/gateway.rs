@@ -59,9 +59,10 @@ use crate::runner::{RunConfig, StepStatus, TaskState};
 use crate::task::AgentTask;
 use crate::trace::RunTrace;
 use dmi_core::parallel::FairQueue;
-use dmi_core::Dmi;
+use dmi_core::{Dmi, DmiBuildConfig};
 use dmi_gui::{CapturePool, Session};
 use dmi_llm::LlmBatch;
+use dmi_store::{Store, StoreError};
 use std::collections::BTreeMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -83,6 +84,36 @@ impl ServeApp {
     /// Wraps a launched session as a servable app.
     pub fn new(id: impl Into<String>, donor: Session, dmi: Option<Arc<Dmi>>) -> ServeApp {
         ServeApp { id: id.into(), donor, dmi }
+    }
+
+    /// Warm-boots a servable app from a persistent [`Store`]: the DMI is
+    /// rebuilt from the stored UNG (no rip), and the donor's capture pool
+    /// is seeded from the stored capture export when one is present.
+    ///
+    /// The stored rip's pristine signature must structurally match the
+    /// live donor ([`StoreError::PristineMismatch`] otherwise): serving a
+    /// model ripped from a different build would silently desynchronize
+    /// traces from a rip-booted gateway. Capture warming is best-effort —
+    /// a store without a capture artifact still boots, just cold.
+    pub fn from_store(
+        id: impl Into<String>,
+        store: &Store,
+        mut donor: Session,
+        config: &DmiBuildConfig,
+    ) -> Result<ServeApp, StoreError> {
+        let id = id.into();
+        let stored = store.load_rip(&id)?;
+        if dmi_core::pristine_signature(&mut donor) != stored.pristine {
+            return Err(StoreError::PristineMismatch { app: id });
+        }
+        let (dmi, _) = Dmi::from_ung(stored.ung, config);
+        donor.set_capture_pool(Some(CapturePool::shared()));
+        match dmi_store::warm_session(store, &id, &mut donor) {
+            // A missing capture artifact is a cold (but valid) boot.
+            Ok(_) | Err(StoreError::Io(_)) => {}
+            Err(e) => return Err(e),
+        }
+        Ok(ServeApp { id, donor, dmi: Some(Arc::new(dmi)) })
     }
 }
 
@@ -251,8 +282,12 @@ struct AppPool {
 impl AppPool {
     fn new(mut app: ServeApp, cap: usize) -> AppPool {
         // All of the app's tenant sessions share one capture pool; forks
-        // inherit it from the donor.
-        app.donor.set_capture_pool(Some(CapturePool::shared()));
+        // inherit it from the donor. A donor that already carries a pool
+        // (store warm boot) keeps it — replacing it would drop the
+        // imported captures.
+        if app.donor.capture_pool().is_none() {
+            app.donor.set_capture_pool(Some(CapturePool::shared()));
+        }
         AppPool {
             dmi: app.dmi,
             donor: Some(app.donor),

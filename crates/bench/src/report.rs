@@ -101,6 +101,31 @@ pub fn serve_line(
     )
 }
 
+/// One persistence line for the store bench reporter: artifact size
+/// against the JSON baseline, disk round-trip cost, and the two warm-path
+/// efficacy rates (journal edge confirmation, pool warm hits).
+#[allow(clippy::too_many_arguments)]
+pub fn store_line(
+    app: &str,
+    binary_bytes: u64,
+    json_bytes: u64,
+    save_ms: f64,
+    load_ms: f64,
+    edge_confirm_rate: f64,
+    warm_hit_rate: f64,
+) -> String {
+    let ratio = if json_bytes == 0 { 0.0 } else { binary_bytes as f64 / json_bytes as f64 };
+    format!(
+        "store {app}: {binary_bytes} B ({} of {json_bytes} B json), save {}ms, load {}ms, \
+         edges confirmed {}, pool warm hits {}",
+        pct(ratio),
+        f2(save_ms),
+        f2(load_ms),
+        pct(edge_confirm_rate),
+        pct(warm_hit_rate),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +161,15 @@ mod tests {
             serve_line(64, 1.234, 38.25, 61.71, 0.75, 0.9, 12.04),
             "serve c=64: 1.234 tasks/s, p50 38.2s, p99 61.7s, session-pool 75.0%, \
              capture-pool 90.0%, latency overlap 12.0x"
+        );
+    }
+
+    #[test]
+    fn store_line_reports_size_ratio_times_and_rates() {
+        assert_eq!(
+            store_line("Word", 48_213, 130_552, 1.2345, 0.876, 0.821, 0.4),
+            "store Word: 48213 B (36.9% of 130552 B json), save 1.23ms, load 0.88ms, \
+             edges confirmed 82.1%, pool warm hits 40.0%"
         );
     }
 

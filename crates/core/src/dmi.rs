@@ -18,6 +18,7 @@
 
 use crate::describe::{self, DescribeConfig, Description};
 use crate::error::DmiError;
+use crate::graph::Ung;
 use crate::interface::{executor, visit, ExecutorConfig, FilteredCommand, VisitCommand};
 use crate::ripper::{self, RipConfig, RipStats};
 use crate::topology::{build_forest, decycle, DecycleStats, Forest, ForestConfig, ForestStats};
@@ -102,9 +103,20 @@ impl Dmi {
     /// Runs the full offline phase against a live session: rip → decycle →
     /// forest → core description.
     pub fn build(session: &mut Session, config: &DmiBuildConfig) -> (Dmi, DmiBuildStats) {
-        let (mut g, rip_stats) = ripper::rip(session, &config.rip);
+        let (g, rip_stats) = ripper::rip(session, &config.rip);
+        session.restart();
+        let (dmi, mut stats) = Dmi::from_ung(g, config);
+        stats.rip = rip_stats;
+        (dmi, stats)
+    }
+
+    /// Runs the post-rip half of the offline pipeline (decycle → forest →
+    /// core description) on an existing UNG — the warm-boot path for
+    /// graphs loaded from a persistent store. The pipeline is a pure
+    /// function of the graph bytes, so a byte-identical stored UNG yields
+    /// a model identical to the one its original rip built.
+    pub fn from_ung(mut g: Ung, config: &DmiBuildConfig) -> (Dmi, DmiBuildStats) {
         let mut stats = DmiBuildStats {
-            rip: rip_stats,
             rip_nodes: g.node_count(),
             rip_edges: g.edge_count(),
             ..Default::default()
@@ -116,7 +128,6 @@ impl Dmi {
         stats.core_tokens = dmi.core.tokens();
         stats.core_controls = dmi.core.included.len();
         stats.full_tokens = describe::full_description(&dmi.forest, &dmi.describe).tokens();
-        session.restart();
         (dmi, stats)
     }
 

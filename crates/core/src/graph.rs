@@ -24,6 +24,11 @@ pub struct UngNode {
     pub help_text: String,
 }
 
+/// The borrowed decomposition [`Ung::raw_parts`] hands to an external
+/// codec: `(nodes, succ, pred, root, edge_count)`.
+pub type UngRawParts<'a> =
+    (&'a [UngNode], &'a [Vec<UngNodeId>], &'a [Vec<UngNodeId>], UngNodeId, usize);
+
 /// The UI Navigation Graph.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Ung {
@@ -181,6 +186,61 @@ impl Ung {
         for (i, n) in self.nodes.iter().enumerate() {
             self.index.entry(ControlKey::of_id(&n.control)).or_default().push(i);
         }
+    }
+
+    /// Decomposes the graph into its serializable parts for an external
+    /// codec: `(nodes, succ, pred, root, edge_count)`. The adjacency lists
+    /// must travel as-is — their per-list order is insertion order, which
+    /// downstream serializations (and therefore the byte-identity oracles)
+    /// observe; an edge-replay reconstruction would reorder `pred`.
+    pub fn raw_parts(&self) -> UngRawParts<'_> {
+        (&self.nodes, &self.succ, &self.pred, self.root, self.edge_count)
+    }
+
+    /// Reassembles a graph from [`Ung::raw_parts`]-shaped data, validating
+    /// structural invariants (parallel lengths, in-range ids, `succ`/`pred`
+    /// symmetry, edge count) and rebuilding the dedup index. Returns a
+    /// description of the violated invariant on malformed input so codec
+    /// callers can surface a typed error instead of panicking later.
+    pub fn from_raw_parts(
+        nodes: Vec<UngNode>,
+        succ: Vec<Vec<UngNodeId>>,
+        pred: Vec<Vec<UngNodeId>>,
+        root: UngNodeId,
+        edge_count: usize,
+    ) -> Result<Ung, String> {
+        let n = nodes.len();
+        if succ.len() != n || pred.len() != n {
+            return Err(format!(
+                "adjacency shape mismatch: {n} nodes, {} succ rows, {} pred rows",
+                succ.len(),
+                pred.len()
+            ));
+        }
+        if root >= n.max(1) {
+            return Err(format!("root {root} out of range for {n} nodes"));
+        }
+        let mut edges = 0usize;
+        for (u, outs) in succ.iter().enumerate() {
+            for &v in outs {
+                if v >= n {
+                    return Err(format!("edge {u}->{v} out of range for {n} nodes"));
+                }
+                if !pred[v].contains(&u) {
+                    return Err(format!("edge {u}->{v} missing from pred[{v}]"));
+                }
+                edges += 1;
+            }
+        }
+        if pred.iter().map(Vec::len).sum::<usize>() != edges {
+            return Err("pred holds edges absent from succ".into());
+        }
+        if edges != edge_count {
+            return Err(format!("edge count {edge_count} disagrees with adjacency ({edges})"));
+        }
+        let mut g = Ung { nodes, succ, pred, root, index: KeyMap::default(), edge_count };
+        g.rebuild_index();
+        Ok(g)
     }
 
     /// Removes the given edges (used by decycling).

@@ -1,0 +1,621 @@
+//! Incremental re-ripping against a persisted exploration journal.
+//!
+//! A cold rip pays one [`diff_fresh`] per explored candidate. When an app
+//! is re-ripped — same version in a new process, or a mildly updated
+//! version — most explorations land on byte-identical UI states, so the
+//! diff outcome is already known. This module records those outcomes in a
+//! [`RipJournal`] during a journaled rip and *confirms* them during an
+//! incremental rip, re-running the real diff only where the application
+//! diverged.
+//!
+//! # Determinism argument (byte-identity with the cold rip)
+//!
+//! [`rip_incremental`] drives the exact sequential explorer loop of
+//! [`crate::ripper::rip`] — same restarts, same captures, same frontier
+//! order — so the session evolves identically; the *only* substituted
+//! step is the pure function `diff_fresh(pre, post)`. A journal entry is
+//! committed in its place only when the live pre/post snapshots are
+//! provably equivalent (for diffing purposes) to the recorded ones:
+//!
+//! - Snapshots are digested **per window block** (two independent 64-bit
+//!   streams over everything the diff and the committer observe: relative
+//!   arena position, parentage, control type, name, automation id) plus
+//!   the window's modality and root name.
+//! - A window whose live digest equals the recorded digest contributes
+//!   the same identity multiset at the same relative offsets.
+//! - A window that *changed* since recording (an updated app version) is
+//!   only tolerated when it is byte-stable across the click — equal in
+//!   pre and post, live and recorded. A click-stable window contributes
+//!   no fresh controls and, because window root names are required to be
+//!   pairwise distinct, its contents cannot alias identity matches in any
+//!   other window (every non-root path is prefixed by its window root
+//!   name). Entries whose recorded fresh controls live in a changed
+//!   window are refused and re-explored.
+//!
+//! Under those checks the recorded fresh set, remapped through the live
+//! window offsets, equals what `diff_fresh` would compute; the commit
+//! itself always reads the **live** post snapshot. The release-gated
+//! oracles in `tests/store.rs` assert end-to-end byte identity for all
+//! three Office apps and across the `word_x3_versions` chain.
+
+use crate::graph::Ung;
+use crate::ripper::{diff_fresh, ExploreUnit, Frontier, RipConfig, RipStats};
+use dmi_gui::Session;
+use dmi_uia::{ControlId, Snapshot};
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+
+/// The digest + structure summary of one window block of a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowSig {
+    /// Two independent 64-bit digest streams (128 bits total) over the
+    /// block's diff-relevant bytes. See the module docs for the field
+    /// contract: everything [`diff_fresh`] or the frontier committer can
+    /// observe must feed the digest.
+    pub digest: [u64; 2],
+    /// Whether the window is modal (availability input of the diff).
+    pub modal: bool,
+    /// The window root's display name (the cross-window aliasing guard).
+    pub root_name: String,
+}
+
+/// Contiguous `[start, end)` arena ranges of a snapshot's window blocks,
+/// in window order. Defensive: a leading orphan block (nodes before the
+/// first registered window root — a hidden-root degenerate shape) is kept
+/// so every node belongs to exactly one block.
+fn block_ranges(snap: &Snapshot) -> Vec<(usize, usize)> {
+    let ws = snap.windows();
+    let mut ranges = Vec::with_capacity(ws.len() + 1);
+    if ws.first().copied().unwrap_or(snap.len()) > 0 {
+        ranges.push((0, ws.first().copied().unwrap_or(snap.len())));
+    }
+    for (i, &start) in ws.iter().enumerate() {
+        let end = ws.get(i + 1).copied().unwrap_or(snap.len());
+        ranges.push((start, end));
+    }
+    ranges
+}
+
+/// Per-window signatures of a snapshot (see [`WindowSig`]). Block digests
+/// use *relative* indices so equal window contents digest equal wherever
+/// the block sits in the arena.
+pub fn window_sigs(snap: &Snapshot) -> Vec<WindowSig> {
+    // Word-at-a-time: sig hashing runs over every node of every explored
+    // snapshot, so per-byte FNV would dominate the incremental engine's
+    // overhead. Chunk lengths are folded in so zero-padding cannot alias
+    // a shorter input.
+    fn eat(h: &mut [u64; 2], bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            let v = u64::from_le_bytes(w) ^ ((chunk.len() as u64) << 56);
+            h[0] = (h[0] ^ v).wrapping_mul(0x100_0000_01b3);
+            h[1] = (h[1] ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .rotate_left(29)
+                .wrapping_mul(0xA24B_AED4_963E_E407);
+        }
+    }
+    let ws = snap.windows();
+    let orphan = ws.first().copied().unwrap_or(snap.len()) > 0;
+    block_ranges(snap)
+        .into_iter()
+        .enumerate()
+        .map(|(bi, (start, end))| {
+            let mut h: [u64; 2] = [0xcbf2_9ce4_8422_2325, 0x9E55_79B9_7F4A_7C15];
+            eat(&mut h, &((end - start) as u64).to_le_bytes());
+            for idx in start..end {
+                let node = snap.node(idx);
+                eat(&mut h, &((idx - start) as u64).to_le_bytes());
+                let rel_parent = node
+                    .parent
+                    .and_then(|p| (p >= start && p < end).then_some((p - start) as u64))
+                    .unwrap_or(u64::MAX);
+                eat(&mut h, &rel_parent.to_le_bytes());
+                let p = &node.props;
+                eat(&mut h, p.control_type.as_str().as_bytes());
+                eat(&mut h, b"\x1f");
+                eat(&mut h, p.name.as_bytes());
+                eat(&mut h, b"\x1f");
+                eat(&mut h, p.automation_id.as_bytes());
+            }
+            let rooted = !orphan || bi > 0;
+            let wi = if orphan { bi.wrapping_sub(1) } else { bi };
+            WindowSig {
+                digest: h,
+                modal: rooted && snap.window_is_modal(wi),
+                root_name: if rooted { snap.node(start).props.name.clone() } else { String::new() },
+            }
+        })
+        .collect()
+}
+
+/// Memoizes [`window_sigs`] per snapshot allocation. Keys are raw `Arc`
+/// addresses validated through a `Weak`: an entry is served only when the
+/// weak still upgrades to the *same* allocation, so a recycled address
+/// can never alias a stale digest (the captured-snapshot churn of a rip
+/// makes address reuse a live hazard).
+#[derive(Default)]
+pub struct SigMemo {
+    map: HashMap<usize, (Weak<Snapshot>, Arc<Vec<WindowSig>>)>,
+}
+
+impl SigMemo {
+    /// An empty memo.
+    pub fn new() -> SigMemo {
+        SigMemo::default()
+    }
+
+    /// The (possibly cached) signatures of `snap`.
+    pub fn sigs(&mut self, snap: &Arc<Snapshot>) -> Arc<Vec<WindowSig>> {
+        let key = Arc::as_ptr(snap) as usize;
+        if let Some((weak, sigs)) = self.map.get(&key) {
+            if let Some(live) = weak.upgrade() {
+                if Arc::ptr_eq(&live, snap) {
+                    return Arc::clone(sigs);
+                }
+            }
+        }
+        let sigs = Arc::new(window_sigs(snap));
+        self.map.insert(key, (Arc::downgrade(snap), Arc::clone(&sigs)));
+        if self.map.len() > 8192 {
+            self.map.retain(|_, (w, _)| w.strong_count() > 0);
+        }
+        sigs
+    }
+}
+
+/// One recorded exploration outcome: the candidate's full identity (the
+/// lookup key), the pre/post window signatures, and the diff result as
+/// `(window ordinal, offset within block)` pairs — offset-relative so a
+/// block that merely *moved* (an earlier window grew) still remaps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Context-setup click names active during the exploration.
+    pub setup: Vec<String>,
+    /// The explored candidate.
+    pub cid: ControlId,
+    /// The candidate's reveal path.
+    pub path: Vec<ControlId>,
+    /// Window signatures of the pre-click snapshot.
+    pub pre: Vec<WindowSig>,
+    /// Window signatures of the post-click snapshot.
+    pub post: Vec<WindowSig>,
+    /// Fresh controls as `(post window ordinal, offset within block)`,
+    /// in ascending arena order.
+    pub fresh: Vec<(u32, u32)>,
+}
+
+fn entry_key(setup: &[String], cid: &ControlId, path: &[ControlId]) -> u64 {
+    fn eat(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h = (*h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for s in setup {
+        eat(&mut h, s.as_bytes());
+        eat(&mut h, b"\x1e");
+    }
+    eat(&mut h, b"\x1d");
+    eat(&mut h, cid.encode().as_bytes());
+    for p in path {
+        eat(&mut h, b"\x1e");
+        eat(&mut h, p.encode().as_bytes());
+    }
+    h
+}
+
+/// The exploration journal of one rip: every `(setup, candidate, path)`
+/// explored, with enough digest context to confirm or refuse its diff
+/// outcome on a later rip. Hash-indexed with full-key confirmation (the
+/// repo-wide hash+confirm discipline).
+#[derive(Debug, Default, Clone)]
+pub struct RipJournal {
+    entries: Vec<JournalEntry>,
+    index: HashMap<u64, Vec<usize>>,
+}
+
+impl RipJournal {
+    /// An empty journal.
+    pub fn new() -> RipJournal {
+        RipJournal::default()
+    }
+
+    /// Rebuilds a journal from decoded entries (codec load path).
+    pub fn from_entries(entries: Vec<JournalEntry>) -> RipJournal {
+        let mut j = RipJournal { entries, index: HashMap::new() };
+        for (i, e) in j.entries.iter().enumerate() {
+            j.index.entry(entry_key(&e.setup, &e.cid, &e.path)).or_default().push(i);
+        }
+        j
+    }
+
+    /// The recorded entries, in exploration order (codec save path).
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// Number of recorded explorations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn push(&mut self, entry: JournalEntry) {
+        let key = entry_key(&entry.setup, &entry.cid, &entry.path);
+        self.index.entry(key).or_default().push(self.entries.len());
+        self.entries.push(entry);
+    }
+
+    fn lookup(
+        &self,
+        setup: &[String],
+        cid: &ControlId,
+        path: &[ControlId],
+    ) -> Option<&JournalEntry> {
+        let key = entry_key(setup, cid, path);
+        self.index
+            .get(&key)?
+            .iter()
+            .map(|&i| &self.entries[i])
+            .find(|e| e.setup == setup && &e.cid == cid && e.path == path)
+    }
+}
+
+/// Incremental-rip effort counters, alongside the ordinary [`RipStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Explorations whose recorded diff was confirmed and committed
+    /// without re-diffing.
+    pub edges_confirmed: u64,
+    /// Explorations that fell back to the live diff (journal miss or a
+    /// refused confirmation).
+    pub edges_reexplored: u64,
+    /// Capture-pool hits served from store-imported (warm) entries
+    /// during the rip.
+    pub pool_warm_hits: u64,
+}
+
+impl IncrementalStats {
+    /// Fraction of explorations confirmed from the journal.
+    pub fn confirm_rate(&self) -> f64 {
+        let total = self.edges_confirmed + self.edges_reexplored;
+        if total > 0 {
+            self.edges_confirmed as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Tries to confirm a journal entry against the live pre/post signatures,
+/// returning the remapped fresh arena indices. `None` means "re-explore".
+/// See the module docs for the rule and its soundness argument.
+fn confirm(
+    entry: &JournalEntry,
+    pre_s: &[WindowSig],
+    post_s: &[WindowSig],
+    post: &Snapshot,
+) -> Option<Vec<u32>> {
+    if pre_s.len() != entry.pre.len() || post_s.len() != entry.post.len() {
+        return None;
+    }
+    let structure_ok = |live: &[WindowSig], stored: &[WindowSig]| {
+        live.iter().zip(stored).all(|(a, b)| a.modal == b.modal && a.root_name == b.root_name)
+    };
+    if !structure_ok(pre_s, &entry.pre) || !structure_ok(post_s, &entry.post) {
+        return None;
+    }
+    // A changed window (live digest != recorded) must be click-stable:
+    // byte-equal between pre and post, both live and as recorded.
+    let stable = |i: usize| {
+        pre_s.get(i).is_some_and(|p| p.digest == post_s[i].digest && p.modal == post_s[i].modal)
+            && entry
+                .pre
+                .get(i)
+                .is_some_and(|p| p.digest == entry.post[i].digest && p.modal == entry.post[i].modal)
+    };
+    let changed_post: Vec<bool> =
+        post_s.iter().zip(&entry.post).map(|(a, b)| a.digest != b.digest).collect();
+    let mut any_changed = false;
+    for (i, &changed) in changed_post.iter().enumerate() {
+        if changed {
+            any_changed = true;
+            if !stable(i) {
+                return None;
+            }
+        }
+    }
+    for (i, (a, b)) in pre_s.iter().zip(&entry.pre).enumerate() {
+        if a.digest != b.digest {
+            any_changed = true;
+            // The pre-side pairing reuses the same stability predicate,
+            // which indexes the *post* vectors: the changed pre window
+            // must exist there and match.
+            if i >= post_s.len() || !stable(i) {
+                return None;
+            }
+        }
+    }
+    if any_changed {
+        // Cross-window aliasing guard: identity paths are prefixed by
+        // window root names, so distinct names confine a changed
+        // window's identity delta to itself.
+        let distinct = |sigs: &[WindowSig]| {
+            sigs.iter()
+                .enumerate()
+                .all(|(i, a)| sigs[..i].iter().all(|b| a.root_name != b.root_name))
+        };
+        if !distinct(pre_s) || !distinct(post_s) {
+            return None;
+        }
+        // A changed window contributes no fresh controls; recorded fresh
+        // offsets inside one would be meaningless.
+        if entry.fresh.iter().any(|&(w, _)| changed_post.get(w as usize).copied().unwrap_or(true)) {
+            return None;
+        }
+    }
+    let ranges = block_ranges(post);
+    let mut fresh = Vec::with_capacity(entry.fresh.len());
+    for &(w, off) in &entry.fresh {
+        let &(start, end) = ranges.get(w as usize)?;
+        let idx = start + off as usize;
+        if idx >= end {
+            return None;
+        }
+        fresh.push(idx as u32);
+    }
+    Some(fresh)
+}
+
+/// What the explorer does with each diff outcome: record it, or confirm
+/// against a prior journal.
+enum Mode<'p> {
+    Record(RipJournal),
+    Confirm { prior: &'p RipJournal, inc: IncrementalStats },
+}
+
+/// The sequential explorer loop of [`crate::ripper::rip`], with the diff
+/// step routed through [`Mode`]. Everything else — restarts, captures,
+/// frontier order, commits — is kept literally identical so the session
+/// evolves exactly as under a cold rip.
+struct IncExplorer<'a, 'p> {
+    unit: ExploreUnit<'a>,
+    frontier: Frontier,
+    memo: SigMemo,
+    mode: Mode<'p>,
+}
+
+impl IncExplorer<'_, '_> {
+    fn base_pass(&mut self) {
+        self.unit.restart();
+        let snap = self.unit.snapshot();
+        let config = self.unit.config();
+        self.frontier.seed(&snap, &[], config, &mut self.unit.stats);
+        self.drain(&[]);
+    }
+
+    fn context_pass(&mut self, ctx: &crate::ripper::ContextSetup) {
+        if !self.unit.replay(&ctx.clicks, &[]) {
+            return;
+        }
+        let snap = self.unit.snapshot();
+        let config = self.unit.config();
+        self.frontier.seed(&snap, &[], config, &mut self.unit.stats);
+        self.drain(&ctx.clicks);
+    }
+
+    fn drain(&mut self, setup: &[String]) {
+        while let Some(c) = self.frontier.pop() {
+            if !self.frontier.visit(&c) {
+                continue;
+            }
+            let config = self.unit.config();
+            if let Some(cap) = config.max_clicks {
+                if self.unit.stats.clicks >= cap as u64 {
+                    return;
+                }
+            }
+            let Some(ex) = self.unit.explore(setup, &c.cid, &c.path) else {
+                continue;
+            };
+            if ex.post.windows().len() > ex.pre.windows().len() {
+                self.unit.stats.windows_seen += 1;
+            }
+            let pre_sigs = self.memo.sigs(&ex.pre);
+            let post_sigs = self.memo.sigs(&ex.post);
+            let fresh: Vec<u32> = match &mut self.mode {
+                Mode::Record(journal) => {
+                    let fresh = diff_fresh(&ex.pre, &ex.post);
+                    if let Some(packed) = pack_fresh(&ex.post, &fresh) {
+                        journal.push(JournalEntry {
+                            setup: setup.to_vec(),
+                            cid: c.cid.clone(),
+                            path: c.path.clone(),
+                            pre: (*pre_sigs).clone(),
+                            post: (*post_sigs).clone(),
+                            fresh: packed,
+                        });
+                    }
+                    fresh
+                }
+                Mode::Confirm { prior, inc } => {
+                    let confirmed = prior
+                        .lookup(setup, &c.cid, &c.path)
+                        .and_then(|e| confirm(e, &pre_sigs, &post_sigs, &ex.post));
+                    match confirmed {
+                        Some(fresh) => {
+                            inc.edges_confirmed += 1;
+                            fresh
+                        }
+                        None => {
+                            inc.edges_reexplored += 1;
+                            diff_fresh(&ex.pre, &ex.post)
+                        }
+                    }
+                }
+            };
+            self.frontier.commit(&c.cid, &ex.post, &fresh, &c.path, config, &mut self.unit.stats);
+        }
+    }
+}
+
+/// Packs diff indices as `(window, offset)` pairs; `None` when an index
+/// cannot be attributed to a block (degenerate window shapes — the entry
+/// is simply not recorded, and a later incremental rip re-explores it).
+fn pack_fresh(post: &Snapshot, fresh: &[u32]) -> Option<Vec<(u32, u32)>> {
+    let ranges = block_ranges(post);
+    fresh
+        .iter()
+        .map(|&idx| {
+            let idx = idx as usize;
+            let w = ranges.iter().position(|&(s, e)| idx >= s && idx < e)?;
+            Some((w as u32, (idx - ranges[w].0) as u32))
+        })
+        .collect()
+}
+
+/// A cold sequential rip that additionally records the exploration
+/// journal consumed by [`rip_incremental`]. The produced UNG is
+/// byte-identical to [`crate::ripper::rip`]'s — journaling only *reads*
+/// the capture pairs.
+pub fn rip_journaled(session: &mut Session, config: &RipConfig) -> (Ung, RipStats, RipJournal) {
+    let cs0 = session.capture_stats();
+    let mut ex = IncExplorer {
+        unit: ExploreUnit::new(session, config),
+        frontier: Frontier::new(),
+        memo: SigMemo::new(),
+        mode: Mode::Record(RipJournal::new()),
+    };
+    ex.base_pass();
+    for ctx in &config.contexts {
+        ex.context_pass(ctx);
+    }
+    let IncExplorer { unit, frontier, mode, .. } = ex;
+    let mut stats = unit.stats;
+    stats.fold_pool_delta(cs0, unit.session().capture_stats());
+    let Mode::Record(journal) = mode else { unreachable!("record mode") };
+    (frontier.g, stats, journal)
+}
+
+/// Rips an application incrementally against a prior rip's journal:
+/// byte-identical to a cold [`crate::ripper::rip`] of the *current* app,
+/// with confirmed explorations skipping the live diff (see the module
+/// docs for the argument). Warm capture-pool hits observed during the
+/// rip are folded into the returned [`IncrementalStats`].
+pub fn rip_incremental(
+    session: &mut Session,
+    config: &RipConfig,
+    prior: &RipJournal,
+) -> (Ung, RipStats, IncrementalStats) {
+    let cs0 = session.capture_stats();
+    let mut ex = IncExplorer {
+        unit: ExploreUnit::new(session, config),
+        frontier: Frontier::new(),
+        memo: SigMemo::new(),
+        mode: Mode::Confirm { prior, inc: IncrementalStats::default() },
+    };
+    ex.base_pass();
+    for ctx in &config.contexts {
+        ex.context_pass(ctx);
+    }
+    let IncExplorer { unit, frontier, mode, .. } = ex;
+    let mut stats = unit.stats;
+    let cs1 = unit.session().capture_stats();
+    stats.fold_pool_delta(cs0, cs1);
+    let Mode::Confirm { mut inc, .. } = mode else { unreachable!("confirm mode") };
+    inc.pool_warm_hits = cs1.pool_warm_hits - cs0.pool_warm_hits;
+    (frontier.g, stats, inc)
+}
+
+/// The structural signature of an application's pristine launch image:
+/// restarts the session and signs the fresh base capture. The store uses
+/// it as the cross-process identity of a pristine image —
+/// `GuiApp::pristine_token` is an in-process attestation handle (an
+/// allocation address) and does not survive serialization.
+pub fn pristine_signature(session: &mut Session) -> Vec<WindowSig> {
+    session.restart();
+    let snap = session.snapshot();
+    window_sigs(&snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ripper::{rip, RipConfig};
+    use crate::testutil::small_rip;
+    use dmi_apps::AppKind;
+
+    #[test]
+    fn journaled_rip_is_byte_identical_and_records_every_exploration() {
+        let (g0, stats0) = small_rip(AppKind::Word);
+        let mut s = Session::new(AppKind::Word.launch_small());
+        let (g, stats, journal) = rip_journaled(&mut s, &RipConfig::office("Word"));
+        assert_eq!(
+            serde_json::to_string(&g).unwrap(),
+            serde_json::to_string(g0).unwrap(),
+            "journaling must not perturb the rip"
+        );
+        assert_eq!(stats.clicks, stats0.clicks);
+        assert!(!journal.is_empty());
+        // Every successful exploration journals exactly once.
+        assert!(journal.len() as u64 <= stats.clicks);
+    }
+
+    #[test]
+    fn same_version_incremental_rip_confirms_everything() {
+        let mut s = Session::new(AppKind::Word.launch_small());
+        let (g1, _, journal) = rip_journaled(&mut s, &RipConfig::office("Word"));
+        let mut s2 = Session::new(AppKind::Word.launch_small());
+        let (g2, _, inc) = rip_incremental(&mut s2, &RipConfig::office("Word"), &journal);
+        assert_eq!(serde_json::to_string(&g1).unwrap(), serde_json::to_string(&g2).unwrap(),);
+        assert!(inc.edges_confirmed > 0);
+        assert_eq!(inc.edges_reexplored, 0, "identical app must confirm every exploration");
+        assert!((inc.confirm_rate() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn cross_version_incremental_rip_is_byte_identical_to_cold() {
+        let mut s = Session::new(AppKind::Word.launch_small_version(0));
+        let (_, _, journal) = rip_journaled(&mut s, &RipConfig::office("Word"));
+        let mut cold = Session::new(AppKind::Word.launch_small_version(1));
+        let (g_cold, _) = rip(&mut cold, &RipConfig::office("Word"));
+        let mut warm = Session::new(AppKind::Word.launch_small_version(1));
+        let (g_inc, _, inc) = rip_incremental(&mut warm, &RipConfig::office("Word"), &journal);
+        assert_eq!(
+            serde_json::to_string(&g_cold).unwrap(),
+            serde_json::to_string(&g_inc).unwrap(),
+            "incremental rip of v1 must match a cold rip of v1"
+        );
+        assert!(inc.edges_confirmed > 0, "dialog-internal explorations should confirm");
+        assert!(inc.edges_reexplored > 0, "document-bearing explorations must re-diff");
+    }
+
+    #[test]
+    fn pristine_signature_distinguishes_versions_and_matches_itself() {
+        let mut a = Session::new(AppKind::Word.launch_small_version(0));
+        let mut b = Session::new(AppKind::Word.launch_small_version(0));
+        let mut c = Session::new(AppKind::Word.launch_small_version(1));
+        let sa = pristine_signature(&mut a);
+        let sb = pristine_signature(&mut b);
+        let sc = pristine_signature(&mut c);
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn window_sigs_are_offset_independent_but_content_sensitive() {
+        let (g, _) = small_rip(AppKind::Word);
+        let _ = g; // fixture warm-up only; the real assertions use sessions
+        let mut s = Session::new(AppKind::Word.launch_small());
+        s.restart();
+        let snap = s.snapshot();
+        let sigs = window_sigs(&snap);
+        assert!(!sigs.is_empty());
+        assert_eq!(sigs, window_sigs(&snap));
+    }
+}

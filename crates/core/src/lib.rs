@@ -26,6 +26,7 @@ pub mod dmi;
 pub mod error;
 pub mod fuzz;
 pub mod graph;
+pub mod incremental;
 pub mod interface;
 pub mod parallel;
 pub mod ripper;
@@ -37,6 +38,10 @@ pub use describe::DescribeConfig;
 pub use dmi::{Dmi, DmiBuildConfig, DmiBuildStats, VisitOutcome};
 pub use error::{DmiError, DmiResult, RipError};
 pub use graph::{Ung, UngNode};
+pub use incremental::{
+    pristine_signature, rip_incremental, rip_journaled, IncrementalStats, JournalEntry, RipJournal,
+    WindowSig,
+};
 pub use interface::{ExecutorConfig, VisitCommand};
 pub use parallel::{
     rip_fleet, rip_parallel, FleetEntry, ParRipConfig, RipOutcome, RipStatus, ShardPlan,

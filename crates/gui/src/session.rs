@@ -613,6 +613,45 @@ impl Session {
         Some((token, model))
     }
 
+    /// The session's capture-pool identity — `(pristine token, instability
+    /// model fingerprint)` — independent of the current trace state.
+    /// Persistence layers use it to export this session's pool entries
+    /// and to re-key imported ones; `None` when the app does not attest a
+    /// pristine image or late-load instability is configured (such
+    /// sessions never pool, so there is nothing to export or import).
+    pub fn pool_identity(&self) -> Option<(u64, u64)> {
+        if self.inst.late_load_prob > 0.0 {
+            return None;
+        }
+        let token = self.app.pristine_token()?;
+        let model = mix64(self.inst.seed ^ self.inst.name_variation_prob.to_bits());
+        Some((token, model))
+    }
+
+    /// Exports this session's shareable capture-pool entries (those keyed
+    /// to its pristine token) for persistence. Empty when the session has
+    /// no pool attached or cannot pool at all.
+    pub fn export_pool_captures(&self) -> Vec<crate::snapshot::PooledCapture> {
+        match (self.pool_identity(), &self.pool) {
+            (Some((token, _)), Some(pool)) => pool.export(token),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Imports persisted captures into this session's shared pool,
+    /// re-keyed to the live pristine token and marked warm. Eviction and
+    /// warm-hit accounting land in this session's [`CaptureStats`]. The
+    /// caller must have attested that the entries were captured against a
+    /// structurally identical pristine image (`dmi_store::warm_session`
+    /// refuses otherwise) — importing foreign captures would serve wrong
+    /// bytes. Returns the number of entries added.
+    pub fn import_pool_captures(&mut self, captures: Vec<crate::snapshot::PooledCapture>) -> usize {
+        let (Some((token, _)), Some(pool)) = (self.pool_identity(), self.pool.clone()) else {
+            return 0;
+        };
+        pool.import(token, captures, &mut self.capture_stats)
+    }
+
     /// Post-action trace maintenance: if the state provably returned to
     /// the pristine image (floor counters and window/popup structure
     /// unchanged since the last restart), the trace re-floors to empty —

@@ -191,6 +191,13 @@ pub struct CaptureStats {
     /// lock) and the capture falls back to a fresh rebuild instead of
     /// propagating the panic into this session's checkout path.
     pub poison_recoveries: u64,
+    /// Subset of `pool_hits` served from *warm* entries — captures
+    /// imported from a persistent store rather than built by a live
+    /// sibling session this process.
+    pub pool_warm_hits: u64,
+    /// Entries evicted from the shared pool under the frequency × cost
+    /// retention policy while this session inserted.
+    pub pool_evictions: u64,
 }
 
 impl CaptureCache {
@@ -362,10 +369,47 @@ struct PoolEntry {
     /// not a practical concern.
     trace: Vec<u64>,
     snap: Arc<Snapshot>,
+    /// Times this entry served a lookup (the frequency half of the
+    /// retention score).
+    hits: u64,
+    /// Whether the entry was imported from a persistent store (a *warm*
+    /// entry) rather than built by a live session this process.
+    warm: bool,
+}
+
+impl PoolEntry {
+    /// Retention score under the frequency × cost policy: how many
+    /// node-walks the entry has saved, weighted by how many it would
+    /// cost to rebuild. `hits + 1` counts the build itself, so a large
+    /// never-hit capture still outranks a tiny never-hit one.
+    fn retention_score(&self) -> u128 {
+        (self.hits as u128 + 1) * self.snap.len().max(1) as u128
+    }
+}
+
+/// One exported pool entry, ready for persistence. The pristine token is
+/// deliberately absent: it attests an in-process allocation and does not
+/// survive serialization — importers re-key entries to the live session's
+/// token after attesting the pristine image structurally (see
+/// `dmi_core::incremental::pristine_signature`).
+#[derive(Debug, Clone)]
+pub struct PooledCapture {
+    /// Instability-model fingerprint the entry was built under.
+    pub model: u64,
+    /// Chained action-trace hash (fast reject key).
+    pub hash: u64,
+    /// The full fingerprint trace (hash-collision confirm key).
+    pub trace: Vec<u64>,
+    /// The pooled snapshot.
+    pub snap: Arc<Snapshot>,
+    /// Lookup count carried across processes so the retention policy
+    /// keeps historically hot entries.
+    pub hits: u64,
 }
 
 impl CapturePool {
-    /// A pool retaining up to `capacity` captures (MRU eviction).
+    /// A pool retaining up to `capacity` captures (frequency × cost
+    /// retention, see [`PoolEntry::retention_score`]).
     pub fn new(capacity: usize) -> CapturePool {
         CapturePool { capacity: capacity.max(1), entries: Mutex::new(Vec::new()) }
     }
@@ -423,7 +467,11 @@ impl CapturePool {
         let pos = entries.iter().position(|e| {
             e.token == token && e.model == model && e.hash == hash && e.trace == trace
         })?;
-        let entry = entries.remove(pos);
+        let mut entry = entries.remove(pos);
+        entry.hits += 1;
+        if entry.warm {
+            stats.pool_warm_hits += 1;
+        }
         let snap = Arc::clone(&entry.snap);
         entries.insert(0, entry);
         Some(snap)
@@ -451,9 +499,99 @@ impl CapturePool {
         }
         entries.insert(
             0,
-            PoolEntry { token, model, hash, trace: trace.to_vec(), snap: Arc::clone(snap) },
+            PoolEntry {
+                token,
+                model,
+                hash,
+                trace: trace.to_vec(),
+                snap: Arc::clone(snap),
+                hits: 0,
+                warm: false,
+            },
         );
-        entries.truncate(self.capacity);
+        Self::evict_over_capacity(&mut entries, self.capacity, stats);
+    }
+
+    /// Frequency × cost eviction: while over capacity, drop the entry
+    /// with the lowest [`PoolEntry::retention_score`], breaking ties
+    /// toward the least recently used (largest MRU index). Replaces the
+    /// original pure-MRU truncate: a rarely-hit pool (Word's ~1% rate)
+    /// used to cycle expensive captures out in insertion order, while
+    /// hot pools (Excel/PowerPoint ~20%) never got to weigh a cheap
+    /// popup snapshot against a full dialog one.
+    fn evict_over_capacity(
+        entries: &mut Vec<PoolEntry>,
+        capacity: usize,
+        stats: &mut CaptureStats,
+    ) {
+        while entries.len() > capacity {
+            let victim = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, e)| (e.retention_score(), std::cmp::Reverse(*i)))
+                .map(|(i, _)| i)
+                .expect("over-capacity pool is non-empty");
+            entries.remove(victim);
+            stats.pool_evictions += 1;
+        }
+    }
+
+    /// Exports every entry keyed to `token` for persistence, MRU order
+    /// preserved. Snapshots travel as shared `Arc`s — exporting copies
+    /// nothing.
+    pub fn export(&self, token: u64) -> Vec<PooledCapture> {
+        let mut scratch = CaptureStats::default();
+        let entries = self.entries_recovered(&mut scratch);
+        entries
+            .iter()
+            .filter(|e| e.token == token)
+            .map(|e| PooledCapture {
+                model: e.model,
+                hash: e.hash,
+                trace: e.trace.clone(),
+                snap: Arc::clone(&e.snap),
+                hits: e.hits,
+            })
+            .collect()
+    }
+
+    /// Imports persisted captures, re-keyed to the live session's
+    /// `token`, marked *warm* (hits on them are reported separately in
+    /// [`CaptureStats::pool_warm_hits`]). The caller is responsible for
+    /// pristine attestation: entries must come from a store whose
+    /// pristine signature matches the live app (see
+    /// `dmi_store::warm_session`). Existing live entries win duplicate
+    /// keys; the retention policy applies immediately, so importing more
+    /// than the capacity keeps the highest-scoring captures. Returns the
+    /// number of entries actually added.
+    pub fn import(
+        &self,
+        token: u64,
+        captures: Vec<PooledCapture>,
+        stats: &mut CaptureStats,
+    ) -> usize {
+        let mut entries = self.entries_recovered(stats);
+        let mut added = 0usize;
+        for c in captures {
+            let dup = entries.iter().any(|e| {
+                e.token == token && e.model == c.model && e.hash == c.hash && e.trace == c.trace
+            });
+            if dup {
+                continue;
+            }
+            entries.push(PoolEntry {
+                token,
+                model: c.model,
+                hash: c.hash,
+                trace: c.trace,
+                snap: c.snap,
+                hits: c.hits,
+                warm: true,
+            });
+            added += 1;
+        }
+        Self::evict_over_capacity(&mut entries, self.capacity, stats);
+        added
     }
 }
 
