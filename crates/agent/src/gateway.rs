@@ -341,11 +341,14 @@ impl AppPool {
         None
     }
 
-    /// Returns a finished session to the pool, harvesting its capture
-    /// counters (recycle zeroes them at next checkout).
-    fn checkin(&mut self, session: Session) {
+    /// Returns a finished session to the pool, harvesting (and zeroing)
+    /// its capture counters. Taking — not just reading — the counters is
+    /// what makes each capture event count exactly once: the end-of-serve
+    /// idle sweep used to re-read counters already harvested here,
+    /// double-counting every session that finished a task.
+    fn checkin(&mut self, mut session: Session) {
         self.live -= 1;
-        let cs = session.capture_stats();
+        let cs = session.take_capture_stats();
         self.pool_hits += cs.pool_hits;
         self.pool_misses += cs.pool_misses;
         self.idle.push(session);
@@ -448,6 +451,7 @@ impl Gateway {
     pub fn serve(&mut self, requests: Vec<ServeRequest>) -> ServeReport {
         let wall_start = Instant::now();
         let n = requests.len();
+        let _serve_span = dmi_obs::span(dmi_obs::Cat::Gateway, "serve", n as u64);
 
         // Tenant lanes in first-appearance order (deterministic).
         let mut lane_of: BTreeMap<String, usize> = BTreeMap::new();
@@ -515,6 +519,7 @@ impl Gateway {
                 };
                 match pool.checkout(&p.req.cfg) {
                     Some(session) => {
+                        dmi_obs::tally("gateway.admitted", 1);
                         let state = TaskState::with_session(&p.req.task, session, &p.req.cfg);
                         let sim_before = state.sim_secs();
                         in_flight.push(Flight {
@@ -578,6 +583,7 @@ impl Gateway {
             // suspending each at its next LLM-call boundary. The round's
             // calls batch — virtual time advances by the slowest.
             stats.rounds += 1;
+            let round_start = dmi_obs::now_us();
             let mut replies: Vec<StepReply> = Vec::with_capacity(in_flight.len());
             if threaded {
                 let tx = job_tx.as_ref().expect("job channel");
@@ -620,9 +626,18 @@ impl Gateway {
                 }
             }
             let (overlapped, serialized) = batch.settle();
+            let vt_before = vt;
             vt += overlapped;
             stats.virtual_secs += overlapped;
             stats.serialized_secs += serialized;
+            dmi_obs::complete_span(
+                dmi_obs::Cat::Gateway,
+                "round",
+                stats.rounds as u64,
+                round_start,
+                dmi_obs::now_us(),
+            );
+            dmi_obs::vt_span(dmi_obs::Cat::Gateway, "round.vt", stats.rounds as u64, vt_before, vt);
 
             // Land finished flights (descending position keeps
             // swap_remove indices valid).
@@ -638,6 +653,14 @@ impl Gateway {
                         // simulated latency.
                         queue.observe_latency(f.lane, trace.sim_secs);
                         stats.completed += 1;
+                        dmi_obs::tally("gateway.completed", 1);
+                        dmi_obs::vt_span(
+                            dmi_obs::Cat::Gateway,
+                            "task",
+                            f.lane as u64,
+                            f.admit_vt,
+                            vt,
+                        );
                         outcomes[f.slot] = Some(ServeOutcome {
                             tenant: f.tenant.clone(),
                             app: f.app.clone(),
@@ -653,6 +676,8 @@ impl Gateway {
                         let pool = self.pools.get_mut(&f.app).expect("pool exists");
                         pool.forfeit();
                         stats.faulted += 1;
+                        dmi_obs::tally("gateway.faulted", 1);
+                        dmi_obs::instant(dmi_obs::Cat::Gateway, "task.fault", f.lane as u64);
                         outcomes[f.slot] = Some(ServeOutcome {
                             tenant: f.tenant.clone(),
                             app: f.app.clone(),
@@ -676,9 +701,11 @@ impl Gateway {
             stats.session_reuses += pool.reuses;
             pool.forks = 0;
             pool.reuses = 0;
-            // Harvest capture counters parked in idle sessions.
-            for s in &pool.idle {
-                let cs = s.capture_stats();
+            // Sweep counters parked in idle sessions that never went
+            // through `checkin` this serve (taken, so a later sweep or
+            // checkin can never see them again).
+            for s in &mut pool.idle {
+                let cs = s.take_capture_stats();
                 pool.pool_hits += cs.pool_hits;
                 pool.pool_misses += cs.pool_misses;
             }

@@ -312,6 +312,9 @@ fn bench_rip_fleet(c: &mut Criterion) {
     fn report_pool_once() {
         static ONCE: OnceLock<()> = OnceLock::new();
         ONCE.get_or_init(|| {
+            // Trace the reporting rip: the drained spans and tallies feed
+            // one registry summary table below the per-app lines.
+            dmi_obs::set_enabled(true);
             let mut entries = office_fleet();
             for o in rip_fleet(&mut entries, &ParRipConfig { workers: 2, speculation: 2 }) {
                 eprintln!(
@@ -335,6 +338,15 @@ fn bench_rip_fleet(c: &mut Criterion) {
                     )
                 );
             }
+            dmi_obs::set_enabled(false);
+            let trace = dmi_obs::drain();
+            let mut reg = dmi_obs::Registry::from_trace(&trace);
+            for (name, v) in dmi_obs::tallies() {
+                reg.inc(name, v);
+            }
+            dmi_obs::clear();
+            eprint!("{}", reg.summary_table());
+            eprintln!("{}", trace.text_summary());
         });
     }
 

@@ -1,4 +1,13 @@
 //! Plain-text table rendering for the experiment harnesses.
+//!
+//! The per-subsystem reporter lines (`pool_line`, `fault_line`,
+//! `serve_line`, `store_line`) are views over a [`dmi_obs::Registry`]:
+//! each one loads its measurements into typed metrics first and renders
+//! with the shared [`dmi_obs::KvLine`] builder, so every line speaks the
+//! same `label subject: key=value ...` grammar and the registry remains
+//! the single source for derived rates.
+
+use dmi_obs::{KvLine, Registry};
 
 /// Renders a simple aligned table.
 pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -55,9 +64,13 @@ pub fn banner(title: &str) -> String {
 /// One capture-pool efficacy line for the fleet bench reporter: how many
 /// captures the app's shards served from the shared cross-session pool.
 pub fn pool_line(app: &str, pool_hits: u64, pool_misses: u64) -> String {
-    let probes = pool_hits + pool_misses;
-    let rate = if probes == 0 { 0.0 } else { pool_hits as f64 / probes as f64 };
-    format!("capture-pool {app}: {pool_hits}/{probes} probes shared ({})", pct(rate))
+    let mut reg = Registry::new();
+    reg.inc("capture.pool_hits", pool_hits);
+    reg.inc("capture.pool_misses", pool_misses);
+    let hits = reg.counter("capture.pool_hits");
+    let probes = hits + reg.counter("capture.pool_misses");
+    let rate = if probes == 0 { 0.0 } else { hits as f64 / probes as f64 };
+    KvLine::new("capture-pool", app).frac("shared", hits, probes).pct("rate", rate).render()
 }
 
 /// One fault/recovery line for the fleet bench reporter: which engine the
@@ -70,10 +83,15 @@ pub fn fault_line(
     esc_recoveries: u64,
     poison_recoveries: u64,
 ) -> String {
-    format!(
-        "fault-recovery {app} [{status}]: {restarts} restarts, {esc_recoveries} esc recoveries, \
-         {poison_recoveries} poisoned-lock recoveries"
-    )
+    let mut reg = Registry::new();
+    reg.inc("rip.restarts", restarts);
+    reg.inc("rip.esc_recoveries", esc_recoveries);
+    reg.inc("capture.poison_recoveries", poison_recoveries);
+    KvLine::new("fault-recovery", format_args!("{app} [{status}]"))
+        .field("restarts", reg.counter("rip.restarts"))
+        .field("esc_recoveries", reg.counter("rip.esc_recoveries"))
+        .field("poison_recoveries", reg.counter("capture.poison_recoveries"))
+        .render()
 }
 
 /// One gateway serving line for the serve bench reporter: throughput and
@@ -89,16 +107,21 @@ pub fn serve_line(
     capture_hit_rate: f64,
     overlap_factor: f64,
 ) -> String {
-    format!(
-        "serve c={concurrency}: {} tasks/s, p50 {}s, p99 {}s, session-pool {}, \
-         capture-pool {}, latency overlap {}x",
-        format_args!("{tasks_per_sec:.3}"),
-        f1(p50_secs),
-        f1(p99_secs),
-        pct(session_reuse_rate),
-        pct(capture_hit_rate),
-        f1(overlap_factor),
-    )
+    let mut reg = Registry::new();
+    reg.set_gauge("gateway.tasks_per_sec", tasks_per_sec);
+    reg.set_gauge("gateway.p50_secs", p50_secs);
+    reg.set_gauge("gateway.p99_secs", p99_secs);
+    reg.set_gauge("gateway.session_reuse_rate", session_reuse_rate);
+    reg.set_gauge("gateway.capture_hit_rate", capture_hit_rate);
+    reg.set_gauge("gateway.overlap_factor", overlap_factor);
+    KvLine::new("serve", format_args!("c={concurrency}"))
+        .field("tasks_per_sec", format_args!("{:.3}", reg.gauge("gateway.tasks_per_sec")))
+        .secs("p50", reg.gauge("gateway.p50_secs"))
+        .secs("p99", reg.gauge("gateway.p99_secs"))
+        .pct("session_reuse", reg.gauge("gateway.session_reuse_rate"))
+        .pct("capture_hits", reg.gauge("gateway.capture_hit_rate"))
+        .field("overlap", format_args!("{:.1}x", reg.gauge("gateway.overlap_factor")))
+        .render()
 }
 
 /// One persistence line for the store bench reporter: artifact size
@@ -114,16 +137,25 @@ pub fn store_line(
     edge_confirm_rate: f64,
     warm_hit_rate: f64,
 ) -> String {
-    let ratio = if json_bytes == 0 { 0.0 } else { binary_bytes as f64 / json_bytes as f64 };
-    format!(
-        "store {app}: {binary_bytes} B ({} of {json_bytes} B json), save {}ms, load {}ms, \
-         edges confirmed {}, pool warm hits {}",
-        pct(ratio),
-        f2(save_ms),
-        f2(load_ms),
-        pct(edge_confirm_rate),
-        pct(warm_hit_rate),
-    )
+    let mut reg = Registry::new();
+    reg.inc("store.binary_bytes", binary_bytes);
+    reg.inc("store.json_bytes", json_bytes);
+    reg.set_gauge("store.save_ms", save_ms);
+    reg.set_gauge("store.load_ms", load_ms);
+    reg.set_gauge("store.edge_confirm_rate", edge_confirm_rate);
+    reg.set_gauge("store.warm_hit_rate", warm_hit_rate);
+    let binary = reg.counter("store.binary_bytes");
+    let json = reg.counter("store.json_bytes");
+    let ratio = if json == 0 { 0.0 } else { binary as f64 / json as f64 };
+    KvLine::new("store", app)
+        .field("binary", format_args!("{binary}B"))
+        .field("json", format_args!("{json}B"))
+        .pct("ratio", ratio)
+        .ms("save", reg.gauge("store.save_ms"))
+        .ms("load", reg.gauge("store.load_ms"))
+        .pct("edges_confirmed", reg.gauge("store.edge_confirm_rate"))
+        .pct("warm_hits", reg.gauge("store.warm_hit_rate"))
+        .render()
 }
 
 #[cfg(test)]
@@ -151,16 +183,16 @@ mod tests {
 
     #[test]
     fn pool_line_reports_rate_and_handles_zero_probes() {
-        assert_eq!(pool_line("Word", 3, 1), "capture-pool Word: 3/4 probes shared (75.0%)");
-        assert_eq!(pool_line("Idle", 0, 0), "capture-pool Idle: 0/0 probes shared (0.0%)");
+        assert_eq!(pool_line("Word", 3, 1), "capture-pool Word: shared=3/4 rate=75.0%");
+        assert_eq!(pool_line("Idle", 0, 0), "capture-pool Idle: shared=0/0 rate=0.0%");
     }
 
     #[test]
     fn serve_line_reports_throughput_latency_and_pools() {
         assert_eq!(
             serve_line(64, 1.234, 38.25, 61.71, 0.75, 0.9, 12.04),
-            "serve c=64: 1.234 tasks/s, p50 38.2s, p99 61.7s, session-pool 75.0%, \
-             capture-pool 90.0%, latency overlap 12.0x"
+            "serve c=64: tasks_per_sec=1.234 p50=38.2s p99=61.7s session_reuse=75.0% \
+             capture_hits=90.0% overlap=12.0x"
         );
     }
 
@@ -168,8 +200,8 @@ mod tests {
     fn store_line_reports_size_ratio_times_and_rates() {
         assert_eq!(
             store_line("Word", 48_213, 130_552, 1.2345, 0.876, 0.821, 0.4),
-            "store Word: 48213 B (36.9% of 130552 B json), save 1.23ms, load 0.88ms, \
-             edges confirmed 82.1%, pool warm hits 40.0%"
+            "store Word: binary=48213B json=130552B ratio=36.9% save=1.23ms load=0.88ms \
+             edges_confirmed=82.1% warm_hits=40.0%"
         );
     }
 
@@ -177,8 +209,7 @@ mod tests {
     fn fault_line_names_engine_and_counters() {
         assert_eq!(
             fault_line("Excel", "parallel", 4, 11, 1),
-            "fault-recovery Excel [parallel]: 4 restarts, 11 esc recoveries, \
-             1 poisoned-lock recoveries"
+            "fault-recovery Excel [parallel]: restarts=4 esc_recoveries=11 poison_recoveries=1"
         );
     }
 }

@@ -425,6 +425,7 @@ impl IncExplorer<'_, '_> {
             };
             if ex.post.windows().len() > ex.pre.windows().len() {
                 self.unit.stats.windows_seen += 1;
+                dmi_obs::tally("rip.windows_seen", 1);
             }
             let pre_sigs = self.memo.sigs(&ex.pre);
             let post_sigs = self.memo.sigs(&ex.post);
@@ -512,6 +513,7 @@ pub fn rip_incremental(
     config: &RipConfig,
     prior: &RipJournal,
 ) -> (Ung, RipStats, IncrementalStats) {
+    let _rip_span = dmi_obs::span(dmi_obs::Cat::Rip, "rip.incremental", 0);
     let cs0 = session.capture_stats();
     let mut ex = IncExplorer {
         unit: ExploreUnit::new(session, config),

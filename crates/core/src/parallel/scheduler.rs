@@ -174,6 +174,7 @@ impl Drop for ShutdownOnDrop {
 /// 1` no fleet exists and the caller asked for no parallelism, so every
 /// entry runs sequentially in place.)
 fn run_fleet(seeds: Vec<LaneSeed<'_>>, plan: &ShardPlan) -> Vec<RipOutcome> {
+    let _fleet_span = dmi_obs::span(dmi_obs::Cat::Rip, "rip.fleet", seeds.len() as u64);
     let n = seeds.len();
     let mut out: Vec<Option<RipOutcome>> = (0..n).map(|_| None).collect();
     let mut lane_seeds: Vec<(usize, LaneSeed<'_>)> = Vec::new();
@@ -299,7 +300,9 @@ impl FleetPlan<'_> {
                 break;
             }
             if !progressed {
+                let park = dmi_obs::span(dmi_obs::Cat::Scheduler, "scheduler.park", 0);
                 let msg = self.rx.recv().expect("a live worker holds a dispatched task");
+                drop(park);
                 self.route(msg);
             }
             // Drain everything already delivered without blocking.
@@ -414,6 +417,14 @@ struct Lane<'a> {
     next_context: usize,
     /// The candidate whose outcome the lane is blocked on.
     waiting: Option<Candidate>,
+    /// Whether `waiting` was a brand-new candidate revealed by a commit
+    /// (urgently dispatched at pop) rather than one already dispatched
+    /// speculatively — the stall-attribution tag.
+    waiting_revealed: bool,
+    /// Tag and wall-clock start of the stall in progress on this lane
+    /// (`None` when not blocked or tracing is off). Observation only:
+    /// never read by any scheduling decision.
+    stall: Option<(&'static str, u64)>,
     done: bool,
     /// The fault that quarantined this lane, if any ([`Lane::quarantine`]).
     failed: Option<RipError>,
@@ -444,6 +455,8 @@ impl<'a> Lane<'a> {
             setup: Arc::from(Vec::new()),
             next_context: 0,
             waiting: None,
+            waiting_revealed: false,
+            stall: None,
             done: false,
             failed: None,
             base_digest: 0,
@@ -464,6 +477,8 @@ impl<'a> Lane<'a> {
     /// count — purged tasks never reply). Sibling lanes are untouched;
     /// stragglers still in worker hands are swallowed by `route`.
     fn quarantine(&mut self, err: RipError, shared: &FleetShared) {
+        self.end_stall();
+        dmi_obs::instant(dmi_obs::Cat::Scheduler, "quarantine", self.app as u64);
         self.failed = Some(err);
         self.done = true;
         self.waiting = None;
@@ -492,12 +507,15 @@ impl<'a> Lane<'a> {
                     shared.push_front(self.task_for(&c));
                     self.in_flight += 1;
                     self.waiting = Some(c);
+                    self.begin_stall();
                     break;
                 }
                 let Some(o) = self.pending.remove(&c.seq) else {
                     self.waiting = Some(c);
+                    self.begin_stall();
                     break;
                 };
+                self.end_stall();
                 progressed = true;
                 self.commit(&c, o);
                 continue;
@@ -522,11 +540,39 @@ impl<'a> Lane<'a> {
                 // head of its sub-queue.
                 shared.push_front(self.task_for(&c));
                 self.in_flight += 1;
+                self.waiting_revealed = true;
+            } else {
+                self.waiting_revealed = false;
             }
             self.waiting = Some(c);
         }
         self.report_weight(shared);
         progressed
+    }
+
+    /// Opens a stall interval if the lane just blocked and none is open:
+    /// `stall.reveal` when the awaited candidate was revealed by a commit
+    /// and urgently dispatched at pop, `stall.await` when it was already
+    /// in flight speculatively. No-op with tracing off.
+    fn begin_stall(&mut self) {
+        if self.stall.is_none() && dmi_obs::enabled() {
+            let name = if self.waiting_revealed { "stall.reveal" } else { "stall.await" };
+            self.stall = Some((name, dmi_obs::now_us()));
+        }
+    }
+
+    /// Closes the open stall interval (the awaited result was consumed or
+    /// the lane was quarantined), emitting it as a scheduler span.
+    fn end_stall(&mut self) {
+        if let Some((name, start)) = self.stall.take() {
+            dmi_obs::complete_span(
+                dmi_obs::Cat::Scheduler,
+                name,
+                self.app as u64,
+                start,
+                dmi_obs::now_us(),
+            );
+        }
     }
 
     /// Reports the lane's remaining stack depth — the count half of its
@@ -549,6 +595,7 @@ impl<'a> Lane<'a> {
         let Some(o) = o else { return };
         if o.window_opened {
             self.unit.stats.windows_seen += 1;
+            dmi_obs::tally("rip.windows_seen", 1);
         }
         self.frontier.commit(
             &c.cid,

@@ -234,6 +234,7 @@ pub(super) fn worker_loop(shared: Arc<FleetShared>, results: Sender<(usize, u64,
         };
         let PooledUnit { mut session, state } = slot;
         let started = Instant::now();
+        let explore_span = dmi_obs::span(dmi_obs::Cat::Worker, "explore", task.app as u64);
         let explored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let mut unit = ExploreUnit::resume(&mut session, &app.config, state);
             let out = unit.explore(&task.setup, &task.cid, &task.path).map(|ex| Outcome {
@@ -247,6 +248,7 @@ pub(super) fn worker_loop(shared: Arc<FleetShared>, results: Sender<(usize, u64,
             let digest = unit.take_base_digest();
             (out, digest, unit.suspend())
         }));
+        drop(explore_span);
         // Feed the cost model on success and failure alike: a hostile
         // app that burns seconds before failing is still expensive.
         shared.observe_latency(task.app, started.elapsed().as_secs_f64());

@@ -239,6 +239,7 @@ pub(crate) struct ExploreUnit<'a> {
 /// [`crate::parallel::rip_fleet`] for multi-app fleets — both are
 /// byte-identical by construction).
 pub fn rip(session: &mut Session, config: &RipConfig) -> (Ung, RipStats) {
+    let _rip_span = dmi_obs::span(dmi_obs::Cat::Rip, "rip.sequential", 0);
     let cs0 = session.capture_stats();
     let mut ex = Explorer { unit: ExploreUnit::new(session, config), frontier: Frontier::new() };
     ex.base_pass();
@@ -333,11 +334,13 @@ impl<'a> ExploreUnit<'a> {
 
     pub fn snapshot(&mut self) -> Arc<Snapshot> {
         self.stats.snapshots += 1;
+        dmi_obs::tally("rip.snapshots", 1);
         self.session.snapshot()
     }
 
     pub fn restart(&mut self) {
         self.stats.restarts += 1;
+        dmi_obs::tally("rip.restarts", 1);
         self.session.restart();
         self.base_epoch = self.session.ui_state_epoch();
         self.tab_dirty = false;
@@ -405,14 +408,17 @@ impl<'a> ExploreUnit<'a> {
             let Some(idx) = Self::resolve(&snap, cid) else {
                 if count_failures {
                     self.stats.replay_failures += 1;
+                    dmi_obs::tally("rip.replay_failures", 1);
                 }
                 return false;
             };
             let wid = self.session.widget_of(snap.node(idx).runtime_id);
             self.stats.clicks += 1;
+            dmi_obs::tally("rip.clicks", 1);
             if self.session.click(wid).is_err() {
                 if count_failures {
                     self.stats.replay_failures += 1;
+                    dmi_obs::tally("rip.replay_failures", 1);
                 }
                 return false;
             }
@@ -457,6 +463,7 @@ impl<'a> ExploreUnit<'a> {
         if self.can_recover(setup, cid, path) {
             let (at_base, presses) = self.session.escape_to_base();
             self.stats.esc_presses += presses;
+            dmi_obs::tally("rip.esc_presses", presses);
             // A window closed by Esc runs its cancel handler; re-check
             // the epoch before trusting the collapsed state as base.
             if at_base
@@ -464,6 +471,7 @@ impl<'a> ExploreUnit<'a> {
                 && self.walk(setup, path, false)
             {
                 self.stats.esc_recoveries += 1;
+                dmi_obs::tally("rip.esc_recoveries", 1);
                 return true;
             }
         }
@@ -503,16 +511,19 @@ impl<'a> ExploreUnit<'a> {
                     break;
                 }
                 self.stats.esc_presses += 1;
+                dmi_obs::tally("rip.esc_presses", 1);
                 pre = self.snapshot();
                 continue;
             }
             let wid = self.session.widget_of(node.runtime_id);
             self.stats.clicks += 1;
+            dmi_obs::tally("rip.clicks", 1);
             clicked_ok = self.session.click(wid).is_ok();
             break;
         }
         if !clicked_ok {
             self.stats.replay_failures += 1;
+            dmi_obs::tally("rip.replay_failures", 1);
             return None;
         }
         if cid.control_type == ControlType::TabItem {
@@ -706,6 +717,7 @@ impl Frontier {
         if config.blocklist.iter().any(|b| b == name || (!auto.is_empty() && b == auto)) {
             self.visited.insert(key, cid);
             stats.blocklisted += 1;
+            dmi_obs::tally("rip.blocklisted", 1);
             return;
         }
         if path.len() >= config.max_depth {
@@ -820,6 +832,7 @@ impl Explorer<'_> {
             };
             if ex.post.windows().len() > ex.pre.windows().len() {
                 self.unit.stats.windows_seen += 1;
+                dmi_obs::tally("rip.windows_seen", 1);
             }
             let fresh = diff_fresh(&ex.pre, &ex.post);
             self.frontier.commit(

@@ -431,6 +431,14 @@ impl Session {
         self.capture_stats
     }
 
+    /// Capture statistics since the last recycle or take, zeroing the
+    /// session's accumulator. Harvest points (e.g. gateway check-in) use
+    /// this so each capture event is counted exactly once no matter how
+    /// often the same idle session is swept.
+    pub fn take_capture_stats(&mut self) -> CaptureStats {
+        std::mem::take(&mut self.capture_stats)
+    }
+
     /// The application.
     pub fn app(&self) -> &dyn GuiApp {
         self.app.as_ref()
@@ -495,6 +503,7 @@ impl Session {
     pub fn capture(&mut self) -> Capture {
         self.query_seq += 1;
         self.capture_stats.captures += 1;
+        dmi_obs::tally("capture.captures", 1);
         if !self.capture_cfg.cached {
             let snap = Arc::new(snapshot::build(self.app.tree(), &self.inst, self.query_seq));
             return Capture { snap, query_seq: self.query_seq, cache_hit: false };
@@ -510,6 +519,8 @@ impl Session {
                     let snap = Arc::clone(snap);
                     self.capture_stats.full_hits += 1;
                     self.capture_stats.pristine_hits += 1;
+                    dmi_obs::tally("capture.full_hits", 1);
+                    dmi_obs::tally("capture.pristine_hits", 1);
                     // Re-key the stash against the current tree so the
                     // next (post-click) capture can copy clean windows
                     // from it instead of re-walking everything.
@@ -528,6 +539,7 @@ impl Session {
         let keys = match snapshot::probe(self.app.tree(), self.query_seq, &mut self.cache) {
             Ok(snap) => {
                 self.capture_stats.full_hits += 1;
+                dmi_obs::tally("capture.full_hits", 1);
                 if let Some(token) = pristine_token {
                     self.pristine_snap = Some((token, Arc::clone(&snap)));
                 }
@@ -544,6 +556,8 @@ impl Session {
                 pool.lookup(token, model, self.trace.hash, &self.trace.fps, &mut self.capture_stats)
             {
                 self.capture_stats.pool_hits += 1;
+                dmi_obs::tally("capture.pool_hits", 1);
+                dmi_obs::instant(dmi_obs::Cat::Capture, "pool_hit", 0);
                 // Adopt as a donor so the next partial rebuild can copy
                 // clean windows (re-keyed against this session's stamps).
                 snapshot::adopt(
@@ -559,9 +573,11 @@ impl Session {
                 return Capture { snap, query_seq: self.query_seq, cache_hit: true };
             }
             self.capture_stats.pool_misses += 1;
+            dmi_obs::tally("capture.pool_misses", 1);
         }
         // Partial rebuild: clean windows copied from donors, dirty
         // windows re-walked.
+        let rebuild_span = dmi_obs::span(dmi_obs::Cat::Capture, "rebuild", 0);
         let snap = snapshot::rebuild(
             self.app.tree(),
             &self.inst,
@@ -571,6 +587,7 @@ impl Session {
             &mut self.cache,
             &mut self.capture_stats,
         );
+        drop(rebuild_span);
         if let Some((token, model)) = pool_key {
             let pool = Arc::clone(self.pool.as_ref().expect("pool_key requires an attached pool"));
             pool.insert(

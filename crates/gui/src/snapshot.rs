@@ -282,6 +282,7 @@ pub(crate) fn rebuild(
                     snap.seed_index_window(start, end, donor_ix, m.start);
                 }
                 stats.windows_reused += 1;
+                dmi_obs::tally("capture.windows_reused", 1);
                 WindowMeta {
                     key: key.clone(),
                     start,
@@ -296,6 +297,7 @@ pub(crate) fn rebuild(
                 push_window(tree, inst, query_seq, key.root, key.modal, wi, &lay, &mut snap);
                 let end = snap.len();
                 stats.windows_rebuilt += 1;
+                dmi_obs::tally("capture.windows_rebuilt", 1);
                 WindowMeta {
                     key: key.clone(),
                     start,
@@ -448,6 +450,7 @@ impl CapturePool {
                 g.clear();
                 self.entries.clear_poison();
                 stats.poison_recoveries += 1;
+                dmi_obs::tally("capture.poison_recoveries", 1);
                 g
             }
         }
@@ -471,6 +474,7 @@ impl CapturePool {
         entry.hits += 1;
         if entry.warm {
             stats.pool_warm_hits += 1;
+            dmi_obs::tally("capture.pool_warm_hits", 1);
         }
         let snap = Arc::clone(&entry.snap);
         entries.insert(0, entry);
@@ -533,6 +537,7 @@ impl CapturePool {
                 .expect("over-capacity pool is non-empty");
             entries.remove(victim);
             stats.pool_evictions += 1;
+            dmi_obs::tally("capture.pool_evictions", 1);
         }
     }
 

@@ -60,6 +60,12 @@ impl LlmBatch {
     /// Drains the round for reuse, returning `(overlapped, serialized)`.
     pub fn settle(&mut self) -> (f64, f64) {
         let out = (self.overlapped_secs(), self.serialized_secs());
+        if !self.calls.is_empty() {
+            dmi_obs::tally("llm.calls", self.calls.len() as u64);
+            dmi_obs::tally("llm.overlapped_us", (out.0 * 1e6).round() as u64);
+            dmi_obs::tally("llm.serialized_us", (out.1 * 1e6).round() as u64);
+            dmi_obs::instant(dmi_obs::Cat::Llm, "batch.settle", self.calls.len() as u64);
+        }
         self.calls.clear();
         out
     }

@@ -1,0 +1,307 @@
+//! The typed metrics registry and the labeled key=value line builder.
+//!
+//! [`Registry`] holds named [`Metric`]s — counters, gauges, and
+//! histograms with *fixed* bucket boundaries — in a `BTreeMap`, so every
+//! rendering of the same measurements is deterministic: same keys, same
+//! order, same bucket edges. The bench reporters build a registry from
+//! the engine's stat structs and render views over it ([`KvLine`] lines,
+//! [`Registry::summary_table`]); nothing here feeds back into the engine.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Fixed bucket boundaries (seconds) used for latency histograms across
+/// the workspace — pinned so histogram output never depends on observed
+/// data ranges.
+pub const LATENCY_BOUNDS_SECS: &[f64] = &[0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0];
+
+/// A histogram over fixed bucket boundaries: `bounds.len() + 1` buckets,
+/// bucket `i` counting observations `<= bounds[i]` (the last bucket is
+/// the overflow).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    /// A fresh histogram over the given (sorted, finite) boundaries.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        Histogram { bounds: bounds.to_vec(), counts: vec![0; bounds.len() + 1], sum: 0.0, count: 0 }
+    }
+
+    /// Folds one observation into its bucket.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self.bounds.iter().position(|b| v <= *b).unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The bucket boundaries this histogram was created with.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Compact rendering: `le0.01:3 le0.1:7 inf:1` (empty buckets are
+    /// skipped; deterministic for fixed bounds).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, c) in self.counts.iter().enumerate() {
+            if *c == 0 {
+                continue;
+            }
+            if !out.is_empty() {
+                out.push(' ');
+            }
+            if i < self.bounds.len() {
+                let _ = write!(out, "le{}:{c}", self.bounds[i]);
+            } else {
+                let _ = write!(out, "inf:{c}");
+            }
+        }
+        out
+    }
+}
+
+/// One typed metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Last-write-wins measurement.
+    Gauge(f64),
+    /// Distribution over fixed buckets.
+    Histogram(Histogram),
+}
+
+/// A named collection of typed metrics (deterministic iteration order).
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds to a counter (creating it at zero).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        match self.metrics.entry(name.to_string()).or_insert(Metric::Counter(0)) {
+            Metric::Counter(c) => *c += by,
+            other => panic!("metric `{name}` is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets a gauge.
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.metrics.insert(name.to_string(), Metric::Gauge(v));
+    }
+
+    /// Folds an observation into a histogram (created with `bounds` on
+    /// first use; later calls must agree on the boundaries).
+    pub fn observe(&mut self, name: &str, bounds: &[f64], v: f64) {
+        match self
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            Metric::Histogram(h) => {
+                debug_assert_eq!(h.bounds(), bounds, "histogram `{name}` bucket bounds changed");
+                h.observe(v);
+            }
+            other => panic!("metric `{name}` is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.metrics.get(name) {
+            Some(Metric::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value (0.0 when absent).
+    pub fn gauge(&self, name: &str) -> f64 {
+        match self.metrics.get(name) {
+            Some(Metric::Gauge(g)) => *g,
+            _ => 0.0,
+        }
+    }
+
+    /// The histogram under `name`, when one exists.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        match self.metrics.get(name) {
+            Some(Metric::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// All metric names, in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.metrics.keys().map(|s| s.as_str())
+    }
+
+    /// Number of metrics registered.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Builds a registry view over a drained trace: per `category.name`
+    /// span counts and total milliseconds (wall and virtual timelines
+    /// kept apart by suffix).
+    pub fn from_trace(trace: &crate::recorder::Trace) -> Registry {
+        use crate::recorder::{Clock, Phase};
+        let mut reg = Registry::new();
+        for e in &trace.events {
+            let clock = match e.clock {
+                Clock::Wall => "",
+                Clock::Virtual => ".vt",
+            };
+            let key = format!("{}.{}{clock}", e.cat.as_str(), e.name);
+            reg.inc(&format!("{key}.count"), 1);
+            if e.phase == Phase::Complete {
+                let total = format!("{key}.total_ms");
+                let prev = reg.gauge(&total);
+                reg.set_gauge(&total, prev + e.dur_us as f64 / 1e3);
+            }
+        }
+        reg
+    }
+
+    /// Renders every metric as an aligned two-column table, in name
+    /// order.
+    pub fn summary_table(&self) -> String {
+        let width = self.metrics.keys().map(|k| k.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, m) in &self.metrics {
+            let val = match m {
+                Metric::Counter(c) => c.to_string(),
+                Metric::Gauge(g) => format!("{g:.3}"),
+                Metric::Histogram(h) => h.render(),
+            };
+            let _ = writeln!(out, "{name:<width$}  {val}");
+        }
+        out
+    }
+}
+
+/// The one labeled key=value line builder behind every bench reporter
+/// line: `"{label} {subject}: k1=v1 k2=v2 ..."`.
+#[derive(Debug, Clone)]
+pub struct KvLine {
+    head: String,
+    parts: Vec<String>,
+}
+
+impl KvLine {
+    /// Starts a line: `"{label} {subject}:"`.
+    pub fn new(label: &str, subject: impl std::fmt::Display) -> KvLine {
+        KvLine { head: format!("{label} {subject}:"), parts: Vec::new() }
+    }
+
+    /// Appends `key=value` with `Display` formatting.
+    pub fn field(mut self, key: &str, value: impl std::fmt::Display) -> KvLine {
+        self.parts.push(format!("{key}={value}"));
+        self
+    }
+
+    /// Appends `key=num/den` (a ratio of counts).
+    pub fn frac(self, key: &str, num: u64, den: u64) -> KvLine {
+        self.field(key, format_args!("{num}/{den}"))
+    }
+
+    /// Appends `key=12.3%` from a 0..=1 rate.
+    pub fn pct(self, key: &str, rate: f64) -> KvLine {
+        self.field(key, format_args!("{:.1}%", rate * 100.0))
+    }
+
+    /// Appends `key=1.2s` (one decimal, seconds).
+    pub fn secs(self, key: &str, secs: f64) -> KvLine {
+        self.field(key, format_args!("{secs:.1}s"))
+    }
+
+    /// Appends `key=1.23ms` (two decimals, milliseconds).
+    pub fn ms(self, key: &str, ms: f64) -> KvLine {
+        self.field(key, format_args!("{ms:.2}ms"))
+    }
+
+    /// Renders the finished line.
+    pub fn render(&self) -> String {
+        let mut out = self.head.clone();
+        for p in &self.parts {
+            out.push(' ');
+            out.push_str(p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_histograms_are_typed() {
+        let mut reg = Registry::new();
+        reg.inc("rip.clicks", 5);
+        reg.inc("rip.clicks", 2);
+        reg.set_gauge("serve.p50", 38.25);
+        reg.observe("lat", LATENCY_BOUNDS_SECS, 0.05);
+        reg.observe("lat", LATENCY_BOUNDS_SECS, 2.0);
+        reg.observe("lat", LATENCY_BOUNDS_SECS, 1e9);
+        assert_eq!(reg.counter("rip.clicks"), 7);
+        assert_eq!(reg.gauge("serve.p50"), 38.25);
+        let h = reg.histogram("lat").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.render(), "le0.1:1 le5:1 inf:1");
+        assert_eq!(reg.counter("absent"), 0);
+    }
+
+    #[test]
+    fn summary_table_is_deterministic_and_aligned() {
+        let mut reg = Registry::new();
+        reg.inc("b.counter", 1);
+        reg.set_gauge("a.gauge", 1.5);
+        let t = reg.summary_table();
+        assert_eq!(t, "a.gauge    1.500\nb.counter  1\n");
+    }
+
+    #[test]
+    fn kv_line_renders_label_subject_and_fields() {
+        let line =
+            KvLine::new("capture-pool", "Word").frac("shared", 3, 4).pct("rate", 0.75).render();
+        assert_eq!(line, "capture-pool Word: shared=3/4 rate=75.0%");
+    }
+
+    #[test]
+    fn kv_line_formats_seconds_and_milliseconds() {
+        let line = KvLine::new("store", "Word").ms("save", 1.2345).secs("p50", 38.25).render();
+        assert_eq!(line, "store Word: save=1.23ms p50=38.2s");
+    }
+}

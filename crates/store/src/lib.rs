@@ -87,6 +87,7 @@ pub struct StoredCaptures {
 
 /// Serializes a [`StoredRip`] to the binary format.
 pub fn encode_rip(rip: &StoredRip) -> Vec<u8> {
+    let _span = dmi_obs::span(dmi_obs::Cat::Store, "encode_rip", 0);
     let mut w = ArtifactWriter::new(kind::RIP);
     let mut meta = Enc::default();
     meta.str(&mut w.interner, &rip.app);
@@ -105,6 +106,8 @@ pub fn encode_rip(rip: &StoredRip) -> Vec<u8> {
 /// Deserializes a [`StoredRip`], validating framing, checksums, and
 /// every structural invariant.
 pub fn decode_rip(bytes: &[u8]) -> StoreResult<StoredRip> {
+    let _span = dmi_obs::span(dmi_obs::Cat::Store, "decode_rip", 0);
+    dmi_obs::tally("store.decoded_bytes", bytes.len() as u64);
     let r = ArtifactReader::new(bytes, kind::RIP)?;
     let mut meta = Dec::new(r.section(sec::META)?, "rip meta");
     let app = meta.str(&r.strings)?.to_string();
@@ -122,6 +125,7 @@ pub fn decode_rip(bytes: &[u8]) -> StoreResult<StoredRip> {
 
 /// Serializes a [`StoredCaptures`] to the binary format.
 pub fn encode_captures(caps: &StoredCaptures) -> Vec<u8> {
+    let _span = dmi_obs::span(dmi_obs::Cat::Store, "encode_captures", 0);
     let mut w = ArtifactWriter::new(kind::CAPTURES);
     let mut meta = Enc::default();
     meta.str(&mut w.interner, &caps.app);
@@ -135,6 +139,8 @@ pub fn encode_captures(caps: &StoredCaptures) -> Vec<u8> {
 
 /// Deserializes a [`StoredCaptures`].
 pub fn decode_captures(bytes: &[u8]) -> StoreResult<StoredCaptures> {
+    let _span = dmi_obs::span(dmi_obs::Cat::Store, "decode_captures", 0);
+    dmi_obs::tally("store.decoded_bytes", bytes.len() as u64);
     let r = ArtifactReader::new(bytes, kind::CAPTURES)?;
     let mut meta = Dec::new(r.section(sec::META)?, "captures meta");
     let app = meta.str(&r.strings)?.to_string();
@@ -197,30 +203,36 @@ impl Store {
 
     /// Persists a rip; returns the serialized size in bytes.
     pub fn save_rip(&self, rip: &StoredRip) -> StoreResult<u64> {
+        let _span = dmi_obs::span(dmi_obs::Cat::Store, "save_rip", 0);
         let bytes = encode_rip(rip);
         std::fs::write(self.path(&rip.app, "rip"), &bytes)?;
+        dmi_obs::tally("store.saved_bytes", bytes.len() as u64);
         Ok(bytes.len() as u64)
     }
 
     /// Loads the rip stored for `app`.
     pub fn load_rip(&self, app: &str) -> StoreResult<StoredRip> {
+        let _span = dmi_obs::span(dmi_obs::Cat::Store, "load_rip", 0);
         decode_rip(&std::fs::read(self.path(app, "rip"))?)
     }
 
     /// Persists a capture-pool export, applying the [`STORE_CAPACITY`]
     /// retention cap; returns the serialized size in bytes.
     pub fn save_captures(&self, caps: &StoredCaptures) -> StoreResult<u64> {
+        let _span = dmi_obs::span(dmi_obs::Cat::Store, "save_captures", 0);
         let mut entries: Vec<PooledCapture> = caps.entries.clone();
         apply_store_capacity(&mut entries);
         let capped =
             StoredCaptures { app: caps.app.clone(), pristine: caps.pristine.clone(), entries };
         let bytes = encode_captures(&capped);
         std::fs::write(self.path(&caps.app, "caps"), &bytes)?;
+        dmi_obs::tally("store.saved_bytes", bytes.len() as u64);
         Ok(bytes.len() as u64)
     }
 
     /// Loads the captures stored for `app`.
     pub fn load_captures(&self, app: &str) -> StoreResult<StoredCaptures> {
+        let _span = dmi_obs::span(dmi_obs::Cat::Store, "load_captures", 0);
         decode_captures(&std::fs::read(self.path(app, "caps"))?)
     }
 }

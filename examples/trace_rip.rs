@@ -1,0 +1,81 @@
+//! Traced fleet rip walkthrough: rip the three Office small apps on a
+//! shared 2-worker pool with the `dmi-obs` recorder enabled, export the
+//! span timeline as Chrome trace-event JSON (load it in Perfetto or
+//! `chrome://tracing`), and print the text summary plus the metrics
+//! registry — after proving tracing never changed a merged byte.
+//!
+//! ```text
+//! cargo run --example trace_rip --release [out.json]
+//! ```
+
+use dmi_apps::AppKind;
+use dmi_core::parallel::{rip_fleet, FleetEntry, ParRipConfig};
+use dmi_core::ripper::RipConfig;
+use dmi_gui::Session;
+
+fn entries() -> Vec<FleetEntry> {
+    AppKind::ALL
+        .iter()
+        .map(|k| {
+            FleetEntry::new(k.name(), Session::new(k.launch_small()), RipConfig::office(k.name()))
+        })
+        .collect()
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "target/trace_rip.json".into());
+    let par = ParRipConfig { workers: 2, speculation: 2 };
+
+    // The untraced reference: tracing is observational, so the traced
+    // fleet below must merge byte-identical UNGs.
+    let mut plain = entries();
+    let reference: Vec<String> = rip_fleet(&mut plain, &par)
+        .iter()
+        .map(|o| serde_json::to_string(&o.graph).unwrap())
+        .collect();
+
+    dmi_obs::clear();
+    dmi_obs::set_enabled(true);
+    let mut observed = entries();
+    let out = rip_fleet(&mut observed, &par);
+    dmi_obs::set_enabled(false);
+    let trace = dmi_obs::drain();
+    let tallies = dmi_obs::tallies();
+    dmi_obs::clear();
+
+    for (o, want) in out.iter().zip(&reference) {
+        assert_eq!(
+            &serde_json::to_string(&o.graph).unwrap(),
+            want,
+            "{}: traced UNG must be byte-identical to the untraced rip",
+            o.app_id
+        );
+        println!(
+            "{:<12} nodes={:<5} edges={:<5} byte-identical to untraced rip",
+            o.app_id,
+            o.graph.node_count(),
+            o.graph.edge_count()
+        );
+    }
+
+    let stalls = trace.count(Some(dmi_obs::Cat::Scheduler), "stall");
+    let explores = trace.count(Some(dmi_obs::Cat::Worker), "explore");
+    assert!(stalls > 0 && explores > 0, "stall and explore spans both recorded");
+    println!(
+        "\n{} events ({} stall spans, {} explore spans)",
+        trace.events.len(),
+        stalls,
+        explores
+    );
+
+    let json = trace.to_chrome_json();
+    std::fs::write(&out_path, &json).expect("write chrome trace");
+    println!("chrome trace written to {out_path} ({} bytes)\n", json.len());
+
+    let mut reg = dmi_obs::Registry::from_trace(&trace);
+    for (name, v) in &tallies {
+        reg.inc(name, *v);
+    }
+    print!("{}", reg.summary_table());
+    println!("{}", trace.text_summary());
+}
