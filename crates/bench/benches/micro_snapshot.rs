@@ -267,7 +267,7 @@ fn bench_rip_parallel(c: &mut Criterion) {
     let mut group = c.benchmark_group("rip_par");
     group.sample_size(10);
     for workers in [2usize, 4, 8] {
-        let par = ParRipConfig { workers, speculation: 2 };
+        let par = ParRipConfig { workers, speculation: 2, spec_walk: 4 };
         group.bench_function(&format!("small_word_w{workers}"), |b| {
             b.iter(|| {
                 let mut s = Session::new(AppKind::Word.launch_small());
@@ -276,7 +276,7 @@ fn bench_rip_parallel(c: &mut Criterion) {
             })
         });
     }
-    let par = ParRipConfig { workers: 4, speculation: 2 };
+    let par = ParRipConfig { workers: 4, speculation: 2, spec_walk: 4 };
     group.bench_function("small_word", |b| {
         b.iter(|| {
             let mut s = Session::new(AppKind::Word.launch_small());
@@ -316,7 +316,9 @@ fn bench_rip_fleet(c: &mut Criterion) {
             // one registry summary table below the per-app lines.
             dmi_obs::set_enabled(true);
             let mut entries = office_fleet();
-            for o in rip_fleet(&mut entries, &ParRipConfig { workers: 2, speculation: 2 }) {
+            for o in
+                rip_fleet(&mut entries, &ParRipConfig { workers: 2, speculation: 2, spec_walk: 4 })
+            {
                 eprintln!(
                     "{}",
                     report::pool_line(&o.app_id, o.stats.pool_hits, o.stats.pool_misses)
@@ -337,6 +339,15 @@ fn bench_rip_fleet(c: &mut Criterion) {
                         o.stats.poison_recoveries,
                     )
                 );
+                eprintln!(
+                    "{}",
+                    report::spec_line(
+                        &o.app_id,
+                        o.stats.spec_published,
+                        o.stats.spec_adopted,
+                        o.stats.spec_wasted,
+                    )
+                );
             }
             dmi_obs::set_enabled(false);
             let trace = dmi_obs::drain();
@@ -353,7 +364,7 @@ fn bench_rip_fleet(c: &mut Criterion) {
     let mut group = c.benchmark_group("rip_fleet");
     group.sample_size(10);
     for workers in [1usize, 2, 4] {
-        let par = ParRipConfig { workers, speculation: 2 };
+        let par = ParRipConfig { workers, speculation: 2, spec_walk: 4 };
         group.bench_function(&format!("office3_w{workers}"), |b| {
             report_pool_once();
             b.iter(|| {
@@ -363,7 +374,7 @@ fn bench_rip_fleet(c: &mut Criterion) {
             })
         });
     }
-    let par = ParRipConfig { workers: 4, speculation: 2 };
+    let par = ParRipConfig { workers: 4, speculation: 2, spec_walk: 4 };
     group.bench_function("word_x3_versions", |b| {
         report_pool_once();
         b.iter(|| {
@@ -383,6 +394,27 @@ fn bench_rip_fleet(c: &mut Criterion) {
     group.finish();
 }
 
+/// Worker-side subtree speculation on vs off, same 2-worker Office fleet.
+/// On one CPU the wall-clock delta is mostly scheduling noise; the signal
+/// is the traced `stall.reveal` total (see docs/observability.md), which
+/// adoption-at-pop removes outright — `walk0` is the PR 9 dispatch-only
+/// engine, `walk4` the default speculative one.
+fn bench_rip_spec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rip_spec");
+    group.sample_size(10);
+    for walk in [0usize, 4] {
+        let par = ParRipConfig { workers: 2, speculation: 2, spec_walk: walk };
+        group.bench_function(&format!("office3_w2_walk{walk}"), |b| {
+            b.iter(|| {
+                let mut entries = office_fleet();
+                let out = rip_fleet(&mut entries, &par);
+                black_box(out.iter().map(|o| o.graph.node_count()).sum::<usize>())
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_resolve,
@@ -391,6 +423,7 @@ criterion_group!(
     bench_snapshot_capture,
     bench_rip,
     bench_rip_parallel,
-    bench_rip_fleet
+    bench_rip_fleet,
+    bench_rip_spec
 );
 criterion_main!(benches);

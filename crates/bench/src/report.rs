@@ -94,6 +94,24 @@ pub fn fault_line(
         .render()
 }
 
+/// One subtree-speculation line for the fleet bench reporter: how many
+/// worker-published speculative explorations the scheduler adopted at DFS
+/// pop versus discarded as waste (superseded, quarantined, orphaned).
+pub fn spec_line(app: &str, published: u64, adopted: u64, wasted: u64) -> String {
+    let mut reg = Registry::new();
+    reg.inc("rip.spec_published", published);
+    reg.inc("rip.spec_adopted", adopted);
+    reg.inc("rip.spec_wasted", wasted);
+    let published = reg.counter("rip.spec_published");
+    let adopted = reg.counter("rip.spec_adopted");
+    let rate = if published == 0 { 0.0 } else { adopted as f64 / published as f64 };
+    KvLine::new("speculation", app)
+        .frac("adopted", adopted, published)
+        .field("wasted", reg.counter("rip.spec_wasted"))
+        .pct("rate", rate)
+        .render()
+}
+
 /// One gateway serving line for the serve bench reporter: throughput and
 /// latency at a given concurrency, with the two pool hit rates that make
 /// the throughput possible (session reuse, shared captures).
@@ -203,6 +221,12 @@ mod tests {
             "store Word: binary=48213B json=130552B ratio=36.9% save=1.23ms load=0.88ms \
              edges_confirmed=82.1% warm_hits=40.0%"
         );
+    }
+
+    #[test]
+    fn spec_line_reports_adoption_rate_and_handles_zero_published() {
+        assert_eq!(spec_line("Word", 8, 6, 2), "speculation Word: adopted=6/8 wasted=2 rate=75.0%");
+        assert_eq!(spec_line("Idle", 0, 0, 0), "speculation Idle: adopted=0/0 wasted=0 rate=0.0%");
     }
 
     #[test]

@@ -106,7 +106,7 @@ pub fn check_parallel(spec: &AppSpec) -> Option<Divergence> {
 /// Rips every spec in one fleet on a shared worker pool and compares each
 /// entry against its private sequential rip. First divergence wins.
 pub fn check_fleet(specs: &[AppSpec]) -> Option<Divergence> {
-    let par = ParRipConfig { workers: 2, speculation: 2 };
+    let par = ParRipConfig { workers: 2, speculation: 2, spec_walk: 4 };
     let mut entries: Vec<FleetEntry> = specs
         .iter()
         .enumerate()

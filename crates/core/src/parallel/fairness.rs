@@ -18,8 +18,13 @@
 //!    an exponentially weighted moving average of its recently observed
 //!    per-task latency, i.e. an estimate of *remaining work seconds*,
 //!    not remaining task count. Until a lane has any latency
-//!    observations its EWMA reads 1.0, which degrades exactly to the
-//!    PR 5 depth-only policy.
+//!    observations its EWMA reads the queue-wide mean of the *primed*
+//!    lanes' averages — an unmeasured lane is assumed as expensive as
+//!    the measured ones, instead of the old constant-1.0 fallback that
+//!    systematically biased against fresh lanes whenever observed
+//!    latencies sat far from one second. With no primed lane anywhere
+//!    the fallback is 1.0, which degrades exactly to the PR 5
+//!    depth-only policy.
 //! 3. **Ties round-robin.** A rotating cursor breaks exact weight ties,
 //!    so equal lanes interleave instead of starving.
 //!
@@ -92,8 +97,10 @@ struct Lane<T> {
 
 impl<T> Lane<T> {
     /// The cost-aware fairness weight: estimated remaining work seconds.
-    fn weight(&self) -> f64 {
-        self.depth as f64 * self.ewma.value_or(1.0)
+    /// `default_cost` seeds the estimate while the lane's own EWMA is
+    /// unprimed (see [`FairQueue::default_cost`]).
+    fn weight(&self, default_cost: f64) -> f64 {
+        self.depth as f64 * self.ewma.value_or(default_cost)
     }
 }
 
@@ -166,9 +173,69 @@ impl<T> FairQueue<T> {
         self.lanes[lane].ewma.observe(secs);
     }
 
-    /// The lane's current latency estimate (1.0 until primed).
+    /// The lane's current latency estimate (the queue-wide
+    /// [`FairQueue::default_cost`] until primed).
     pub fn latency_estimate(&self, lane: usize) -> f64 {
-        self.lanes[lane].ewma.value_or(1.0)
+        self.lanes[lane].ewma.value_or(self.default_cost())
+    }
+
+    /// The cold-start cost estimate for unprimed lanes: the mean of the
+    /// primed lanes' EWMAs, i.e. completed tasks anywhere in the queue
+    /// seed the cost model of lanes that have not finished one yet.
+    /// Before *any* task completes it is 1.0, degrading to the depth-only
+    /// policy.
+    pub fn default_cost(&self) -> f64 {
+        let (sum, n) = self
+            .lanes
+            .iter()
+            .filter(|l| l.ewma.primed())
+            .fold((0.0f64, 0u32), |(s, n), l| (s + l.ewma.value_or(0.0), n + 1));
+        if n == 0 {
+            1.0
+        } else {
+            sum / n as f64
+        }
+    }
+
+    /// The cost-aware speculation budget: how many subtree steps a worker
+    /// that just served `lane` may keep walking before returning to the
+    /// queue, given a per-walk cap of `max_steps`.
+    ///
+    /// - `0` when walks are disabled (`max_steps == 0`).
+    /// - Capped at **1** when any *other* lane holds urgent work: a
+    ///   blocked sibling outranks a deep walk, but the single step — the
+    ///   candidate this lane's scheduler will pop next — is still worth
+    ///   more than anything else this thread could do for the lane.
+    /// - The full `max_steps` when no other lane has backlog.
+    /// - Otherwise `max_steps` scaled by the lane's share of the
+    ///   queue-wide cost-aware weight (at least 1): deep expensive
+    ///   frontiers may walk deep, lanes holding a sliver of the
+    ///   remaining work hand the thread back quickly.
+    ///
+    /// Like every policy here it shapes only latency — an adopted
+    /// speculation holds the same bytes the dispatched task would have
+    /// produced.
+    pub fn spec_budget(&self, lane: usize, max_steps: usize) -> usize {
+        if max_steps == 0 || lane >= self.lanes.len() {
+            return 0;
+        }
+        if self.lanes.iter().enumerate().any(|(i, l)| i != lane && l.urgent > 0) {
+            return 1;
+        }
+        let dc = self.default_cost();
+        let mine = self.lanes[lane].weight(dc);
+        let others: f64 = self
+            .lanes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != lane)
+            .map(|(_, l)| l.weight(dc))
+            .sum();
+        if others <= 0.0 {
+            return max_steps;
+        }
+        let share = mine / (mine + others);
+        (((share * max_steps as f64).round()) as usize).clamp(1, max_steps)
     }
 
     /// Drops every queued task for one lane (quarantine/cancel), zeroing
@@ -193,13 +260,14 @@ impl<T> FairQueue<T> {
                 return self.lanes[i].tasks.pop_front();
             }
         }
+        let dc = self.default_cost();
         let mut best: Option<usize> = None;
         for off in 0..n {
             let i = (self.rr + off) % n;
             if self.lanes[i].tasks.is_empty() {
                 continue;
             }
-            if best.is_none_or(|b| self.lanes[i].weight() > self.lanes[b].weight()) {
+            if best.is_none_or(|b| self.lanes[i].weight(dc) > self.lanes[b].weight(dc)) {
                 best = Some(i);
             }
         }
@@ -301,5 +369,58 @@ mod tests {
         e.observe(f64::NAN);
         e.observe(-5.0);
         assert_eq!(e.value_or(1.0), 3.0, "non-finite and negative samples ignored");
+    }
+
+    #[test]
+    fn cold_start_seeds_unprimed_lanes_from_completed_tasks() {
+        let mut q: FairQueue<u32> = FairQueue::new(2);
+        q.push_back(0, 0);
+        q.push_back(1, 1);
+        q.set_depth(0, 4);
+        q.set_depth(1, 5);
+        // Lane 0 has completed tasks at 10s each; lane 1 has none yet.
+        // The old constant-1.0 fallback scored lane 1 at 5.0 against lane
+        // 0's 40.0 — a fresh lane was starved purely for being
+        // unmeasured. Seeded from the observed costs, lane 1 reads
+        // 5 x 10 = 50 > 40 and is served first.
+        q.observe_latency(0, 10.0);
+        assert_eq!(q.default_cost(), 10.0);
+        assert_eq!(q.pop(), Some(1), "unmeasured lane assumed as expensive as measured ones");
+        assert_eq!(q.pop(), Some(0));
+    }
+
+    #[test]
+    fn default_cost_is_the_mean_of_primed_lanes_and_one_before_any() {
+        let mut q: FairQueue<u32> = FairQueue::new(3);
+        assert_eq!(q.default_cost(), 1.0, "no observations anywhere: depth-only policy");
+        q.observe_latency(0, 2.0);
+        q.observe_latency(2, 6.0);
+        assert_eq!(q.default_cost(), 4.0, "mean of the primed lanes only");
+        assert_eq!(q.latency_estimate(1), 4.0, "unprimed estimate follows");
+    }
+
+    #[test]
+    fn spec_budget_scales_with_the_lanes_share_of_remaining_work() {
+        let mut q: FairQueue<u32> = FairQueue::new(2);
+        assert_eq!(q.spec_budget(0, 0), 0, "walks disabled");
+        assert_eq!(q.spec_budget(0, 8), 8, "no other backlog: full budget");
+        q.set_depth(0, 10);
+        q.set_depth(1, 30);
+        assert_eq!(q.spec_budget(0, 8), 2, "a quarter of the remaining work: 8/4");
+        assert_eq!(q.spec_budget(1, 8), 6);
+        q.set_depth(0, 0);
+        assert_eq!(q.spec_budget(0, 8), 1, "never below one step while siblings have work");
+    }
+
+    #[test]
+    fn spec_budget_caps_at_one_step_when_a_sibling_is_blocked() {
+        let mut q: FairQueue<u32> = FairQueue::new(2);
+        q.set_depth(0, 100);
+        q.set_depth(1, 100);
+        q.push_front(1, 1);
+        assert_eq!(q.spec_budget(0, 8), 1, "a blocked sibling outranks a deep walk");
+        assert_eq!(q.spec_budget(1, 8), 4, "a lane's own urgent work does not cap its walk");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.spec_budget(0, 8), 4, "cap lifts once the urgent task is served");
     }
 }

@@ -15,8 +15,9 @@
 //! # Architecture
 //!
 //! - **[`ShardPlan`]** resolves a [`ParRipConfig`] into the execution
-//!   shape: how many workers run and how deep the shared speculative
-//!   dispatch window is.
+//!   shape: how many workers run, how deep the shared speculative
+//!   dispatch window is, and how far workers may speculatively walk
+//!   into freshly revealed subtrees.
 //! - **[`FleetEntry`] lanes**: each entry gets a private [`scheduler`]
 //!   lane — its own `Frontier` (UNG, visited set, DFS stack) plus
 //!   per-lane speculation bookkeeping — all multiplexed on the caller's
@@ -37,6 +38,19 @@
 //!   online gateway (`dmi_agent::gateway`). Fairness shapes only
 //!   latency: per-lane commit order is fixed regardless of where or
 //!   when outcomes are computed, which the byte-identity oracles gate.
+//! - **Shard-local subtree speculation** ([`spec`]): a worker finishing
+//!   `explore(setup, path, candidate)` holds its session in exactly the
+//!   post-click state, so — within a cost-aware budget granted by the
+//!   fair queue — it keeps walking into the candidates its own fresh
+//!   capture revealed, publishing each result keyed by the full
+//!   exploration input. The scheduler adopts a publication when its
+//!   sequential DFS pop matches the key exactly (zero stall — this is
+//!   what attacks the `stall.reveal` bucket PR 9 quantified) and
+//!   discards everything else: superseded duplicates, orphans, and the
+//!   whole table of any lane the probe-digest oracle quarantines.
+//!   `RipStats::{spec_published, spec_adopted, spec_wasted}` (and the
+//!   `spec.depth`/`spec.adopt`/`spec.waste` tallies) account for every
+//!   publication.
 //! - **Shared capture pool**: all shards of one app (the lane session
 //!   included) share a `dmi_gui::CapturePool` keyed by the pristine
 //!   token and each session's pristine-relative action trace, so
@@ -61,7 +75,12 @@
 //! state re-established from base), so it does not matter *where* or
 //! *when* it was computed — nor which of the fleet's apps ran between
 //! two of this app's tasks on the same worker, because every task
-//! re-establishes state on a session owned by the task's own app. Each
+//! re-establishes state on a session owned by the task's own app. The
+//! same purity is why adopting a *speculative* result is sound: the
+//! speculation table is keyed by the complete exploration input, so a
+//! key match means the worker's walk computed the very value the
+//! dispatched task would have — substituting it cannot change the fold
+//! (the adoption-soundness argument in `docs/determinism.md`). Each
 //! lane performs the identical fold with identical inputs in identical
 //! order; node ids (insertion order), edge lists (insertion order,
 //! deduplicated), and the `ControlKey` hash+confirm dedup decisions
@@ -116,6 +135,7 @@
 pub mod fairness;
 mod plan;
 mod scheduler;
+mod spec;
 mod worker;
 
 pub use fairness::{Ewma, FairQueue};
@@ -139,7 +159,7 @@ mod tests {
         let (g_seq, st_seq) = rip(&mut seq, &cfg);
 
         let mut par = Session::new(AppKind::PowerPoint.launch_small());
-        let plan = ParRipConfig { workers: 2, speculation: 2 };
+        let plan = ParRipConfig { workers: 2, speculation: 2, spec_walk: 4 };
         let (g_par, st_par) = rip_parallel(&mut par, &cfg, &plan);
 
         assert_eq!(
@@ -152,6 +172,12 @@ mod tests {
         assert_eq!(st_par.windows_seen, st_seq.windows_seen, "commit-derived counter");
         assert_eq!(st_par.blocklisted, st_seq.blocklisted, "commit-derived counter");
         assert!(st_par.clicks >= st_seq.clicks, "speculation only adds effort");
+        assert_eq!(
+            st_par.spec_published,
+            st_par.spec_adopted + st_par.spec_wasted,
+            "every published speculation is either adopted or counted as waste"
+        );
+        assert_eq!(st_seq.spec_published, 0, "the sequential engine never speculates");
     }
 
     /// Applications without a pristine fork fall back to the sequential
@@ -162,8 +188,11 @@ mod tests {
         let mut seq = Session::new(Box::new(UnforkableApp::new(2)));
         let (g_seq, st_seq) = rip(&mut seq, &cfg);
         let mut par = Session::new(Box::new(UnforkableApp::new(2)));
-        let (g_par, st_par) =
-            rip_parallel(&mut par, &cfg, &ParRipConfig { workers: 4, speculation: 2 });
+        let (g_par, st_par) = rip_parallel(
+            &mut par,
+            &cfg,
+            &ParRipConfig { workers: 4, speculation: 2, spec_walk: 4 },
+        );
         assert_eq!(g_par.node_count(), g_seq.node_count());
         assert_eq!(g_par.edge_count(), g_seq.edge_count());
         assert_eq!(st_par, st_seq, "fallback is the sequential engine itself");
@@ -192,7 +221,8 @@ mod tests {
                 RipConfig::default(),
             ),
         ];
-        let out = rip_fleet(&mut entries, &ParRipConfig { workers: 2, speculation: 2 });
+        let out =
+            rip_fleet(&mut entries, &ParRipConfig { workers: 2, speculation: 2, spec_walk: 4 });
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].app_id, "PowerPoint");
         assert!(!out[0].fell_back(), "Office apps fork");
@@ -231,7 +261,8 @@ mod tests {
                 )
             })
             .collect();
-        let out = rip_fleet(&mut entries, &ParRipConfig { workers: 2, speculation: 2 });
+        let out =
+            rip_fleet(&mut entries, &ParRipConfig { workers: 2, speculation: 2, spec_walk: 4 });
         for (v, o) in out.iter().enumerate() {
             let mut s = Session::new(AppKind::PowerPoint.launch_small_version(v));
             let (g_seq, _) = rip(&mut s, &cfg);
@@ -269,7 +300,8 @@ mod tests {
                 RipConfig::default(),
             ),
         ];
-        let out = rip_fleet(&mut entries, &ParRipConfig { workers: 2, speculation: 2 });
+        let out =
+            rip_fleet(&mut entries, &ParRipConfig { workers: 2, speculation: 2, spec_walk: 4 });
 
         assert_eq!(out[0].app_id, "Healthy");
         assert_eq!(out[0].status, RipStatus::Parallel, "healthy lane must not be dragged down");
@@ -304,7 +336,7 @@ mod tests {
         let _ = rip_parallel(
             &mut s,
             &RipConfig::default(),
-            &ParRipConfig { workers: 2, speculation: 2 },
+            &ParRipConfig { workers: 2, speculation: 2, spec_walk: 4 },
         );
     }
 
@@ -313,10 +345,11 @@ mod tests {
         let plan = ShardPlan::resolve(&ParRipConfig::default());
         assert!(plan.workers >= 1);
         assert!(plan.max_in_flight >= plan.workers);
-        let fixed = ShardPlan::resolve(&ParRipConfig { workers: 3, speculation: 4 });
-        assert_eq!(fixed, ShardPlan { workers: 3, max_in_flight: 12 });
+        assert_eq!(plan.spec_walk, 4, "subtree speculation is on by default");
+        let fixed = ShardPlan::resolve(&ParRipConfig { workers: 3, speculation: 4, spec_walk: 6 });
+        assert_eq!(fixed, ShardPlan { workers: 3, max_in_flight: 12, spec_walk: 6 });
         // Speculation never drops below one task per worker.
-        let min = ShardPlan::resolve(&ParRipConfig { workers: 2, speculation: 0 });
+        let min = ShardPlan::resolve(&ParRipConfig { workers: 2, speculation: 0, spec_walk: 4 });
         assert_eq!(min.max_in_flight, 2);
     }
 }

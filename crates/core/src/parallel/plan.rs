@@ -18,11 +18,20 @@ pub struct ParRipConfig {
     /// is about to commit (no speculation, maximum stalls); higher values
     /// trade a little wasted exploration for pipeline overlap.
     pub speculation: usize,
+    /// Speculative subtree walk depth: how many candidates a worker may
+    /// keep exploring out of the subtree its own fresh capture revealed
+    /// before returning to the queue, publishing each result for
+    /// scheduler adoption. `0` disables worker-side speculation
+    /// (dispatch-only, PR 9 behavior). The per-walk budget is further
+    /// shaped by the fair queue's cost-aware share
+    /// ([`crate::parallel::fairness::FairQueue::spec_budget`]) so deep
+    /// walks don't starve other frontiers in fleet mode.
+    pub spec_walk: usize,
 }
 
 impl Default for ParRipConfig {
     fn default() -> Self {
-        ParRipConfig { workers: 0, speculation: 2 }
+        ParRipConfig { workers: 0, speculation: 2, spec_walk: 4 }
     }
 }
 
@@ -34,6 +43,9 @@ pub struct ShardPlan {
     /// Maximum outstanding (dispatched, uncommitted) tasks across all
     /// workers and frontiers together.
     pub max_in_flight: usize,
+    /// Per-walk cap on worker-side subtree speculation steps (`0`
+    /// disables the walks).
+    pub spec_walk: usize,
 }
 
 impl ShardPlan {
@@ -44,6 +56,10 @@ impl ShardPlan {
         } else {
             cfg.workers
         };
-        ShardPlan { workers, max_in_flight: workers.saturating_mul(cfg.speculation.max(1)) }
+        ShardPlan {
+            workers,
+            max_in_flight: workers.saturating_mul(cfg.speculation.max(1)),
+            spec_walk: cfg.spec_walk,
+        }
     }
 }

@@ -17,6 +17,7 @@
 //! sequential rip (see the determinism argument in [`crate::parallel`]).
 
 use super::plan::{ParRipConfig, ShardPlan};
+use super::spec::SpecTable;
 use super::worker::{
     drain_pool, worker_loop, AppShared, FleetShared, Outcome, PooledUnit, Reply, Task,
 };
@@ -218,7 +219,7 @@ fn run_fleet(seeds: Vec<LaneSeed<'_>>, plan: &ShardPlan) -> Vec<RipOutcome> {
         return out.into_iter().map(|o| o.expect("every seed produced an outcome")).collect();
     }
 
-    let shared = FleetShared::new(app_shared);
+    let shared = FleetShared::new(app_shared, plan.spec_walk);
     let (tx, rx) = channel();
     let handles: Vec<thread::JoinHandle<()>> = (0..plan.workers)
         .map(|_| {
@@ -250,6 +251,7 @@ fn run_fleet(seeds: Vec<LaneSeed<'_>>, plan: &ShardPlan) -> Vec<RipOutcome> {
         for h in handles {
             h.join().expect("worker thread must shut down cleanly");
         }
+        fleet.absorb_stragglers();
         for lane in fleet.lanes {
             let (idx, outcome) = lane.finish(&shared);
             out[idx] = Some(outcome);
@@ -326,35 +328,27 @@ impl FleetPlan<'_> {
     /// most likely to prove the fault.
     fn route(&mut self, (app, seq, reply): (usize, u64, Reply)) {
         let lane = &mut self.lanes[app];
-        lane.in_flight -= 1;
         match reply {
             Reply::Done { outcome, base_digest } => {
+                lane.in_flight -= 1;
                 if lane.failed.is_some() {
                     return; // Quarantined: late results are dropped.
                 }
-                if let Some(d) = base_digest {
-                    if d != lane.base_digest {
-                        let detail = format!(
-                            "worker fork restarted into base digest {d:#018x}, lane base is \
-                             {:#018x} (the app's reset does not restore its attested pristine \
-                             image)",
-                            lane.base_digest
-                        );
-                        let err = RipError::Divergence { app_id: lane.app_id.clone(), detail };
-                        lane.quarantine(err, &self.shared);
-                        self.dirty[app] = true;
-                        return;
-                    }
+                if lane.digest_diverged(base_digest, &self.shared) {
+                    self.dirty[app] = true;
+                    return;
                 }
                 if !lane.discarded.remove(&seq) {
                     lane.pending.insert(seq, outcome);
                 }
             }
             Reply::Panicked(payload) => {
+                lane.in_flight -= 1;
                 let err = RipError::WorkerPanic { app_id: lane.app_id.clone(), payload };
                 lane.quarantine(err, &self.shared);
             }
             Reply::Unserved => {
+                lane.in_flight -= 1;
                 if lane.failed.is_some() {
                     return;
                 }
@@ -362,8 +356,46 @@ impl FleetPlan<'_> {
                     lane.unserved.insert(seq);
                 }
             }
+            // Speculative publications answer no dispatched task: no
+            // in-flight bookkeeping, but the probe-digest oracle applies
+            // unchanged — a drifted lane's speculations die with it, and
+            // a lane that already finished (or failed) wastes them.
+            Reply::Spec { key, outcome, base_digest } => {
+                if lane.failed.is_some() || lane.done {
+                    lane.note_spec_waste(1);
+                    return;
+                }
+                if lane.digest_diverged(base_digest, &self.shared) {
+                    // The publication that exposed the drift is waste too
+                    // (quarantine already counted the table it cleared).
+                    lane.note_spec_waste(1);
+                    self.dirty[app] = true;
+                    return;
+                }
+                if !lane.spec.publish(key, outcome) {
+                    // Superseded: an earlier walk already published this
+                    // key (identical bytes on a deterministic app).
+                    lane.note_spec_waste(1);
+                }
+            }
+            Reply::SpecPanicked(payload) => {
+                let err = RipError::WorkerPanic { app_id: lane.app_id.clone(), payload };
+                lane.quarantine(err, &self.shared);
+            }
         }
         self.dirty[app] = true;
+    }
+
+    /// After worker shutdown: speculative publications still sitting in
+    /// the channel can never be adopted — count them toward their lanes'
+    /// waste so every published speculation is accounted for. Every
+    /// other straggler keeps its old fate (silently dropped).
+    fn absorb_stragglers(&mut self) {
+        while let Ok((app, _seq, reply)) = self.rx.try_recv() {
+            if let Reply::Spec { .. } = reply {
+                self.lanes[app].note_spec_waste(1);
+            }
+        }
     }
 
     /// Fills the global speculative window, one task per lane per round
@@ -411,6 +443,9 @@ struct Lane<'a> {
     unserved: HashSet<u64>,
     /// Dispatched tasks whose results have not arrived yet.
     in_flight: usize,
+    /// Worker-published speculative subtree results awaiting adoption,
+    /// keyed by the full exploration input (see [`super::spec`]).
+    spec: SpecTable<Option<Outcome>>,
     /// Context-setup clicks of the pass in progress.
     setup: Arc<[String]>,
     /// Next context pass to run once the current pass drains.
@@ -452,6 +487,7 @@ impl<'a> Lane<'a> {
             discarded: HashSet::new(),
             unserved: HashSet::new(),
             in_flight: 0,
+            spec: SpecTable::new(),
             setup: Arc::from(Vec::new()),
             next_context: 0,
             waiting: None,
@@ -485,8 +521,52 @@ impl<'a> Lane<'a> {
         self.pending.clear();
         self.discarded.clear();
         self.unserved.clear();
+        // The lane's speculations die with it: none of them may merge.
+        let dead = self.spec.clear();
+        self.note_spec_waste(dead);
         self.in_flight -= shared.purge_app(self.app);
         self.last_weight = 0;
+    }
+
+    /// The restart-divergence oracle shared by dispatched and speculative
+    /// replies: compares carried probe evidence against the lane's seed
+    /// digest and quarantines on mismatch. Returns whether the lane was
+    /// quarantined.
+    fn digest_diverged(&mut self, base_digest: Option<u64>, shared: &FleetShared) -> bool {
+        let Some(d) = base_digest else { return false };
+        if d == self.base_digest {
+            return false;
+        }
+        let detail = format!(
+            "worker fork restarted into base digest {d:#018x}, lane base is {:#018x} (the app's \
+             reset does not restore its attested pristine image)",
+            self.base_digest
+        );
+        let err = RipError::Divergence { app_id: self.app_id.clone(), detail };
+        self.quarantine(err, shared);
+        true
+    }
+
+    /// Counts one adopted speculation: the sequential DFS pop matched a
+    /// published key exactly, so the lane committed the worker's walk
+    /// result without dispatching (or without waiting out the dispatch).
+    fn note_adopted(&mut self) {
+        self.unit.stats.spec_adopted += 1;
+        dmi_obs::tally("spec.adopt", 1);
+        dmi_obs::instant(dmi_obs::Cat::Scheduler, "spec.adopt", self.app as u64);
+    }
+
+    /// Counts `n` discarded speculations (superseded, orphaned, or
+    /// quarantined) — they are dropped, never merged.
+    fn note_spec_waste(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.unit.stats.spec_wasted += n as u64;
+        dmi_obs::tally("spec.waste", n as u64);
+        for _ in 0..n {
+            dmi_obs::instant(dmi_obs::Cat::Scheduler, "spec.waste", self.app as u64);
+        }
     }
 
     /// Replays the lane's DFS as far as delivered outcomes allow: commits
@@ -501,24 +581,35 @@ impl<'a> Lane<'a> {
         let mut progressed = false;
         loop {
             if let Some(c) = self.waiting.take() {
+                if let Some(o) = self.pending.remove(&c.seq) {
+                    self.end_stall();
+                    progressed = true;
+                    self.commit(&c, o);
+                    continue;
+                }
+                // A walk published this exact key while the lane was
+                // blocked: adopt it now and discard the dispatched
+                // answer when (if ever) it lands — identical bytes, so
+                // which one merges is unobservable.
+                if let Some(o) = self.spec.take(&self.setup, &c.path, &c.cid) {
+                    self.end_stall();
+                    if !self.unserved.remove(&c.seq) {
+                        self.note_discarded(c.seq);
+                    }
+                    self.note_adopted();
+                    progressed = true;
+                    self.commit(&c, o);
+                    continue;
+                }
                 if self.unserved.remove(&c.seq) {
                     // The task came back unserved (a dying sibling took
                     // the unit it needed); re-dispatch it urgently.
                     shared.push_front(self.task_for(&c));
                     self.in_flight += 1;
-                    self.waiting = Some(c);
-                    self.begin_stall();
-                    break;
                 }
-                let Some(o) = self.pending.remove(&c.seq) else {
-                    self.waiting = Some(c);
-                    self.begin_stall();
-                    break;
-                };
-                self.end_stall();
-                progressed = true;
-                self.commit(&c, o);
-                continue;
+                self.waiting = Some(c);
+                self.begin_stall();
+                break;
             }
             let Some(c) = self.frontier.pop() else {
                 if self.advance_pass() {
@@ -536,6 +627,15 @@ impl<'a> Lane<'a> {
                 continue;
             }
             if !c.dispatched {
+                // A matching speculation kills the reveal stall outright:
+                // the worker that revealed this candidate already walked
+                // into it, so the lane commits with zero dispatch.
+                if let Some(o) = self.spec.take(&self.setup, &c.path, &c.cid) {
+                    self.note_adopted();
+                    progressed = true;
+                    self.commit(&c, o);
+                    continue;
+                }
                 // The lane blocks on this candidate: dispatch it at the
                 // head of its sub-queue.
                 shared.push_front(self.task_for(&c));
@@ -635,7 +735,10 @@ impl<'a> Lane<'a> {
     }
 
     /// Speculatively dispatches the topmost undispatched stack candidate
-    /// (the next pops); false when none remains.
+    /// (the next pops); false when none remains. Candidates whose exact
+    /// key already has a published speculation are skipped — their
+    /// answer is sitting in the table, so dispatching them would only
+    /// compute the same bytes twice.
     fn dispatch_one_speculative(&mut self, shared: &FleetShared) -> bool {
         if self.done {
             return false;
@@ -646,7 +749,11 @@ impl<'a> Lane<'a> {
             .iter()
             .enumerate()
             .rev()
-            .find(|(_, c)| !c.dispatched && !self.frontier.is_visited(c))
+            .find(|(_, c)| {
+                !c.dispatched
+                    && !self.frontier.is_visited(c)
+                    && !self.spec.contains(&self.setup, &c.path, &c.cid)
+            })
             .map(|(i, _)| i)
         else {
             return false;
@@ -679,7 +786,10 @@ impl<'a> Lane<'a> {
     /// just disproved). A panic-quarantined lane keeps its partial graph
     /// — each committed byte matches a prefix of the sequential rip —
     /// and reports [`RipStatus::Failed`].
-    fn finish(self, shared: &FleetShared) -> (usize, RipOutcome) {
+    fn finish(mut self, shared: &FleetShared) -> (usize, RipOutcome) {
+        // Speculations never popped (visited dedup, pass end) are waste.
+        let orphaned = self.spec.clear();
+        self.note_spec_waste(orphaned);
         let Lane { app, entry_idx, app_id, mut unit, frontier, cs0, failed, .. } = self;
         let mut stats = unit.stats;
         drain_pool(&shared.apps[app], &mut stats);

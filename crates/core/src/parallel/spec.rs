@@ -1,0 +1,190 @@
+//! The shard-local speculation table: worker-published subtree results
+//! awaiting scheduler adoption.
+//!
+//! A worker that finishes `explore(setup, path, candidate)` holds its
+//! session in exactly the post-click state, so it keeps walking into the
+//! candidates its own fresh capture revealed, publishing each result
+//! keyed by the full exploration input `(setup, path, candidate)`. The
+//! scheduler consults the table before dispatching: when its sequential
+//! DFS pop matches a published key *exactly*, the result is adopted with
+//! zero stall. Everything else — superseded duplicates, entries orphaned
+//! at teardown, entries whose lane quarantined — is discarded and
+//! counted, never merged.
+//!
+//! Adoption is sound because the key is the *complete* input of
+//! [`crate::ripper::ExploreUnit::explore`], which is a pure function on
+//! a deterministic app: any two explorations of the same key produce the
+//! same capture pair, so substituting a speculative result for the
+//! dispatched one cannot change a merged byte. See
+//! `docs/determinism.md`.
+//!
+//! Lookups are borrowed (no allocation): the table hashes the key
+//! components directly and collision-confirms against the stored owned
+//! key.
+
+use dmi_uia::ControlId;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The exploration input a speculation answers: context-setup clicks,
+/// the click path revealing the candidate, and the candidate itself.
+pub(super) struct SpecKey {
+    pub setup: Arc<[String]>,
+    pub path: Vec<ControlId>,
+    pub cid: ControlId,
+}
+
+impl SpecKey {
+    fn hash_of(setup: &[String], path: &[ControlId], cid: &ControlId) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        setup.hash(&mut h);
+        path.hash(&mut h);
+        cid.hash(&mut h);
+        h.finish()
+    }
+
+    fn matches(&self, setup: &[String], path: &[ControlId], cid: &ControlId) -> bool {
+        self.setup.as_ref() == setup && self.path == path && &self.cid == cid
+    }
+}
+
+struct SpecEntry<V> {
+    key: SpecKey,
+    value: V,
+}
+
+/// Published speculations keyed by `(setup, path, candidate)`, bucketed
+/// by key hash with full-key confirmation. First publication of a key
+/// wins; later duplicates are superseded (reported to the caller, who
+/// counts them as waste).
+pub(super) struct SpecTable<V> {
+    buckets: HashMap<u64, Vec<SpecEntry<V>>>,
+    len: usize,
+}
+
+impl<V> SpecTable<V> {
+    pub fn new() -> SpecTable<V> {
+        SpecTable { buckets: HashMap::new(), len: 0 }
+    }
+
+    /// Number of published, not-yet-adopted entries.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Publishes a speculative result. Returns `true` when the entry was
+    /// stored; `false` when an entry for the same key already exists —
+    /// the newcomer is superseded and dropped (on a deterministic app
+    /// both hold identical bytes, so keeping the first is arbitrary but
+    /// fixed).
+    pub fn publish(&mut self, key: SpecKey, value: V) -> bool {
+        let h = SpecKey::hash_of(&key.setup, &key.path, &key.cid);
+        let bucket = self.buckets.entry(h).or_default();
+        if bucket.iter().any(|e| e.key.matches(&key.setup, &key.path, &key.cid)) {
+            return false;
+        }
+        bucket.push(SpecEntry { key, value });
+        self.len += 1;
+        true
+    }
+
+    /// Whether a speculation for this exact key is published.
+    pub fn contains(&self, setup: &[String], path: &[ControlId], cid: &ControlId) -> bool {
+        let h = SpecKey::hash_of(setup, path, cid);
+        self.buckets.get(&h).is_some_and(|b| b.iter().any(|e| e.key.matches(setup, path, cid)))
+    }
+
+    /// Adopts (removes and returns) the speculation for this exact key,
+    /// if published.
+    pub fn take(&mut self, setup: &[String], path: &[ControlId], cid: &ControlId) -> Option<V> {
+        let h = SpecKey::hash_of(setup, path, cid);
+        let bucket = self.buckets.get_mut(&h)?;
+        let at = bucket.iter().position(|e| e.key.matches(setup, path, cid))?;
+        let entry = bucket.swap_remove(at);
+        if bucket.is_empty() {
+            self.buckets.remove(&h);
+        }
+        self.len -= 1;
+        Some(entry.value)
+    }
+
+    /// Discards every published entry (the lane quarantined, or the rip
+    /// is tearing down), returning how many died — the caller counts
+    /// them as waste.
+    pub fn clear(&mut self) -> usize {
+        let n = self.len;
+        self.buckets.clear();
+        self.len = 0;
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmi_uia::ControlType;
+
+    fn cid(name: &str) -> ControlId {
+        ControlId {
+            primary: name.into(),
+            control_type: ControlType::Button,
+            ancestor_path: "root".into(),
+        }
+    }
+
+    fn key(setup: &[&str], path: &[&str], name: &str) -> SpecKey {
+        SpecKey {
+            setup: setup.iter().map(|s| s.to_string()).collect::<Vec<_>>().into(),
+            path: path.iter().map(|p| cid(p)).collect(),
+            cid: cid(name),
+        }
+    }
+
+    #[test]
+    fn publish_then_adopt_round_trips_by_exact_key() {
+        let mut t: SpecTable<u32> = SpecTable::new();
+        assert!(t.publish(key(&[], &["File"], "Open"), 7));
+        assert!(t.publish(key(&["img"], &["File"], "Open"), 8), "setup is part of the key");
+        assert_eq!(t.len(), 2);
+
+        let setup: Vec<String> = vec![];
+        assert!(t.contains(&setup, &[cid("File")], &cid("Open")));
+        assert!(!t.contains(&setup, &[], &cid("Open")), "path is part of the key");
+        assert_eq!(t.take(&setup, &[cid("File")], &cid("Open")), Some(7));
+        assert_eq!(t.take(&setup, &[cid("File")], &cid("Open")), None, "adoption removes");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_publication_is_superseded_first_wins() {
+        let mut t: SpecTable<u32> = SpecTable::new();
+        assert!(t.publish(key(&[], &[], "Bold"), 1));
+        assert!(!t.publish(key(&[], &[], "Bold"), 2), "second publisher is superseded");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.take(&Vec::<String>::new(), &[], &cid("Bold")), Some(1), "first wins");
+    }
+
+    #[test]
+    fn mismatched_keys_never_collide() {
+        let mut t: SpecTable<u32> = SpecTable::new();
+        assert!(t.publish(key(&[], &["Home"], "Bold"), 1));
+        let setup: Vec<String> = vec![];
+        assert_eq!(t.take(&setup, &[cid("Home")], &cid("Italic")), None);
+        assert_eq!(t.take(&setup, &[cid("Insert")], &cid("Bold")), None);
+        assert_eq!(t.len(), 1, "mismatched lookups discard nothing");
+    }
+
+    #[test]
+    fn quarantine_invalidation_discards_everything_and_counts_it() {
+        let mut t: SpecTable<u32> = SpecTable::new();
+        for i in 0..5 {
+            assert!(t.publish(key(&[], &["File"], &format!("c{i}")), i));
+        }
+        assert_eq!(t.clear(), 5, "every published entry dies with the lane");
+        assert_eq!(t.len(), 0);
+        assert!(!t.contains(&Vec::<String>::new(), &[cid("File")], &cid("c0")));
+        assert_eq!(t.clear(), 0, "clearing an empty table is free");
+    }
+}

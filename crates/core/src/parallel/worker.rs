@@ -20,11 +20,22 @@
 //! it still shapes only latency, never bytes: per-app merge order is
 //! fixed by the scheduler regardless of where or when outcomes are
 //! computed.
+//!
+//! A worker that finishes an exploration does not necessarily return to
+//! the queue empty-handed: its session already sits in exactly the
+//! post-click state, so — within the cost-aware budget the fair queue
+//! grants ([`FairQueue::spec_budget`]) — it keeps walking into the
+//! candidates its own fresh capture revealed, publishing each result as
+//! a [`Reply::Spec`] keyed by the full exploration input. The scheduler
+//! adopts speculations that match its sequential DFS pops and discards
+//! the rest; see [`crate::parallel::spec`].
 
 use crate::parallel::fairness::FairQueue;
+use crate::parallel::spec::SpecKey;
 use crate::ripper::{diff_fresh, ExploreUnit, RipConfig, RipStats, UnitState};
 use dmi_gui::Session;
 use dmi_uia::{ControlId, Snapshot};
+use std::collections::HashSet;
 use std::sync::mpsc::Sender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
@@ -81,6 +92,22 @@ pub(super) enum Reply {
     },
     Panicked(String),
     Unserved,
+    /// A speculative subtree result: the worker kept walking past its
+    /// dispatched task and explored `key` on its own initiative. Not an
+    /// answer to any dispatched task — the scheduler's in-flight
+    /// accounting ignores it — but the probe-digest contract still
+    /// applies: a restart during the walk carries its base digest here,
+    /// so a drifted fork's speculations quarantine the lane exactly like
+    /// its dispatched replies would.
+    Spec {
+        key: SpecKey,
+        outcome: Option<Outcome>,
+        base_digest: Option<u64>,
+    },
+    /// The speculative walk unwound after `Done` was already sent. The
+    /// unit died with it; the scheduler treats it like [`Reply::Panicked`]
+    /// (quarantine) minus the in-flight bookkeeping.
+    SpecPanicked(String),
 }
 
 /// Renders a `catch_unwind` payload as text (panic messages are `&str`
@@ -135,15 +162,18 @@ pub(super) struct FleetShared {
     queue: Mutex<QueueState>,
     cond: Condvar,
     pub apps: Vec<AppShared>,
+    /// Per-walk cap on speculative subtree steps (0 disables walks).
+    spec_walk: usize,
 }
 
 impl FleetShared {
-    pub fn new(apps: Vec<AppShared>) -> Arc<FleetShared> {
+    pub fn new(apps: Vec<AppShared>, spec_walk: usize) -> Arc<FleetShared> {
         let lanes = apps.len();
         Arc::new(FleetShared {
             queue: Mutex::new(QueueState { queue: FairQueue::new(lanes), shutdown: false }),
             cond: Condvar::new(),
             apps,
+            spec_walk,
         })
     }
 
@@ -186,6 +216,14 @@ impl FleetShared {
     /// purged task will never produce a reply.
     pub fn purge_app(&self, app: usize) -> usize {
         self.queue.lock().unwrap().queue.purge(app)
+    }
+
+    /// How many speculative subtree steps a worker that just served
+    /// `app` may walk right now: the configured per-walk cap shaped by
+    /// the fair queue's cost-aware share policy
+    /// ([`FairQueue::spec_budget`]).
+    pub fn spec_budget(&self, app: usize) -> usize {
+        self.queue.lock().unwrap().queue.spec_budget(app, self.spec_walk)
     }
 
     /// Wakes every worker and makes further pops return `None`.
@@ -252,19 +290,176 @@ pub(super) fn worker_loop(shared: Arc<FleetShared>, results: Sender<(usize, u64,
         // Feed the cost model on success and failure alike: a hostile
         // app that burns seconds before failing is still expensive.
         shared.observe_latency(task.app, started.elapsed().as_secs_f64());
-        let reply = match explored {
+        match explored {
             Ok((outcome, base_digest, state)) => {
-                app.units().push(PooledUnit { session, state });
-                Reply::Done { outcome, base_digest }
+                // Seed for the speculative subtree walk, cloned before
+                // the outcome moves into the reply. Skipped when the
+                // fair queue grants no budget right now.
+                let seed = outcome.as_ref().and_then(|o| {
+                    if shared.spec_budget(task.app) == 0 {
+                        None
+                    } else {
+                        Some((Arc::clone(&o.post), o.fresh.clone()))
+                    }
+                });
+                let done = Reply::Done { outcome, base_digest };
+                match seed {
+                    None => {
+                        app.units().push(PooledUnit { session, state });
+                        if results.send((task.app, task.seq, done)).is_err() {
+                            break;
+                        }
+                    }
+                    Some((post, fresh)) => {
+                        // Reply first: the scheduler commits the parent
+                        // (and can adopt the walk's results) while the
+                        // walk runs.
+                        if results.send((task.app, task.seq, done)).is_err() {
+                            break;
+                        }
+                        match speculative_walk(
+                            &shared,
+                            &results,
+                            app,
+                            &task,
+                            &mut session,
+                            state,
+                            &post,
+                            &fresh,
+                        ) {
+                            Ok(state) => app.units().push(PooledUnit { session, state }),
+                            // Mid-walk unwind: the unit is forfeited
+                            // exactly like a dispatched-task panic.
+                            Err(payload) => {
+                                let reply = Reply::SpecPanicked(payload);
+                                if results.send((task.app, task.seq, reply)).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
             }
             // The session's state is arbitrary mid-unwind; the unit is
             // forfeited (dropped with `session`) and the pool shrinks.
-            Err(payload) => Reply::Panicked(panic_payload(payload.as_ref())),
-        };
-        if results.send((task.app, task.seq, reply)).is_err() {
-            break; // Scheduler gone (it only drops the receiver on exit).
+            Err(payload) => {
+                let reply = Reply::Panicked(panic_payload(payload.as_ref()));
+                if results.send((task.app, task.seq, reply)).is_err() {
+                    break; // Scheduler gone (it only drops the receiver on exit).
+                }
+            }
         }
     }
+}
+
+/// Predicts which fresh controls of a capture the scheduler's commit
+/// will enqueue as candidates, in enqueue order: the candidate-type /
+/// blocklist / depth filter of the frontier's `maybe_enqueue`, minus the
+/// visited-set and graph-dedup checks only the scheduler can evaluate
+/// (a wrong guess there costs a wasted publication, never a byte).
+/// `depth` is the length of the click path that would reveal them.
+fn predict_children(
+    post: &Snapshot,
+    fresh: &[u32],
+    depth: usize,
+    config: &RipConfig,
+) -> Vec<ControlId> {
+    if depth >= config.max_depth {
+        return Vec::new();
+    }
+    let index = post.index();
+    let mut out = Vec::new();
+    for &idx in fresh {
+        let idx = idx as usize;
+        let node = post.node(idx);
+        let ct = node.props.control_type;
+        if !config.candidate_types.contains(&ct) {
+            continue;
+        }
+        let name = &node.props.name;
+        let auto = &node.props.automation_id;
+        if config.blocklist.iter().any(|b| b == name || (!auto.is_empty() && b == auto)) {
+            continue;
+        }
+        out.push(index.control_id(post, idx));
+    }
+    out
+}
+
+/// The speculative subtree walk: starting from the fresh controls the
+/// just-finished task revealed, keep exploring candidates depth-first —
+/// pushed in enqueue order, popped LIFO, exactly the order the
+/// scheduler's own DFS will pop them — publishing each result as a
+/// [`Reply::Spec`]. Every step re-consults the fair queue's cost-aware
+/// budget, so a sibling lane blocking mid-walk reels the worker back in.
+///
+/// Each step is the same pure `explore(setup, path, candidate)` the
+/// scheduler would have dispatched, run on the same class of pooled
+/// unit, so an adopted publication is byte-identical to the dispatched
+/// result by construction. Returns the suspended planner state to pool,
+/// or the panic payload when a step unwound (the unit is forfeited).
+#[allow(clippy::too_many_arguments)]
+fn speculative_walk(
+    shared: &FleetShared,
+    results: &Sender<(usize, u64, Reply)>,
+    app: &AppShared,
+    task: &Task,
+    session: &mut Session,
+    state: UnitState,
+    post: &Arc<Snapshot>,
+    fresh: &[u32],
+) -> Result<UnitState, String> {
+    let root_path: Vec<ControlId> =
+        task.path.iter().cloned().chain(std::iter::once(task.cid.clone())).collect();
+    let mut stack: Vec<(ControlId, Vec<ControlId>)> =
+        predict_children(post, fresh, root_path.len(), &app.config)
+            .into_iter()
+            .map(|cid| (cid, root_path.clone()))
+            .collect();
+    let mut walked: HashSet<ControlId> = HashSet::new();
+    let mut state = state;
+    let mut steps = 0usize;
+    while steps < shared.spec_budget(task.app) {
+        let Some((cid, path)) = stack.pop() else {
+            break;
+        };
+        if !walked.insert(cid.clone()) {
+            continue;
+        }
+        let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let span = dmi_obs::span(dmi_obs::Cat::Worker, "spec.explore", task.app as u64);
+            let mut unit = ExploreUnit::resume(session, &app.config, state);
+            let out = unit.explore(&task.setup, &cid, &path).map(|ex| Outcome {
+                window_opened: ex.post.windows().len() > ex.pre.windows().len(),
+                fresh: diff_fresh(&ex.pre, &ex.post),
+                post: ex.post,
+            });
+            unit.stats.spec_published += 1;
+            dmi_obs::tally("spec.depth", 1);
+            let digest = unit.take_base_digest();
+            drop(span);
+            (out, digest, unit.suspend())
+        }));
+        let (outcome, base_digest, next_state) = match stepped {
+            Ok(v) => v,
+            Err(payload) => return Err(panic_payload(payload.as_ref())),
+        };
+        state = next_state;
+        if let Some(o) = &outcome {
+            let mut child_path = path.clone();
+            child_path.push(cid.clone());
+            for child in predict_children(&o.post, &o.fresh, child_path.len(), &app.config) {
+                stack.push((child, child_path.clone()));
+            }
+        }
+        let key = SpecKey { setup: Arc::clone(&task.setup), path, cid };
+        let reply = Reply::Spec { key, outcome, base_digest };
+        if results.send((task.app, task.seq, reply)).is_err() {
+            break;
+        }
+        steps += 1;
+    }
+    Ok(state)
 }
 
 /// Drains an app's session pool at teardown, absorbing every pooled

@@ -40,6 +40,7 @@
 use crate::graph::{Ung, UngNode, UngNodeId};
 use dmi_gui::Session;
 use dmi_uia::{ControlId, ControlIdSet, ControlKey, ControlType, Snapshot};
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// A context the explorer establishes before a dedicated exploration pass
@@ -145,6 +146,17 @@ pub struct RipStats {
     /// entries and rebuilding (fail-soft: a shard that dies holding the
     /// pool lock costs cached captures, never correctness).
     pub poison_recoveries: u64,
+    /// Speculative subtree steps published by workers: each is one
+    /// `explore` of a freshly revealed candidate the worker walked into
+    /// without waiting for the scheduler to dispatch it.
+    pub spec_published: u64,
+    /// Published speculations the scheduler adopted because the
+    /// sequential DFS pop matched the speculation key exactly.
+    pub spec_adopted: u64,
+    /// Published speculations discarded without merging: superseded at
+    /// publish, orphaned at teardown, or invalidated when their lane
+    /// quarantined.
+    pub spec_wasted: u64,
 }
 
 impl RipStats {
@@ -162,6 +174,9 @@ impl RipStats {
         self.pool_hits += other.pool_hits;
         self.pool_misses += other.pool_misses;
         self.poison_recoveries += other.poison_recoveries;
+        self.spec_published += other.spec_published;
+        self.spec_adopted += other.spec_adopted;
+        self.spec_wasted += other.spec_wasted;
     }
 
     /// Folds a session's capture-pool counter delta into the rip stats
@@ -217,6 +232,15 @@ pub(crate) struct ExploreUnit<'a> {
     /// forward click is itself a tab (selecting a tab deselects its
     /// siblings).
     tab_dirty: bool,
+    /// The main-window tabs clicked since the last restart. Sibling-click
+    /// self-healing cannot cover re-exploring one of *these*: the tab may
+    /// still be selected, so the pre-capture would already show its
+    /// children and the differential would come back empty. In-DFS-order
+    /// task streams never re-explore a clicked tab (a tab is explored
+    /// before it ever appears in a path), but speculative subtree walks
+    /// click tabs out of order — exploring one of these afterwards forces
+    /// a full restart instead.
+    clicked_tabs: HashSet<ControlId>,
     /// Whether a tab *inside a dialog* was clicked since the last
     /// restart. Dialog-internal tab selection survives Esc-closing the
     /// dialog, and replaying a path re-opens the dialog without
@@ -257,11 +281,12 @@ pub fn rip(session: &mut Session, config: &RipConfig) -> (Ung, RipStats) {
 /// next to a pooled worker session between task checkouts, so the planner
 /// amortizes across tasks exactly as it does when one worker owns the
 /// session for life.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct UnitState {
     pub stats: RipStats,
     base_epoch: u64,
     tab_dirty: bool,
+    clicked_tabs: HashSet<ControlId>,
     dialog_tab_dirty: bool,
     probe_base: bool,
 }
@@ -299,6 +324,7 @@ impl<'a> ExploreUnit<'a> {
             stats: state.stats,
             base_epoch: state.base_epoch,
             tab_dirty: state.tab_dirty,
+            clicked_tabs: state.clicked_tabs,
             dialog_tab_dirty: state.dialog_tab_dirty,
             probe_base: state.probe_base,
             last_base_digest: None,
@@ -311,6 +337,7 @@ impl<'a> ExploreUnit<'a> {
             stats: self.stats,
             base_epoch: self.base_epoch,
             tab_dirty: self.tab_dirty,
+            clicked_tabs: self.clicked_tabs.clone(),
             dialog_tab_dirty: self.dialog_tab_dirty,
             probe_base: self.probe_base,
         }
@@ -344,6 +371,7 @@ impl<'a> ExploreUnit<'a> {
         self.session.restart();
         self.base_epoch = self.session.ui_state_epoch();
         self.tab_dirty = false;
+        self.clicked_tabs.clear();
         self.dialog_tab_dirty = false;
         if self.probe_base {
             let snap = self.snapshot();
@@ -366,12 +394,15 @@ impl<'a> ExploreUnit<'a> {
     }
 
     /// Records a successful click on a tab: main-window tabs are
-    /// self-healing, dialog-internal tabs poison recovery until restart.
-    fn note_tab_click(&mut self) {
+    /// self-healing (their identity is remembered — see
+    /// [`ExploreUnit::clicked_tabs`]), dialog-internal tabs poison
+    /// recovery until restart.
+    fn note_tab_click(&mut self, cid: &ControlId) {
         if self.session.window_depth() > 1 {
             self.dialog_tab_dirty = true;
         } else {
             self.tab_dirty = true;
+            self.clicked_tabs.insert(cid.clone());
         }
     }
 
@@ -423,7 +454,7 @@ impl<'a> ExploreUnit<'a> {
                 return false;
             }
             if cid.control_type == ControlType::TabItem {
-                self.note_tab_click();
+                self.note_tab_click(cid);
             }
         }
         true
@@ -446,6 +477,16 @@ impl<'a> ExploreUnit<'a> {
             return false;
         }
         if self.tab_dirty {
+            // Re-exploring a tab this unit already clicked is the one
+            // case sibling-click self-healing cannot cover: the tab may
+            // still be selected, so the pre-capture would already show
+            // its children and the reveal diff would come back empty.
+            // Only a speculative subtree walk puts a unit in this spot —
+            // sequential-order task streams explore a tab before it ever
+            // appears in a path.
+            if cid.control_type == ControlType::TabItem && self.clicked_tabs.contains(cid) {
+                return false;
+            }
             // A path starting with a (main-window) tab deselects whatever
             // tab is stale; the first path click always happens with only
             // the main window open, so it can never be a dialog tab.
@@ -527,7 +568,7 @@ impl<'a> ExploreUnit<'a> {
             return None;
         }
         if cid.control_type == ControlType::TabItem {
-            self.note_tab_click();
+            self.note_tab_click(cid);
         }
         let post = self.snapshot();
         Some(Explored { pre, post })

@@ -146,6 +146,16 @@ impl Trace {
         let explore_us = self.total_dur_us(Some(Cat::Worker), "explore");
         let _ = writeln!(out, "  scheduler stall total: {:.3}ms", stall_us as f64 / 1e3);
         let _ = writeln!(out, "  worker explore total:  {:.3}ms", explore_us as f64 / 1e3);
+        let spec_walk_us = self.total_dur_us(Some(Cat::Worker), "spec.explore");
+        let adopted = self.count(Some(Cat::Scheduler), "spec.adopt");
+        let wasted = self.count(Some(Cat::Scheduler), "spec.waste");
+        if spec_walk_us > 0 || adopted > 0 || wasted > 0 {
+            let _ = writeln!(
+                out,
+                "  speculation: adopted={adopted} wasted={wasted} walk total={:.3}ms",
+                spec_walk_us as f64 / 1e3
+            );
+        }
         if self.dropped > 0 {
             let _ = writeln!(out, "  ({} events dropped by ring overwrite)", self.dropped);
         }
@@ -169,6 +179,10 @@ mod tests {
                 ev(Phase::Complete, Cat::Scheduler, "stall.reveal", 20, 30, Clock::Wall),
                 ev(Phase::Instant, Cat::Capture, "pool_hit", 25, 0, Clock::Wall),
                 ev(Phase::Complete, Cat::Gateway, "task", 0, 2_000_000, Clock::Virtual),
+                ev(Phase::Complete, Cat::Worker, "spec.explore", 60, 40, Clock::Wall),
+                ev(Phase::Instant, Cat::Scheduler, "spec.adopt", 100, 0, Clock::Wall),
+                ev(Phase::Instant, Cat::Scheduler, "spec.adopt", 110, 0, Clock::Wall),
+                ev(Phase::Instant, Cat::Scheduler, "spec.waste", 120, 0, Clock::Wall),
             ],
             dropped: 0,
         }
@@ -179,8 +193,8 @@ mod tests {
         let json = sample().to_chrome_json();
         let v = serde_json::parse_value(&json).expect("export must be valid JSON");
         let arr = v.as_array().expect("top level is an array");
-        // 2 metadata + 4 events.
-        assert_eq!(arr.len(), 6);
+        // 2 metadata + 8 events.
+        assert_eq!(arr.len(), 10);
         for e in arr {
             let o = e.as_object().expect("every trace event is an object");
             assert!(o.get("name").is_some());
@@ -204,11 +218,23 @@ mod tests {
     }
 
     #[test]
+    fn summary_reports_speculation_adoption_and_waste() {
+        let s = sample().text_summary();
+        assert!(s.contains("speculation: adopted=2 wasted=1 walk total=0.040ms"), "{s}");
+        // A trace with no speculative activity omits the line entirely.
+        let quiet = Trace {
+            events: vec![ev(Phase::Complete, Cat::Worker, "explore", 10, 50, Clock::Wall)],
+            dropped: 0,
+        };
+        assert!(!quiet.text_summary().contains("speculation:"));
+    }
+
+    #[test]
     fn prefix_totals_filter_by_category() {
         let t = sample();
         assert_eq!(t.total_dur_us(Some(Cat::Scheduler), "stall"), 30);
         assert_eq!(t.total_dur_us(Some(Cat::Worker), "stall"), 0);
-        assert_eq!(t.total_dur_us(None, ""), 50 + 30 + 2_000_000);
+        assert_eq!(t.total_dur_us(None, ""), 50 + 30 + 2_000_000 + 40);
         assert_eq!(t.count(Some(Cat::Capture), "pool"), 1);
     }
 }

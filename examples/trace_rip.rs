@@ -5,8 +5,12 @@
 //! registry — after proving tracing never changed a merged byte.
 //!
 //! ```text
-//! cargo run --example trace_rip --release [out.json]
+//! cargo run --example trace_rip --release [out.json] [spec_walk]
 //! ```
+//!
+//! The optional second argument caps the speculative subtree walk
+//! (default 4); pass 0 to trace the dispatch-only scheduler and compare
+//! the `stall.reveal` totals against a speculating run.
 
 use dmi_apps::AppKind;
 use dmi_core::parallel::{rip_fleet, FleetEntry, ParRipConfig};
@@ -24,7 +28,8 @@ fn entries() -> Vec<FleetEntry> {
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "target/trace_rip.json".into());
-    let par = ParRipConfig { workers: 2, speculation: 2 };
+    let spec_walk = std::env::args().nth(2).map_or(4, |s| s.parse().expect("spec_walk: usize"));
+    let par = ParRipConfig { workers: 2, speculation: 2, spec_walk };
 
     // The untraced reference: tracing is observational, so the traced
     // fleet below must merge byte-identical UNGs.

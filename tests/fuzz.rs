@@ -158,6 +158,145 @@ fn fault_fork_divergence_flagged_and_shrunk() {
 }
 
 // ---------------------------------------------------------------------
+// Deep speculation under injected faults: wrong speculations die.
+// ---------------------------------------------------------------------
+
+/// The parallel oracle with deep worker-side subtree walks armed
+/// (`spec_walk: 8`): every fault now has to survive speculative
+/// publication *and* scheduler adoption to go unflagged.
+fn check_parallel_speculative(spec: &AppSpec) -> bool {
+    let mut entries = vec![FleetEntry::new(
+        "spec-fuzz",
+        Session::new(AdversarialApp::launch(spec.clone())),
+        RipConfig::default(),
+    )];
+    let out = rip_fleet(&mut entries, &ParRipConfig { workers: 2, speculation: 2, spec_walk: 8 });
+    let o = &out[0];
+    o.error().is_some() || bytes(&o.graph) != bytes(&rip_seq(spec))
+}
+
+/// Fork divergence armed on deeply speculating workers: the probe-digest
+/// oracle still quarantines the lane (a drifted fork's publications die
+/// with it, before any byte merges), and the reproducer still shrinks.
+#[test]
+fn fault_fork_divergence_flagged_and_shrunk_under_deep_speculation() {
+    let faults = FaultPlan { fork_divergence_after: Some(1), ..FaultPlan::default() };
+    let trigger = [ArenaOp::Button(0), ArenaOp::Button(1), ArenaOp::Button(2)];
+    let base = AppSpec { ops: noisy(77, &trigger), faults };
+    assert_shrinks(&base, check_parallel_speculative, |ops| dispatching_ops(ops) >= 3);
+}
+
+/// Second-dispatch panics armed on deeply speculating workers: the
+/// fork's counter survives Esc-based restoration between served tasks
+/// (flat arenas never force a counter-resetting restart), so the second
+/// click — a follow-up task or a speculative walk step — dies mid-walk
+/// and the lane fails in place. Detection needs one of the two forks to
+/// serve twice, only guaranteed with three dispatching ops
+/// (pigeonhole), so the shrink predicate keeps that floor.
+#[test]
+fn fault_worker_panic_flagged_and_shrunk_under_deep_speculation() {
+    silence_injected_panics();
+    let faults = FaultPlan { panic_on_click: Some(2), ..FaultPlan::default() };
+    let base = AppSpec { ops: (0..16).map(ArenaOp::Button).collect(), faults };
+    assert_shrinks(&base, check_parallel_speculative, |ops| dispatching_ops(ops) >= 3);
+}
+
+/// All three fault classes armed next to a healthy entry on one deeply
+/// speculating 4-worker pool: the diverging lane quarantines before any
+/// speculative byte merges (its graph is the sequential reference and
+/// its ledger balances — every discarded publication counted), the
+/// panicking lane fails with its payload, the Esc-side-effect fault
+/// stays detectable by its differential oracle, and the healthy lane is
+/// byte-identical with a balanced ledger.
+#[test]
+fn fault_armed_speculating_fleet_discards_wrong_speculations() {
+    silence_injected_panics();
+    let healthy = AppSpec::generate(515, 14);
+    let panicky = AppSpec {
+        ops: noisy(616, &[ArenaOp::Button(0)]),
+        faults: FaultPlan { panic_on_click: Some(1), ..FaultPlan::default() },
+    };
+    let diverging = AppSpec {
+        ops: noisy(717, &(0..6).map(ArenaOp::Button).collect::<Vec<_>>()),
+        faults: FaultPlan { fork_divergence_after: Some(1), ..FaultPlan::default() },
+    };
+    let esc_effect = AppSpec {
+        ops: {
+            let mut ops = vec![ArenaOp::Button(9), ArenaOp::Dialog(0), ArenaOp::Button(1)];
+            ops.extend((10..24).map(ArenaOp::Button));
+            ops
+        },
+        faults: FaultPlan { esc_side_effect: true, ..FaultPlan::default() },
+    };
+    assert!(
+        check_esc_recovery(&esc_effect).is_some(),
+        "the Esc-side-effect differential oracle must keep flagging the fault"
+    );
+
+    let mut entries = vec![
+        FleetEntry::new(
+            "healthy",
+            Session::new(AdversarialApp::launch(healthy.clone())),
+            RipConfig::default(),
+        ),
+        FleetEntry::new(
+            "panicky",
+            Session::new(AdversarialApp::launch(panicky.clone())),
+            RipConfig::default(),
+        ),
+        FleetEntry::new(
+            "diverging",
+            Session::new(AdversarialApp::launch(diverging.clone())),
+            RipConfig::default(),
+        ),
+        FleetEntry::new(
+            "esc-effect",
+            Session::new(AdversarialApp::launch(esc_effect.clone())),
+            RipConfig::default(),
+        ),
+    ];
+    let out = rip_fleet(&mut entries, &ParRipConfig { workers: 4, speculation: 2, spec_walk: 8 });
+    assert_eq!(out.len(), 4);
+
+    assert_eq!(out[0].status, RipStatus::Parallel);
+    assert_eq!(
+        bytes(&out[0].graph),
+        bytes(&rip_seq(&healthy)),
+        "the healthy lane must stay byte-identical next to faulty speculating siblings"
+    );
+    assert_eq!(
+        out[0].stats.spec_published,
+        out[0].stats.spec_adopted + out[0].stats.spec_wasted,
+        "healthy lane: every published speculation is adopted or counted as waste"
+    );
+
+    match out[1].error().expect("the worker panic must be reported") {
+        RipError::WorkerPanic { app_id, payload } => {
+            assert_eq!(app_id, "panicky");
+            assert!(payload.contains("injected fault"), "payload preserved, got: {payload}");
+        }
+        other => panic!("expected WorkerPanic, got {other:?}"),
+    }
+    assert!(matches!(out[1].status, RipStatus::Failed(_)));
+
+    match out[2].error().expect("the fork divergence must be reported") {
+        RipError::Divergence { app_id, .. } => assert_eq!(app_id, "diverging"),
+        other => panic!("expected Divergence, got {other:?}"),
+    }
+    assert!(matches!(out[2].status, RipStatus::Degraded(_)));
+    assert_eq!(
+        bytes(&out[2].graph),
+        bytes(&rip_seq(&diverging)),
+        "quarantine must discard the drifted fork's speculations before any byte merges"
+    );
+    assert_eq!(
+        out[2].stats.spec_published,
+        out[2].stats.spec_adopted + out[2].stats.spec_wasted,
+        "diverging lane: quarantined publications are counted, never merged"
+    );
+}
+
+// ---------------------------------------------------------------------
 // Fleet fault containment: faulty entries fail alone.
 // ---------------------------------------------------------------------
 
@@ -204,7 +343,7 @@ fn fault_injected_fleet_is_contained_per_entry() {
             RipConfig::default(),
         ),
     ];
-    let out = rip_fleet(&mut entries, &ParRipConfig { workers: 4, speculation: 2 });
+    let out = rip_fleet(&mut entries, &ParRipConfig { workers: 4, speculation: 2, spec_walk: 4 });
     assert_eq!(out.len(), 4);
 
     for (spec, idx) in [(&healthy_a, 0usize), (&healthy_b, 2)] {
@@ -379,7 +518,7 @@ fn fault_drifting_tenant_is_contained_in_the_gateway() {
 fn assert_identity_for_seeds(seeds: std::ops::Range<u64>) {
     let specs: Vec<AppSpec> = seeds.map(|s| AppSpec::generate(s, 20)).collect();
     let reference: Vec<String> = specs.iter().map(|s| bytes(&rip_seq(s))).collect();
-    let par = ParRipConfig { workers: 2, speculation: 2 };
+    let par = ParRipConfig { workers: 2, speculation: 2, spec_walk: 4 };
     for (spec, expect) in specs.iter().zip(&reference) {
         let mut s = Session::new(AdversarialApp::launch(spec.clone()));
         let (g, _) = rip_parallel(&mut s, &RipConfig::default(), &par);

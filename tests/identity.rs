@@ -209,7 +209,7 @@ fn parallel_rip_ung_is_byte_identical_to_sequential() {
         let (g_seq, st_seq) = rip(&mut s, &cfg);
 
         let mut s2 = Session::new(kind.launch_small());
-        let par = ParRipConfig { workers: 4, speculation: 2 };
+        let par = ParRipConfig { workers: 4, speculation: 2, spec_walk: 4 };
         let (g_par, st_par) = rip_parallel(&mut s2, &cfg, &par);
 
         assert_eq!(
@@ -278,7 +278,7 @@ fn fleet_rip_ungs_are_byte_identical_to_sequential() {
         RipConfig::default(),
     ));
 
-    let out = rip_fleet(&mut entries, &ParRipConfig { workers: 4, speculation: 2 });
+    let out = rip_fleet(&mut entries, &ParRipConfig { workers: 4, speculation: 2, spec_walk: 4 });
     assert_eq!(out.len(), seq.len(), "one outcome per entry, in entry order");
     for (o, (app, g_seq, windows_seen, blocklisted)) in out.iter().zip(&seq) {
         assert_eq!(&o.app_id, app);
@@ -296,6 +296,109 @@ fn fleet_rip_ungs_are_byte_identical_to_sequential() {
             assert!(
                 o.stats.pool_hits > 0,
                 "{app}: shards must serve shared captures from the pool"
+            );
+        }
+    }
+}
+
+/// Subtree-speculation equivalence oracle (the release gate for the
+/// scheduler-adoption engine): with deep worker-side walks enabled
+/// (`spec_walk: 8`), every merged UNG must stay byte-identical to the
+/// sequential rip — adoption substitutes results keyed by the complete
+/// exploration input `(setup, path, candidate)`, so a key match can never
+/// change a committed byte — while the engine demonstrably *uses* the
+/// table (nonzero adoptions per Office app) and the accounting invariant
+/// `published == adopted + wasted` holds on every healthy lane.
+#[test]
+#[ignore = "rip-heavy: CI runs these in release via `-- --ignored`"]
+fn speculative_rip_ung_is_byte_identical_to_sequential() {
+    for kind in AppKind::ALL {
+        let cfg = RipConfig::office(kind.name());
+        let mut s = Session::new(kind.launch_small());
+        let (g_seq, st_seq) = rip(&mut s, &cfg);
+        assert_eq!(st_seq.spec_published, 0, "{kind}: sequential rips never speculate");
+
+        let mut s2 = Session::new(kind.launch_small());
+        let par = ParRipConfig { workers: 4, speculation: 2, spec_walk: 8 };
+        let (g_par, st_par) = rip_parallel(&mut s2, &cfg, &par);
+
+        assert_eq!(
+            serde_json::to_string(&g_par).unwrap(),
+            serde_json::to_string(&g_seq).unwrap(),
+            "{kind}: speculative UNG must serialize byte-identically to sequential"
+        );
+        assert!(
+            st_par.spec_adopted > 0,
+            "{kind}: deep walks must yield scheduler adoptions (published={})",
+            st_par.spec_published
+        );
+        assert_eq!(
+            st_par.spec_published,
+            st_par.spec_adopted + st_par.spec_wasted,
+            "{kind}: every published speculation is adopted or counted as waste"
+        );
+        assert_eq!(st_par.windows_seen, st_seq.windows_seen, "{kind}: windows seen");
+        assert_eq!(st_par.blocklisted, st_seq.blocklisted, "{kind}: blocklist hits");
+    }
+}
+
+/// Fleet-mode speculation oracle: deep walks across a mixed fleet (three
+/// Office apps + an unforkable entry on the sequential fallback) keep
+/// every UNG byte-identical to its sequential rip, adopt speculations on
+/// every Office lane, balance the waste ledger per entry, and leave the
+/// fallback entry's speculation counters at zero.
+#[test]
+#[ignore = "rip-heavy: CI runs these in release via `-- --ignored`"]
+fn speculative_fleet_ungs_are_byte_identical_to_sequential() {
+    use dmi_apps::testkit::UnforkableApp;
+
+    let mut seq: Vec<(String, String)> = Vec::new();
+    for kind in AppKind::ALL {
+        let cfg = RipConfig::office(kind.name());
+        let mut s = Session::new(kind.launch_small());
+        let (g, _) = rip(&mut s, &cfg);
+        seq.push((kind.name().to_string(), serde_json::to_string(&g).unwrap()));
+    }
+    {
+        let mut s = Session::new(Box::new(UnforkableApp::new(3)));
+        let (g, _) = rip(&mut s, &RipConfig::default());
+        seq.push(("Unforkable".to_string(), serde_json::to_string(&g).unwrap()));
+    }
+
+    let mut entries: Vec<FleetEntry> = AppKind::ALL
+        .iter()
+        .map(|k| {
+            FleetEntry::new(k.name(), Session::new(k.launch_small()), RipConfig::office(k.name()))
+        })
+        .collect();
+    entries.push(FleetEntry::new(
+        "Unforkable",
+        Session::new(Box::new(UnforkableApp::new(3))),
+        RipConfig::default(),
+    ));
+
+    let out = rip_fleet(&mut entries, &ParRipConfig { workers: 4, speculation: 2, spec_walk: 8 });
+    assert_eq!(out.len(), seq.len());
+    for (o, (app, g_seq)) in out.iter().zip(&seq) {
+        assert_eq!(&o.app_id, app);
+        assert_eq!(
+            &serde_json::to_string(&o.graph).unwrap(),
+            g_seq,
+            "{app}: speculative fleet UNG must serialize byte-identically"
+        );
+        assert_eq!(
+            o.stats.spec_published,
+            o.stats.spec_adopted + o.stats.spec_wasted,
+            "{app}: speculation ledger balances"
+        );
+        if app == "Unforkable" {
+            assert!(o.fell_back(), "{app}: rides the sequential fallback");
+            assert_eq!(o.stats.spec_published, 0, "{app}: the fallback never speculates");
+        } else {
+            assert!(
+                o.stats.spec_adopted > 0,
+                "{app}: fleet lanes must adopt speculations (published={})",
+                o.stats.spec_published
             );
         }
     }
@@ -446,7 +549,7 @@ fn traced_fleet_rip_is_byte_identical_to_untraced() {
             })
             .collect()
     };
-    let par = ParRipConfig { workers: 2, speculation: 2 };
+    let par = ParRipConfig { workers: 2, speculation: 2, spec_walk: 4 };
 
     let mut plain = entries();
     let untraced: Vec<String> = rip_fleet(&mut plain, &par)

@@ -43,7 +43,8 @@ fn fleet_obs() -> &'static FleetObs {
         dmi_obs::clear();
         dmi_obs::set_enabled(true);
         let mut entries = office_entries();
-        let out = rip_fleet(&mut entries, &ParRipConfig { workers: 2, speculation: 2 });
+        let out =
+            rip_fleet(&mut entries, &ParRipConfig { workers: 2, speculation: 2, spec_walk: 4 });
         dmi_obs::set_enabled(false);
         assert_eq!(out.len(), 3);
         assert!(out.iter().all(|o| !o.fell_back()), "Office apps fork");
@@ -288,6 +289,18 @@ fn fleet_stats_match_obs_tallies() {
     assert_eq!(sum(|s| s.pool_hits), t("capture.pool_hits"), "capture-pool hits");
     assert_eq!(sum(|s| s.pool_misses), t("capture.pool_misses"), "capture-pool misses");
     assert!(t("capture.pool_hits") > 0, "shards served shared captures");
+    // Speculation ledger: worker-side publications tally as `spec.depth`
+    // at the same site as the stat, scheduler-side adoptions and waste at
+    // theirs — and on an all-healthy fleet every publication is resolved
+    // one way or the other.
+    assert_eq!(sum(|s| s.spec_published), t("spec.depth"), "speculations published");
+    assert_eq!(sum(|s| s.spec_adopted), t("spec.adopt"), "speculations adopted");
+    assert_eq!(sum(|s| s.spec_wasted), t("spec.waste"), "speculations wasted");
+    assert_eq!(
+        t("spec.depth"),
+        t("spec.adopt") + t("spec.waste"),
+        "every published speculation is adopted or counted as waste"
+    );
 }
 
 /// The serve-side drift cross-check: gateway counters harvested from
